@@ -1,0 +1,92 @@
+//! FT-Search solve-time benchmarks (the computational core of Figs. 4–5):
+//! proved-optimal solves across instance sizes and IC constraints, and the
+//! decomposed exact solver on the sizes where its per-configuration
+//! enumeration pays off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laar_core::ftsearch::{solve, solve_decomposed, FtSearchConfig};
+use laar_core::testutil::{chain_problem, diamond_problem, fig2_problem};
+use laar_core::Problem;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn opts() -> FtSearchConfig {
+    FtSearchConfig::with_time_limit(Duration::from_secs(30))
+}
+
+fn bench_ic_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ftsearch/ic_sweep_fig2");
+    for ic in [0.0, 0.5, 2.0 / 3.0, 0.9] {
+        let p = fig2_problem(ic);
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{ic:.2}")), &p, |b, p| {
+            b.iter(|| black_box(solve(p, &opts()).unwrap().outcome.label()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_instance_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ftsearch/chain_size");
+    g.sample_size(10);
+    for n in [8usize, 12, 16] {
+        let p = chain_problem(n, 4, 0.5);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| black_box(solve(p, &opts()).unwrap().outcome.label()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_generated_instance(c: &mut Criterion) {
+    let gen = laar_bench::small_app();
+    let p = Problem::new(gen.app.clone(), gen.placement.clone(), 0.6).unwrap();
+    let mut g = c.benchmark_group("ftsearch/generated_8pe");
+    g.sample_size(10);
+    g.bench_function("ic_0.6", |b| {
+        b.iter(|| black_box(solve(&p, &opts()).unwrap().outcome.label()));
+    });
+    g.finish();
+}
+
+fn bench_decomposed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ftsearch/decomposed_vs_monolithic");
+    g.sample_size(10);
+    let p = diamond_problem(0.55);
+    g.bench_function("diamond_monolithic", |b| {
+        b.iter(|| black_box(solve(&p, &opts()).unwrap().outcome.label()));
+    });
+    g.bench_function("diamond_decomposed", |b| {
+        b.iter(|| {
+            black_box(
+                solve_decomposed(&p, Duration::from_secs(30))
+                    .unwrap()
+                    .outcome
+                    .label(),
+            )
+        });
+    });
+    let chain = chain_problem(12, 4, 0.5);
+    g.bench_function("chain12_monolithic", |b| {
+        b.iter(|| black_box(solve(&chain, &opts()).unwrap().outcome.label()));
+    });
+    g.bench_function("chain12_decomposed", |b| {
+        b.iter(|| {
+            black_box(
+                solve_decomposed(&chain, Duration::from_secs(30))
+                    .unwrap()
+                    .outcome
+                    .label(),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ic_sweep,
+    bench_instance_sizes,
+    bench_generated_instance,
+    bench_decomposed
+);
+criterion_main!(benches);

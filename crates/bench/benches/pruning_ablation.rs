@@ -1,0 +1,79 @@
+//! Pruning-strategy ablation (the design-choice study behind Fig. 6): solve
+//! the same instances with each of the four pruning strategies disabled in
+//! turn, and with all of them off. DESIGN.md calls out the four strategies
+//! as the load-bearing design decisions of FT-Search; this bench quantifies
+//! each one's contribution to solve time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laar_core::ftsearch::{solve, FtSearchConfig};
+use laar_core::testutil::{chain_problem, diamond_problem};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config(cpu: bool, compl: bool, cost: bool, dom: bool) -> FtSearchConfig {
+    FtSearchConfig {
+        prune_cpu: cpu,
+        prune_compl: compl,
+        prune_cost: cost,
+        prune_dom: dom,
+        // Cold start so the ablation measures pruning, not seeding.
+        seed_incumbent: false,
+        ..FtSearchConfig::with_time_limit(Duration::from_secs(60))
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let cases: [(&str, FtSearchConfig); 6] = [
+        ("all_on", config(true, true, true, true)),
+        ("no_cpu", config(false, true, true, true)),
+        ("no_compl", config(true, false, true, true)),
+        ("no_cost", config(true, true, false, true)),
+        ("no_dom", config(true, true, true, false)),
+        ("all_off", config(false, false, false, false)),
+    ];
+
+    let mut g = c.benchmark_group("pruning_ablation/diamond");
+    g.sample_size(10);
+    let p = diamond_problem(0.55);
+    for (name, opts) in &cases {
+        g.bench_with_input(BenchmarkId::from_parameter(name), opts, |b, opts| {
+            b.iter(|| black_box(solve(&p, opts).unwrap().outcome.label()));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("pruning_ablation/chain10");
+    g.sample_size(10);
+    let p = chain_problem(10, 3, 0.5);
+    for (name, opts) in &cases {
+        // The fully unpruned search is too slow on 10 PEs; skip it here.
+        if *name == "all_off" {
+            continue;
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(name), opts, |b, opts| {
+            b.iter(|| black_box(solve(&p, opts).unwrap().outcome.label()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_seeding(c: &mut Criterion) {
+    // The incumbent-seeding extension: how much does a warm greedy seed
+    // shave off the proved-optimal solve?
+    let mut g = c.benchmark_group("pruning_ablation/seeding_chain12");
+    g.sample_size(10);
+    let p = chain_problem(12, 4, 0.5);
+    for (name, seed) in [("cold", false), ("seeded", true)] {
+        let opts = FtSearchConfig {
+            seed_incumbent: seed,
+            ..FtSearchConfig::with_time_limit(Duration::from_secs(60))
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
+            b.iter(|| black_box(solve(&p, opts).unwrap().outcome.label()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation, bench_seeding);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Benchmarks of the runtime control-plane data structures (§4.6): the
+//! R-tree dominating-configuration query, rate-monitor updates, and the
+//! HAController reconfiguration path. These run on every monitoring period
+//! in a deployment, so they must stay cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laar_core::controller::HaController;
+use laar_core::monitor::RateMonitor;
+use laar_core::rtree::RTree;
+use laar_model::{ActivationStrategy, ConfigId, ConfigSpace, GraphBuilder};
+use std::hint::black_box;
+
+/// A configuration space with `per_dim` rates per source over `dims`
+/// sources (the Cartesian product grows as `per_dim^dims`).
+fn space(dims: usize, per_dim: usize) -> ConfigSpace {
+    let mut b = GraphBuilder::new();
+    let sources: Vec<_> = (0..dims).map(|i| b.add_source(&format!("s{i}"))).collect();
+    let pe = b.add_pe("pe");
+    let sink = b.add_sink("sink");
+    for s in &sources {
+        b.connect(*s, pe, 1.0, 1.0).unwrap();
+    }
+    b.connect_sink(pe, sink).unwrap();
+    let g = b.build().unwrap();
+    let rates: Vec<Vec<f64>> = (0..dims)
+        .map(|_| (1..=per_dim).map(|r| r as f64 * 2.0).collect())
+        .collect();
+    let total: usize = rates.iter().map(Vec::len).product();
+    ConfigSpace::new(&g, rates, vec![1.0 / total as f64; total]).unwrap()
+}
+
+fn bench_rtree_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtree/dominating_query");
+    for (dims, per_dim) in [(1usize, 64usize), (2, 16), (3, 8), (4, 6)] {
+        let cs = space(dims, per_dim);
+        let points: Vec<(Vec<f64>, ConfigId)> =
+            cs.configs().map(|c| (cs.rate_vector(c), c)).collect();
+        let tree = RTree::bulk_load(points);
+        let q: Vec<f64> = (0..dims).map(|i| 3.1 + i as f64).collect();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{dims}d_{}cfg", tree.len())),
+            &q,
+            |b, q| {
+                b.iter(|| black_box(tree.dominating_min_slack(q)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_rtree_bulk_load(c: &mut Criterion) {
+    let cs = space(3, 8);
+    let points: Vec<(Vec<f64>, ConfigId)> =
+        cs.configs().map(|c| (cs.rate_vector(c), c)).collect();
+    c.bench_function("rtree/bulk_load_512", |b| {
+        b.iter(|| black_box(RTree::bulk_load(points.clone()).len()));
+    });
+}
+
+fn bench_rate_monitor(c: &mut Criterion) {
+    c.bench_function("monitor/record_and_estimate", |b| {
+        let mut m = RateMonitor::new(4, 0.25, 8);
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 0.01;
+            m.record(0, t);
+            m.record(1, t);
+            if (t * 100.0) as u64 % 100 == 0 {
+                black_box(m.rates(t));
+            }
+        });
+    });
+}
+
+fn bench_controller_switch(c: &mut Criterion) {
+    let cs = space(2, 16);
+    let strategy = ActivationStrategy::all_active(24, cs.num_configs(), 2);
+    c.bench_function("controller/on_measured_rates", |b| {
+        let mut ctl = HaController::new(&cs, strategy.clone());
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let rates = if flip { vec![3.0, 9.0] } else { vec![17.0, 29.0] };
+            black_box(ctl.on_measured_rates(&rates).len())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rtree_query,
+    bench_rtree_bulk_load,
+    bench_rate_monitor,
+    bench_controller_switch
+);
+criterion_main!(benches);

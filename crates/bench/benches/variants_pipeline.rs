@@ -1,0 +1,64 @@
+//! End-to-end benchmarks of the per-application evaluation pipeline used by
+//! Figs. 9–12: variant construction (FT-Search cascade + baselines), the
+//! analytic evaluators (BIC/FIC/IC and cost), and the baseline derivations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use laar_core::variants::{greedy, non_replicated, static_replication};
+use laar_core::{PessimisticFailure, Problem};
+use laar_experiments::build_variants;
+use laar_model::ActivationStrategy;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_build_variants(c: &mut Criterion) {
+    let gen = laar_bench::small_app();
+    let mut g = c.benchmark_group("variants/build_all_six_8pe");
+    g.sample_size(10);
+    g.bench_function("cascade", |b| {
+        b.iter(|| {
+            black_box(
+                build_variants(&gen, Duration::from_secs(10))
+                    .map(|s| s.entries.len())
+                    .unwrap_or(0),
+            )
+        });
+    });
+    g.finish();
+}
+
+fn bench_evaluators(c: &mut Criterion) {
+    let gen = laar_bench::paper_app();
+    let p = Problem::new(gen.app.clone(), gen.placement.clone(), 0.5).unwrap();
+    let s = ActivationStrategy::all_active(p.num_pes(), p.num_configs(), 2);
+
+    c.bench_function("evaluators/ic_pessimistic_24pe", |b| {
+        let ev = p.ic_evaluator();
+        b.iter(|| black_box(ev.ic(&s, &PessimisticFailure)));
+    });
+    c.bench_function("evaluators/cost_cycles_24pe", |b| {
+        let cm = p.cost_model();
+        b.iter(|| black_box(cm.cost_cycles(&s)));
+    });
+    c.bench_function("evaluators/host_load_matrix_24pe", |b| {
+        let cm = p.cost_model();
+        b.iter(|| black_box(cm.host_load_matrix(&s)));
+    });
+    c.bench_function("evaluators/problem_check_24pe", |b| {
+        b.iter(|| black_box(p.check(&s).len()));
+    });
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let gen = laar_bench::paper_app();
+    let p = Problem::new(gen.app.clone(), gen.placement.clone(), 0.0).unwrap();
+    c.bench_function("baselines/greedy_24pe", |b| {
+        b.iter(|| black_box(greedy(&p).strategy.total_active()));
+    });
+    c.bench_function("baselines/non_replicated_24pe", |b| {
+        let base = static_replication(&p);
+        b.iter(|| black_box(non_replicated(&p, &base).total_active()));
+    });
+}
+
+criterion_group!(benches, bench_build_variants, bench_evaluators, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! # laar-bench
+//!
+//! Criterion benchmarks for the LAAR reproduction. Each paper
+//! table/figure's computational core has a bench target:
+//!
+//! * `ftsearch` — FT-Search solve time vs instance size and IC constraint
+//!   (Figs. 4–5), plus the decomposed exact solver on solver-friendly sizes;
+//! * `pruning_ablation` — each pruning strategy disabled in turn (Fig. 6);
+//! * `simulator` — cluster simulation throughput: the Fig. 3 pipeline and a
+//!   paper-scale 24-PE best-case run (Figs. 9–12 unit of work);
+//! * `runtime_structures` — R-tree dominating-configuration queries, rate
+//!   monitor updates, HAController reconfiguration (§4.6 runtime path);
+//! * `variants_pipeline` — end-to-end variant construction (FT-Search
+//!   cascade + baselines) on a small generated application.
+//!
+//! This crate intentionally exposes shared fixture helpers only.
+
+#![warn(missing_docs)]
+
+use laar_gen::{generator::generate_app, GenParams, GeneratedApp};
+
+/// A small generated application (8 PEs / 3 hosts) used across benches.
+pub fn small_app() -> GeneratedApp {
+    generate_app(
+        &GenParams {
+            num_pes: 8,
+            num_hosts: 3,
+            duration: 60.0,
+            ..GenParams::default()
+        },
+        7,
+    )
+}
+
+/// A paper-scale generated application (24 PEs / 4 hosts, 300 s).
+pub fn paper_app() -> GeneratedApp {
+    generate_app(&GenParams::default(), 7)
+}

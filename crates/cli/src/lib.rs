@@ -1,0 +1,403 @@
+//! # laar-cli
+//!
+//! The operator-facing pipeline for LAAR as JSON-file plumbing, mirroring
+//! the deployment workflow of Fig. 7 in the paper:
+//!
+//! ```text
+//! laar generate  → contract.json + placement.json + trace.json
+//! laar solve     → strategy.json (the HAController document of §5.1)
+//! laar profile   → re-estimated descriptor (validates the contract)
+//! laar simulate  → metrics.json (one run on the simulated cluster)
+//! laar variants  → NR/SR/GRD/L.5/L.6/L.7 comparison table
+//! ```
+//!
+//! Every command is a pure function in this library (tested directly);
+//! `main.rs` only parses arguments and shuttles files.
+
+#![warn(missing_docs)]
+
+use laar_core::ftsearch::{self, FtSearchConfig, Outcome};
+use laar_core::variants::VariantKind;
+use laar_core::{greedy, non_replicated, static_replication, PessimisticFailure, Problem};
+use laar_dsps::profiler::{descriptor_error, profile_application};
+use laar_dsps::{FailurePlan, InputTrace, SimConfig, SimMetrics, Simulation};
+use laar_gen::{generator::generate_app, GenParams};
+use laar_model::{ActivationStrategy, Application, HostId, Placement};
+use std::time::Duration;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// IO failure reading/writing an artifact.
+    Io(std::io::Error),
+    /// Malformed JSON artifact.
+    Json(serde_json::Error),
+    /// Semantic failure (infeasible, bad arguments, model errors).
+    Message(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Json(e) => write!(f, "json error: {e}"),
+            CliError::Message(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Json(e)
+    }
+}
+
+fn message<E: std::fmt::Display>(e: E) -> CliError {
+    CliError::Message(e.to_string())
+}
+
+/// The `generate` command: emit a synthetic contract, placement, and trace.
+pub fn cmd_generate(
+    num_pes: usize,
+    num_hosts: usize,
+    seed: u64,
+) -> Result<(Application, Placement, InputTrace), CliError> {
+    let gen = generate_app(
+        &GenParams {
+            num_pes,
+            num_hosts,
+            ..GenParams::default()
+        },
+        seed,
+    );
+    let trace = InputTrace::low_high_centered(
+        gen.low_rate,
+        gen.high_rate,
+        gen.app.billing_period(),
+        gen.p_high(),
+    );
+    Ok((gen.app, gen.placement, trace))
+}
+
+/// Result of the `solve` command.
+#[derive(Debug)]
+pub struct SolveOutput {
+    /// The strategy (also rendered to the HAController JSON by the caller).
+    pub strategy: ActivationStrategy,
+    /// Outcome label (BST/SOL).
+    pub label: String,
+    /// Guaranteed IC.
+    pub ic: f64,
+    /// Expected cost per eq. 13.
+    pub cost_cycles: f64,
+    /// IC shortfall when solving in soft (penalty) mode.
+    pub ic_shortfall: Option<f64>,
+}
+
+/// The `solve` command: hard-constraint FT-Search, or the soft penalty
+/// model when `soft_penalty` is given.
+pub fn cmd_solve(
+    app: &Application,
+    placement: &Placement,
+    ic_requirement: f64,
+    time_limit: Duration,
+    soft_penalty: Option<f64>,
+) -> Result<SolveOutput, CliError> {
+    let problem =
+        Problem::new(app.clone(), placement.clone(), ic_requirement).map_err(message)?;
+    if let Some(lambda) = soft_penalty {
+        let soft = ftsearch::solve_soft(&problem, lambda, time_limit)
+            .map_err(message)?
+            .ok_or_else(|| {
+                CliError::Message(
+                    "soft solve timed out or the deployment cannot fit the application"
+                        .to_owned(),
+                )
+            })?;
+        return Ok(SolveOutput {
+            label: "SOFT".to_owned(),
+            ic: soft.solution.ic,
+            cost_cycles: soft.solution.cost_cycles,
+            ic_shortfall: Some(soft.ic_shortfall_rate),
+            strategy: soft.solution.strategy,
+        });
+    }
+    let report = ftsearch::solve(&problem, &FtSearchConfig::with_time_limit(time_limit))
+        .map_err(message)?;
+    match report.outcome {
+        Outcome::Optimal(s) | Outcome::Feasible(s) => Ok(SolveOutput {
+            label: if report.stats.proved { "BST" } else { "SOL" }.to_owned(),
+            ic: s.ic,
+            cost_cycles: s.cost_cycles,
+            ic_shortfall: None,
+            strategy: s.strategy,
+        }),
+        Outcome::Infeasible => Err(CliError::Message(format!(
+            "no strategy can guarantee IC {ic_requirement} on this deployment \
+             (try --soft <penalty> to trade the SLA for cost)"
+        ))),
+        Outcome::Timeout => Err(CliError::Message(
+            "FT-Search timed out before finding any feasible strategy; raise --time-limit"
+                .to_owned(),
+        )),
+    }
+}
+
+/// Failure plan specification accepted by `simulate`.
+pub fn parse_failure(spec: &str, app: &Application, strategy: &ActivationStrategy) -> Result<FailurePlan, CliError> {
+    match spec {
+        "none" => Ok(FailurePlan::None),
+        "worst" => Ok(FailurePlan::worst_case(app, strategy)),
+        other => {
+            // host:<id>@<time>
+            let rest = other.strip_prefix("host:").ok_or_else(|| {
+                CliError::Message(format!(
+                    "unknown failure spec {other:?} (use none, worst, or host:<id>@<secs>)"
+                ))
+            })?;
+            let (h, t) = rest.split_once('@').ok_or_else(|| {
+                CliError::Message("host failure spec must be host:<id>@<secs>".to_owned())
+            })?;
+            let host: u32 = h.parse().map_err(message)?;
+            let at: f64 = t.parse().map_err(message)?;
+            Ok(FailurePlan::host_crash(HostId(host), at))
+        }
+    }
+}
+
+/// The `simulate` command: one run on the simulated cluster.
+pub fn cmd_simulate(
+    app: &Application,
+    placement: &Placement,
+    strategy: ActivationStrategy,
+    trace: &InputTrace,
+    plan: FailurePlan,
+) -> Result<SimMetrics, CliError> {
+    strategy
+        .validate(app.graph(), app.configs().num_configs(), placement.k())
+        .map_err(message)?;
+    Ok(Simulation::new(app, placement, strategy, trace, plan, SimConfig::default()).run())
+}
+
+/// One row of the `variants` comparison.
+#[derive(Debug)]
+pub struct VariantRow {
+    /// Variant label (NR/SR/GRD/L.x).
+    pub label: String,
+    /// Guaranteed IC (pessimistic model).
+    pub guaranteed_ic: f64,
+    /// Expected cost per eq. 13.
+    pub expected_cost: f64,
+    /// Measured CPU seconds in a best-case run on `trace`.
+    pub measured_cpu: f64,
+    /// Queue drops in that run.
+    pub drops: u64,
+}
+
+/// The `variants` command: build and simulate all six §5.2 variants.
+pub fn cmd_variants(
+    app: &Application,
+    placement: &Placement,
+    trace: &InputTrace,
+    time_limit: Duration,
+) -> Result<Vec<VariantRow>, CliError> {
+    let mut rows = Vec::new();
+    let mut warm: Option<ActivationStrategy> = None;
+    let mut laar = Vec::new();
+    for ic in [0.7, 0.6, 0.5] {
+        let problem = Problem::new(app.clone(), placement.clone(), ic).map_err(message)?;
+        let report = ftsearch::solve_with_warm_start(
+            &problem,
+            &FtSearchConfig::with_time_limit(time_limit),
+            warm.as_ref(),
+        )
+        .map_err(message)?;
+        let sol = report.outcome.solution().ok_or_else(|| {
+            CliError::Message(format!("IC {ic} is infeasible on this deployment"))
+        })?;
+        warm = Some(sol.strategy.clone());
+        laar.push((format!("L.{}", (ic * 10.0) as u32), sol.strategy.clone()));
+    }
+    laar.reverse();
+
+    let problem = Problem::new(app.clone(), placement.clone(), 0.0).map_err(message)?;
+    let ev = problem.ic_evaluator();
+    let cm = problem.cost_model();
+    let l5 = laar[0].1.clone();
+    let mut all: Vec<(String, ActivationStrategy)> = vec![
+        (
+            VariantKind::NonReplicated.label().to_owned(),
+            non_replicated(&problem, &l5),
+        ),
+        (
+            VariantKind::StaticReplication.label().to_owned(),
+            static_replication(&problem),
+        ),
+        (VariantKind::Greedy.label().to_owned(), greedy(&problem).strategy),
+    ];
+    all.extend(laar);
+
+    for (label, strategy) in all {
+        let metrics = Simulation::new(
+            app,
+            placement,
+            strategy.clone(),
+            trace,
+            FailurePlan::None,
+            SimConfig::default(),
+        )
+        .run();
+        rows.push(VariantRow {
+            label,
+            guaranteed_ic: ev.ic(&strategy, &PessimisticFailure),
+            expected_cost: cm.cost_cycles(&strategy),
+            measured_cpu: metrics.total_cpu_seconds(),
+            drops: metrics.queue_drops,
+        });
+    }
+    Ok(rows)
+}
+
+/// One `profile` row: PE name, per-port selectivities, per-port costs, and
+/// the worst relative error against the contract (NaN when per-port
+/// attribution is unidentifiable).
+pub type ProfileRow = (String, Vec<f64>, Vec<f64>, f64);
+
+/// The `profile` command: re-estimate the descriptor from probe runs and
+/// report the worst per-PE relative error against the contract.
+pub fn cmd_profile(
+    app: &Application,
+    placement: &Placement,
+    probes: usize,
+) -> Result<Vec<ProfileRow>, CliError> {
+    if probes < 2 {
+        return Err(CliError::Message("--probes must be at least 2".to_owned()));
+    }
+    let estimates = profile_application(app, placement, probes, 60.0);
+    Ok(estimates
+        .into_iter()
+        .map(|e| {
+            // Unidentifiable fan-in ports carry effective (aggregate)
+            // values; per-port error is meaningless there, so report NaN.
+            let err = if e.identifiable {
+                descriptor_error(app, &e)
+            } else {
+                f64::NAN
+            };
+            let name = app.graph().component(e.pe).name.clone();
+            (name, e.selectivity, e.cpu_cost, err)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifacts() -> (Application, Placement, InputTrace) {
+        // Seed chosen so the IC 0.7 SLA is feasible (cmd_variants needs it).
+        cmd_generate(6, 3, 1).unwrap()
+    }
+
+    #[test]
+    fn generate_solve_simulate_pipeline() {
+        let (app, placement, trace) = artifacts();
+        let solved = cmd_solve(&app, &placement, 0.5, Duration::from_secs(10), None).unwrap();
+        assert!(solved.ic >= 0.5 - 1e-9);
+        assert!(solved.label == "BST" || solved.label == "SOL");
+        let metrics = cmd_simulate(
+            &app,
+            &placement,
+            solved.strategy.clone(),
+            &trace,
+            FailurePlan::None,
+        )
+        .unwrap();
+        assert!(metrics.total_processed() > 0);
+
+        // Worst-case run through the same interface.
+        let plan = parse_failure("worst", &app, &solved.strategy).unwrap();
+        let worst = cmd_simulate(&app, &placement, solved.strategy, &trace, plan).unwrap();
+        assert!(worst.total_processed() <= metrics.total_processed());
+    }
+
+    #[test]
+    fn solve_reports_infeasible_clearly() {
+        let (app, placement, _) = artifacts();
+        let err = cmd_solve(&app, &placement, 0.999, Duration::from_secs(5), None).unwrap_err();
+        assert!(err.to_string().contains("--soft"), "{err}");
+    }
+
+    #[test]
+    fn soft_solve_always_returns() {
+        let (app, placement, _) = artifacts();
+        let soft =
+            cmd_solve(&app, &placement, 0.999, Duration::from_secs(10), Some(1e6)).unwrap();
+        assert_eq!(soft.label, "SOFT");
+        assert!(soft.ic_shortfall.unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn failure_specs_parse() {
+        let (app, _, _) = artifacts();
+        let s = ActivationStrategy::all_active(6, 2, 2);
+        assert_eq!(parse_failure("none", &app, &s).unwrap(), FailurePlan::None);
+        assert!(matches!(
+            parse_failure("worst", &app, &s).unwrap(),
+            FailurePlan::WorstCase { .. }
+        ));
+        match parse_failure("host:2@120.5", &app, &s).unwrap() {
+            FailurePlan::HostCrash { host, at, duration } => {
+                assert_eq!(host, HostId(2));
+                assert_eq!(at, 120.5);
+                assert_eq!(duration, FailurePlan::STREAMS_RECOVERY_SECS);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_failure("bogus", &app, &s).is_err());
+    }
+
+    #[test]
+    fn variants_table_is_ordered() {
+        let (app, placement, trace) = artifacts();
+        let rows = cmd_variants(&app, &placement, &trace, Duration::from_secs(10)).unwrap();
+        assert_eq!(rows.len(), 6);
+        let cost = |l: &str| {
+            rows.iter()
+                .find(|r| r.label == l)
+                .map(|r| r.expected_cost)
+                .unwrap()
+        };
+        assert!(cost("NR") <= cost("L.5") + 1e-9);
+        assert!(cost("L.5") <= cost("L.6") + 1e-9);
+        assert!(cost("L.6") <= cost("L.7") + 1e-9);
+        assert!(cost("L.7") <= cost("SR") + 1e-9);
+    }
+
+    #[test]
+    fn profile_matches_contract() {
+        let (app, placement, _) = artifacts();
+        let rows = cmd_profile(&app, &placement, 3).unwrap();
+        assert_eq!(rows.len(), 6);
+        for (name, _, _, err) in rows {
+            // NaN marks fan-in PEs whose per-port split is unidentifiable
+            // from a single proportional source (documented fallback).
+            assert!(err.is_nan() || err < 0.15, "{name}: error {err}");
+        }
+    }
+
+    #[test]
+    fn invalid_strategy_is_rejected_by_simulate() {
+        let (app, placement, trace) = artifacts();
+        let bad = ActivationStrategy::all_inactive(6, 2, 2);
+        assert!(cmd_simulate(&app, &placement, bad, &trace, FailurePlan::None).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! The `laar` command-line tool: the deployment workflow of the paper's
+//! Fig. 7 as JSON-file plumbing. Run `laar help` for usage.
+
+use laar_cli::{
+    cmd_generate, cmd_profile, cmd_simulate, cmd_solve, cmd_variants, parse_failure, CliError,
+};
+use laar_dsps::InputTrace;
+use laar_model::{ActivationStrategy, Application, Placement};
+use std::collections::HashMap;
+use std::time::Duration;
+
+const USAGE: &str = "\
+laar — Load-Adaptive Active Replication pipeline (EDBT 2014 reproduction)
+
+USAGE:
+  laar generate --pes N --hosts N [--seed N] --contract OUT --placement OUT --trace OUT
+  laar solve    --contract F --placement F --ic X [--time-limit SECS] [--soft LAMBDA] --strategy OUT
+  laar simulate --contract F --placement F --strategy F --trace F [--failure none|worst|host:<id>@<secs>] [--metrics OUT]
+  laar variants --contract F --placement F --trace F [--time-limit SECS]
+  laar profile  --contract F --placement F [--probes N]
+
+Artifacts are JSON: the contract (application graph + descriptor + billing
+period), the replicated placement, the input trace, the HAController
+strategy document (§5.1), and simulation metrics.";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| CliError::Message(format!("expected --flag, got {:?}", args[i])))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| CliError::Message(format!("--{key} needs a value")))?;
+        map.insert(key.to_owned(), value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn need<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, CliError> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| CliError::Message(format!("missing required flag --{key}")))
+}
+
+fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, CliError> {
+    Ok(serde_json::from_slice(&std::fs::read(path)?)?)
+}
+
+fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError> {
+    std::fs::write(path, serde_json::to_string_pretty(value)?)?;
+    Ok(())
+}
+
+fn run() -> Result<(), CliError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let flags = parse_flags(&argv[1..])?;
+    let time_limit = flags
+        .get("time-limit")
+        .map(|v| v.parse::<f64>().map(Duration::from_secs_f64))
+        .transpose()
+        .map_err(|e| CliError::Message(format!("bad --time-limit: {e}")))?
+        .unwrap_or(Duration::from_secs(10));
+
+    match cmd.as_str() {
+        "generate" => {
+            let pes: usize = need(&flags, "pes")?
+                .parse()
+                .map_err(|e| CliError::Message(format!("bad --pes: {e}")))?;
+            let hosts: usize = need(&flags, "hosts")?
+                .parse()
+                .map_err(|e| CliError::Message(format!("bad --hosts: {e}")))?;
+            let seed: u64 = flags
+                .get("seed")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|e| CliError::Message(format!("bad --seed: {e}")))?
+                .unwrap_or(1);
+            let (app, placement, trace) = cmd_generate(pes, hosts, seed)?;
+            write_json(need(&flags, "contract")?, &app)?;
+            write_json(need(&flags, "placement")?, &placement)?;
+            write_json(need(&flags, "trace")?, &trace)?;
+            println!(
+                "generated {} PEs on {} hosts (seed {seed}); contract, placement, and trace written",
+                pes, hosts
+            );
+        }
+        "solve" => {
+            let app: Application = read_json(need(&flags, "contract")?)?;
+            let placement: Placement = read_json(need(&flags, "placement")?)?;
+            let ic: f64 = need(&flags, "ic")?
+                .parse()
+                .map_err(|e| CliError::Message(format!("bad --ic: {e}")))?;
+            let soft = flags
+                .get("soft")
+                .map(|v| v.parse::<f64>())
+                .transpose()
+                .map_err(|e| CliError::Message(format!("bad --soft: {e}")))?;
+            let out = cmd_solve(&app, &placement, ic, time_limit, soft)?;
+            let doc = out.strategy.to_controller_json(app.graph());
+            std::fs::write(
+                need(&flags, "strategy")?,
+                serde_json::to_string_pretty(&doc)?,
+            )?;
+            println!(
+                "{}: guaranteed IC {:.4}, expected cost {:.1} cycle-units{}",
+                out.label,
+                out.ic,
+                out.cost_cycles,
+                out.ic_shortfall
+                    .map(|s| format!(", IC shortfall {s:.3} tuples/s"))
+                    .unwrap_or_default()
+            );
+        }
+        "simulate" => {
+            let app: Application = read_json(need(&flags, "contract")?)?;
+            let placement: Placement = read_json(need(&flags, "placement")?)?;
+            let trace: InputTrace = read_json(need(&flags, "trace")?)?;
+            let doc: serde_json::Value = read_json(need(&flags, "strategy")?)?;
+            let strategy = ActivationStrategy::from_controller_json(app.graph(), &doc)
+                .map_err(|e| CliError::Message(e.to_string()))?;
+            let failure = flags.get("failure").map(String::as_str).unwrap_or("none");
+            let plan = parse_failure(failure, &app, &strategy)?;
+            let metrics = cmd_simulate(&app, &placement, strategy, &trace, plan)?;
+            println!(
+                "processed {} tuples, {} sink outputs, {} drops, {:.1} CPU-s, \
+                 mean latency {:.0} ms (p99 {:.0} ms), {} fail-overs",
+                metrics.total_processed(),
+                metrics.total_sink_output(),
+                metrics.queue_drops,
+                metrics.total_cpu_seconds(),
+                1e3 * metrics.latency.mean(),
+                1e3 * metrics.latency.quantile(0.99),
+                metrics.failovers,
+            );
+            if let Some(path) = flags.get("metrics") {
+                write_json(path, &metrics)?;
+                println!("metrics written to {path}");
+            }
+        }
+        "variants" => {
+            let app: Application = read_json(need(&flags, "contract")?)?;
+            let placement: Placement = read_json(need(&flags, "placement")?)?;
+            let trace: InputTrace = read_json(need(&flags, "trace")?)?;
+            let rows = cmd_variants(&app, &placement, &trace, time_limit)?;
+            println!(
+                "{:<5} {:>9} {:>14} {:>12} {:>8}",
+                "var", "IC bound", "expected cost", "CPU-s", "drops"
+            );
+            for r in rows {
+                println!(
+                    "{:<5} {:>9.3} {:>14.1} {:>12.1} {:>8}",
+                    r.label, r.guaranteed_ic, r.expected_cost, r.measured_cpu, r.drops
+                );
+            }
+        }
+        "profile" => {
+            let app: Application = read_json(need(&flags, "contract")?)?;
+            let placement: Placement = read_json(need(&flags, "placement")?)?;
+            let probes: usize = flags
+                .get("probes")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|e| CliError::Message(format!("bad --probes: {e}")))?
+                .unwrap_or(3);
+            let rows = cmd_profile(&app, &placement, probes)?;
+            println!("{:<12} {:>32} {:>32} {:>8}", "pe", "selectivity", "cost", "err");
+            for (name, sel, cost, err) in rows {
+                println!(
+                    "{name:<12} {:>32} {:>32} {:>7.1}%",
+                    format!("{sel:.3?}"),
+                    format!("{cost:.3?}"),
+                    100.0 * err
+                );
+            }
+        }
+        "help" | "--help" | "-h" => println!("{USAGE}"),
+        other => {
+            eprintln!("unknown command {other:?}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

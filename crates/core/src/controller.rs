@@ -1,0 +1,276 @@
+//! The High Availability Controller (§4.6).
+//!
+//! The HAController is initialized with the off-line computed replica
+//! activation strategy. At runtime it receives measured source rates from
+//! the Rate Monitor, selects — through an R-tree index over the declared
+//! input configurations — the configuration that dominates the measured
+//! rates with minimal slack (never underestimating load), and, when the
+//! selected configuration changes, reliably emits activation/deactivation
+//! commands to the affected PE replicas.
+
+use crate::rtree::RTree;
+use laar_model::{ActivationStrategy, ConfigId, ConfigSpace};
+use serde::{Deserialize, Serialize};
+
+/// Addresses one replica of one PE (dense indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReplicaSlot {
+    /// Dense PE index.
+    pub pe_dense: usize,
+    /// Replica index in `0..k`.
+    pub replica: usize,
+}
+
+/// A command sent by the HAController to a PE replica's proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Command {
+    /// Resume processing (after re-synchronizing state with an active
+    /// replica).
+    Activate(ReplicaSlot),
+    /// Stop processing and enter the idle, resource-saving state.
+    Deactivate(ReplicaSlot),
+}
+
+impl Command {
+    /// The slot this command addresses.
+    pub fn slot(&self) -> ReplicaSlot {
+        match self {
+            Command::Activate(s) | Command::Deactivate(s) => *s,
+        }
+    }
+}
+
+/// Maps measured rate vectors to input configurations through an R-tree
+/// (with a componentwise-max fallback when nothing dominates).
+#[derive(Debug, Clone)]
+pub struct ConfigIndex {
+    tree: RTree,
+    max_config: ConfigId,
+}
+
+impl ConfigIndex {
+    /// Index every configuration of `space`.
+    pub fn new(space: &ConfigSpace) -> Self {
+        let points: Vec<(Vec<f64>, ConfigId)> = space
+            .configs()
+            .map(|c| (space.rate_vector(c), c))
+            .collect();
+        Self {
+            tree: RTree::bulk_load(points),
+            max_config: space.max_config(),
+        }
+    }
+
+    /// Select the configuration for a measured rate vector: the dominating
+    /// configuration with minimal L1 slack, or the componentwise-maximal
+    /// configuration when the measured rates exceed everything declared.
+    pub fn select(&self, measured: &[f64]) -> ConfigId {
+        self.tree
+            .dominating_min_slack(measured)
+            .map(|(c, _)| c)
+            .unwrap_or(self.max_config)
+    }
+}
+
+/// The HAController state machine.
+#[derive(Debug, Clone)]
+pub struct HaController {
+    strategy: ActivationStrategy,
+    index: ConfigIndex,
+    current: ConfigId,
+    switches: u64,
+}
+
+impl HaController {
+    /// Create a controller from the configuration space and the activation
+    /// strategy computed off-line by FT-Search. The initial configuration is
+    /// the componentwise-maximal one (safe until the first measurement).
+    pub fn new(space: &ConfigSpace, strategy: ActivationStrategy) -> Self {
+        let index = ConfigIndex::new(space);
+        let current = space.max_config();
+        Self {
+            strategy,
+            index,
+            current,
+            switches: 0,
+        }
+    }
+
+    /// The configuration the controller currently assumes.
+    #[inline]
+    pub fn current_config(&self) -> ConfigId {
+        self.current
+    }
+
+    /// Number of configuration switches performed so far.
+    #[inline]
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// The strategy driving this controller.
+    #[inline]
+    pub fn strategy(&self) -> &ActivationStrategy {
+        &self.strategy
+    }
+
+    /// The activation states all replicas must hold in configuration `c`,
+    /// as `(slot, active)` pairs.
+    pub fn target_states(&self, c: ConfigId) -> Vec<(ReplicaSlot, bool)> {
+        let mut out = Vec::with_capacity(self.strategy.num_pes() * self.strategy.k());
+        for pe in 0..self.strategy.num_pes() {
+            for r in 0..self.strategy.k() {
+                out.push((
+                    ReplicaSlot {
+                        pe_dense: pe,
+                        replica: r,
+                    },
+                    self.strategy.is_active(pe, c, r),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Commands bringing a fresh deployment (everything active, as deployed)
+    /// into the current configuration's target state.
+    pub fn initial_commands(&self) -> Vec<Command> {
+        self.target_states(self.current)
+            .into_iter()
+            .filter(|(_, active)| !active)
+            .map(|(slot, _)| Command::Deactivate(slot))
+            .collect()
+    }
+
+    /// Feed a measured rate vector; if the selected configuration changes,
+    /// returns the activation/deactivation commands for exactly the replicas
+    /// whose state differs between the two configurations.
+    pub fn on_measured_rates(&mut self, measured: &[f64]) -> Vec<Command> {
+        let next = self.index.select(measured);
+        if next == self.current {
+            return Vec::new();
+        }
+        let prev = self.current;
+        self.current = next;
+        self.switches += 1;
+        let mut commands = Vec::new();
+        for pe in 0..self.strategy.num_pes() {
+            for r in 0..self.strategy.k() {
+                let was = self.strategy.is_active(pe, prev, r);
+                let now = self.strategy.is_active(pe, next, r);
+                let slot = ReplicaSlot {
+                    pe_dense: pe,
+                    replica: r,
+                };
+                match (was, now) {
+                    (false, true) => commands.push(Command::Activate(slot)),
+                    (true, false) => commands.push(Command::Deactivate(slot)),
+                    _ => {}
+                }
+            }
+        }
+        commands
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laar_model::{ConfigSpace, GraphBuilder};
+
+    fn space() -> ConfigSpace {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("s");
+        let p1 = b.add_pe("p1");
+        let p2 = b.add_pe("p2");
+        let k = b.add_sink("k");
+        b.connect(s, p1, 1.0, 100.0).unwrap();
+        b.connect(p1, p2, 1.0, 100.0).unwrap();
+        b.connect_sink(p2, k).unwrap();
+        let g = b.build().unwrap();
+        ConfigSpace::new(&g, vec![vec![4.0, 8.0]], vec![0.8, 0.2]).unwrap()
+    }
+
+    /// Fig. 2b strategy: both replicas in Low, staggered singles in High.
+    fn fig2b_strategy() -> ActivationStrategy {
+        let mut s = ActivationStrategy::all_active(2, 2, 2);
+        s.set_active(0, ConfigId(1), 1, false);
+        s.set_active(1, ConfigId(1), 0, false);
+        s
+    }
+
+    #[test]
+    fn starts_in_max_config() {
+        let ctl = HaController::new(&space(), fig2b_strategy());
+        assert_eq!(ctl.current_config(), ConfigId(1));
+        // Initial commands deactivate the two replicas inactive at High.
+        let cmds = ctl.initial_commands();
+        assert_eq!(cmds.len(), 2);
+        assert!(cmds.iter().all(|c| matches!(c, Command::Deactivate(_))));
+    }
+
+    #[test]
+    fn switch_to_low_activates_all() {
+        let mut ctl = HaController::new(&space(), fig2b_strategy());
+        let cmds = ctl.on_measured_rates(&[3.5]);
+        assert_eq!(ctl.current_config(), ConfigId(0));
+        assert_eq!(cmds.len(), 2);
+        assert!(cmds.iter().all(|c| matches!(c, Command::Activate(_))));
+        assert_eq!(ctl.switches(), 1);
+    }
+
+    #[test]
+    fn no_commands_when_config_unchanged() {
+        let mut ctl = HaController::new(&space(), fig2b_strategy());
+        ctl.on_measured_rates(&[3.5]);
+        let cmds = ctl.on_measured_rates(&[3.9]);
+        assert!(cmds.is_empty());
+        assert_eq!(ctl.switches(), 1);
+    }
+
+    #[test]
+    fn spike_beyond_declared_rates_uses_max_config() {
+        let mut ctl = HaController::new(&space(), fig2b_strategy());
+        ctl.on_measured_rates(&[3.5]);
+        let cmds = ctl.on_measured_rates(&[11.0]);
+        assert_eq!(ctl.current_config(), ConfigId(1));
+        assert_eq!(cmds.len(), 2);
+        assert!(cmds.iter().all(|c| matches!(c, Command::Deactivate(_))));
+    }
+
+    #[test]
+    fn selection_never_underestimates() {
+        let ctl = HaController::new(&space(), fig2b_strategy());
+        // 4.1 t/s must select High (4.0 would underestimate).
+        assert_eq!(ctl.index.select(&[4.1]), ConfigId(1));
+        assert_eq!(ctl.index.select(&[4.0]), ConfigId(0));
+    }
+
+    #[test]
+    fn round_trip_low_high_low() {
+        let mut ctl = HaController::new(&space(), fig2b_strategy());
+        let to_low = ctl.on_measured_rates(&[2.0]);
+        let to_high = ctl.on_measured_rates(&[7.5]);
+        let back_low = ctl.on_measured_rates(&[1.0]);
+        assert_eq!(to_low.len(), 2);
+        assert_eq!(to_high.len(), 2);
+        assert_eq!(back_low.len(), 2);
+        // High->Low activates exactly the replicas Low->High deactivated.
+        let deact: Vec<_> = to_high.iter().map(|c| c.slot()).collect();
+        let react: Vec<_> = back_low.iter().map(|c| c.slot()).collect();
+        assert_eq!(deact, react);
+        assert_eq!(ctl.switches(), 3);
+    }
+
+    #[test]
+    fn target_states_match_strategy() {
+        let ctl = HaController::new(&space(), fig2b_strategy());
+        let states = ctl.target_states(ConfigId(1));
+        let inactive: Vec<_> = states
+            .iter()
+            .filter(|(_, a)| !a)
+            .map(|(s, _)| (s.pe_dense, s.replica))
+            .collect();
+        assert_eq!(inactive, vec![(0, 1), (1, 0)]);
+    }
+}

@@ -1,0 +1,280 @@
+//! The execution cost model (eq. 13) and per-host CPU loads (eq. 11).
+//!
+//! The cost of running a strategy `s` over a billing period `T` is the total
+//! CPU consumed by all *active* replicas:
+//!
+//! ```text
+//! cost(s) = T · Σ_{c, x̃ᵢ,ₕ ∈ P̃, xⱼ ∈ pred(xᵢ)} P_C(c) · γ(xⱼ,xᵢ) · Δ(xⱼ,c) · s(x̃ᵢ,ₕ, c)
+//! ```
+//!
+//! Cost uses the *failure-free* rates `Δ` (a provider provisions for the
+//! no-failure case). The CPU constraint requires, for every host `h` and
+//! configuration `c`, that the cycles/s demanded by the active replicas
+//! assigned to `h` stay below the host capacity `K`.
+
+use crate::error::Violation;
+use laar_model::{ActivationStrategy, Application, ConfigId, HostId, Placement, RateTable};
+
+/// Cost and load computations for one (application, placement) pair.
+#[derive(Debug, Clone)]
+pub struct CostModel<'a> {
+    app: &'a Application,
+    placement: &'a Placement,
+    rates: &'a RateTable,
+}
+
+impl<'a> CostModel<'a> {
+    /// Build a cost model. The placement must cover the application's PEs.
+    pub fn new(app: &'a Application, placement: &'a Placement, rates: &'a RateTable) -> Self {
+        debug_assert_eq!(placement.num_pes(), app.graph().num_pes());
+        Self {
+            app,
+            placement,
+            rates,
+        }
+    }
+
+    /// The CPU load (cycles/s) one active replica of PE `pe_dense` imposes in
+    /// configuration `c` — the `Σⱼ γ(xⱼ,xᵢ)·Δ(xⱼ,c)` term shared by eq. 11
+    /// and eq. 13.
+    #[inline]
+    pub fn replica_load(&self, pe_dense: usize, c: ConfigId) -> f64 {
+        self.rates.pe_input_load(pe_dense, c)
+    }
+
+    /// Total expected cost of a strategy in CPU *cycles* over the billing
+    /// period `T` (eq. 13 verbatim).
+    pub fn cost_cycles(&self, s: &ActivationStrategy) -> f64 {
+        let cs = self.app.configs();
+        let np = self.app.graph().num_pes();
+        let k = self.placement.k();
+        let mut total = 0.0;
+        for c in cs.configs() {
+            let pc = cs.prob(c);
+            if pc == 0.0 {
+                continue;
+            }
+            for pe in 0..np {
+                let load = self.replica_load(pe, c);
+                for r in 0..k {
+                    if s.is_active(pe, c, r) {
+                        total += pc * load;
+                    }
+                }
+            }
+        }
+        self.app.billing_period() * total
+    }
+
+    /// Cost expressed as expected CPU *seconds*, assuming each replica runs
+    /// on its assigned host: cycles divided by that host's capacity. With
+    /// homogeneous hosts this is `cost_cycles / K`.
+    pub fn cost_cpu_seconds(&self, s: &ActivationStrategy) -> f64 {
+        let cs = self.app.configs();
+        let np = self.app.graph().num_pes();
+        let k = self.placement.k();
+        let mut total = 0.0;
+        for c in cs.configs() {
+            let pc = cs.prob(c);
+            if pc == 0.0 {
+                continue;
+            }
+            for pe in 0..np {
+                let load = self.replica_load(pe, c);
+                for r in 0..k {
+                    if s.is_active(pe, c, r) {
+                        let cap = self.placement.capacity(self.placement.host_of(pe, r));
+                        total += pc * load / cap;
+                    }
+                }
+            }
+        }
+        self.app.billing_period() * total
+    }
+
+    /// The CPU load (cycles/s) on host `h` in configuration `c` under
+    /// strategy `s` — the left-hand side of eq. 11.
+    pub fn host_load(&self, s: &ActivationStrategy, h: HostId, c: ConfigId) -> f64 {
+        self.placement
+            .replicas_on(h)
+            .into_iter()
+            .filter(|&(pe, r)| s.is_active(pe, c, r))
+            .map(|(pe, _)| self.replica_load(pe, c))
+            .sum()
+    }
+
+    /// All `(host, config)` loads as a dense matrix `[host][config]`.
+    pub fn host_load_matrix(&self, s: &ActivationStrategy) -> Vec<Vec<f64>> {
+        let nh = self.placement.num_hosts();
+        let nq = self.app.configs().num_configs();
+        let np = self.app.graph().num_pes();
+        let k = self.placement.k();
+        let mut m = vec![vec![0.0f64; nq]; nh];
+        for pe in 0..np {
+            for r in 0..k {
+                let h = self.placement.host_of(pe, r).index();
+                for c in self.app.configs().configs() {
+                    if s.is_active(pe, c, r) {
+                        m[h][c.index()] += self.replica_load(pe, c);
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Check eq. 11 for every host and configuration; returns the first
+    /// violation found, if any.
+    pub fn check_no_overload(&self, s: &ActivationStrategy) -> Result<(), Violation> {
+        let m = self.host_load_matrix(s);
+        for (h, row) in m.iter().enumerate() {
+            let cap = self.placement.hosts()[h].capacity;
+            for (c, &load) in row.iter().enumerate() {
+                if load >= cap {
+                    return Err(Violation::HostOverloaded {
+                        host: HostId(h as u32),
+                        config: ConfigId(c as u32),
+                        load,
+                        capacity: cap,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The application this model evaluates.
+    #[inline]
+    pub fn app(&self) -> &Application {
+        self.app
+    }
+
+    /// The placement this model evaluates against.
+    #[inline]
+    pub fn placement(&self) -> &Placement {
+        self.placement
+    }
+
+    /// The precomputed rate table.
+    #[inline]
+    pub fn rates(&self) -> &RateTable {
+        self.rates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laar_model::{Application, ConfigSpace, GraphBuilder, Host, Placement};
+
+    /// Fig. 1/2 deployment: 2 PEs, 2 hosts of 1000 cycles/s, cost 100
+    /// cycles/tuple, Low 4 t/s (p .8) / High 8 t/s (p .2), replica r of each
+    /// PE on host r.
+    fn fig2() -> (Application, Placement) {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("src");
+        let p1 = b.add_pe("pe1");
+        let p2 = b.add_pe("pe2");
+        let k = b.add_sink("sink");
+        b.connect(s, p1, 1.0, 100.0).unwrap();
+        b.connect(p1, p2, 1.0, 100.0).unwrap();
+        b.connect_sink(p2, k).unwrap();
+        let g = b.build().unwrap();
+        let cs = ConfigSpace::new(&g, vec![vec![4.0, 8.0]], vec![0.8, 0.2]).unwrap();
+        let hosts = vec![
+            Host {
+                id: HostId(0),
+                name: "h0".into(),
+                capacity: 1000.0,
+            },
+            Host {
+                id: HostId(1),
+                name: "h1".into(),
+                capacity: 1000.0,
+            },
+        ];
+        let assignment = vec![HostId(0), HostId(1), HostId(0), HostId(1)];
+        let placement = Placement::new(&g, 2, hosts, assignment).unwrap();
+        let app = Application::new("fig2", g, cs, 300.0).unwrap();
+        (app, placement)
+    }
+
+    #[test]
+    fn fig2_static_replication_overloads_at_high() {
+        let (app, placement) = fig2();
+        let rates = RateTable::compute(&app);
+        let cm = CostModel::new(&app, &placement, &rates);
+        let s = ActivationStrategy::all_active(2, 2, 2);
+        // At Low each host runs 2 replicas at 400 cycles/s = 800 < 1000: fine.
+        assert_eq!(cm.host_load(&s, HostId(0), ConfigId(0)), 800.0);
+        assert!(cm.check_no_overload(&s).is_err());
+        // The violation is at High: 2 * 800 = 1600 > 1000.
+        match cm.check_no_overload(&s).unwrap_err() {
+            Violation::HostOverloaded { config, load, .. } => {
+                assert_eq!(config, ConfigId(1));
+                assert_eq!(load, 1600.0);
+            }
+            v => panic!("unexpected violation {v:?}"),
+        }
+    }
+
+    #[test]
+    fn fig2b_deactivation_fits() {
+        let (app, placement) = fig2();
+        let rates = RateTable::compute(&app);
+        let cm = CostModel::new(&app, &placement, &rates);
+        // Fig. 2b: at High deactivate pe1 replica 1 and pe2 replica 0.
+        let mut s = ActivationStrategy::all_active(2, 2, 2);
+        s.set_active(0, ConfigId(1), 1, false);
+        s.set_active(1, ConfigId(1), 0, false);
+        cm.check_no_overload(&s).unwrap();
+        assert_eq!(cm.host_load(&s, HostId(0), ConfigId(1)), 800.0);
+        assert_eq!(cm.host_load(&s, HostId(1), ConfigId(1)), 800.0);
+    }
+
+    #[test]
+    fn cost_cycles_eq13() {
+        let (app, placement) = fig2();
+        let rates = RateTable::compute(&app);
+        let cm = CostModel::new(&app, &placement, &rates);
+        let sr = ActivationStrategy::all_active(2, 2, 2);
+        // Per config load per replica: Low 400, High 800. 4 active replicas.
+        // cost = 300 * (0.8*4*400 + 0.2*4*800) = 300 * (1280 + 640)
+        assert!((cm.cost_cycles(&sr) - 300.0 * 1920.0).abs() < 1e-6);
+        // CPU-seconds on 1000-cycle hosts.
+        assert!((cm.cost_cpu_seconds(&sr) - 300.0 * 1.92).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deactivation_reduces_cost() {
+        let (app, placement) = fig2();
+        let rates = RateTable::compute(&app);
+        let cm = CostModel::new(&app, &placement, &rates);
+        let sr = ActivationStrategy::all_active(2, 2, 2);
+        let mut laar = sr.clone();
+        laar.set_active(0, ConfigId(1), 1, false);
+        laar.set_active(1, ConfigId(1), 0, false);
+        assert!(cm.cost_cycles(&laar) < cm.cost_cycles(&sr));
+        // Exactly the High-config share of two replicas is saved:
+        // 300 * 0.2 * 2 * 800 = 96000 cycles.
+        assert!((cm.cost_cycles(&sr) - cm.cost_cycles(&laar) - 96_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn host_load_matrix_matches_pointwise() {
+        let (app, placement) = fig2();
+        let rates = RateTable::compute(&app);
+        let cm = CostModel::new(&app, &placement, &rates);
+        let mut s = ActivationStrategy::all_active(2, 2, 2);
+        s.set_active(1, ConfigId(0), 1, false);
+        let m = cm.host_load_matrix(&s);
+        for h in 0..2 {
+            for c in 0..2 {
+                assert_eq!(
+                    m[h][c],
+                    cm.host_load(&s, HostId(h as u32), ConfigId(c as u32))
+                );
+            }
+        }
+    }
+}

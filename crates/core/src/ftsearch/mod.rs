@@ -1,0 +1,759 @@
+//! FT-Search (§4.5): a constraint-programming-style branch-and-bound solver
+//! for the LAAR replica-activation optimization problem (eqs. 9–12).
+//!
+//! FT-Search explores the tree of PE activation states per input
+//! configuration (domain `{OnlyR0, OnlyR1, Both}`, i.e. `3^(|P|·|C|)` leaves
+//! for two-fold replication) depth-first with backtracking, cutting branches
+//! with four pruning strategies:
+//!
+//! 1. **CPU** — the partial assignment already overloads some host (eq. 11);
+//! 2. **COMPL** — an upper bound on the achievable IC falls below the SLA
+//!    goal (eq. 10);
+//! 3. **COST** — a lower bound on the achievable cost is no better than the
+//!    incumbent solution;
+//! 4. **DOM** — forward domain propagation: when every predecessor of a PE
+//!    is single-replicated in a configuration, full replication of that PE
+//!    cannot improve IC, so `Both` is removed from its domain ("no
+//!    replication forwarding").
+//!
+//! The search runs under a wall-clock limit (the paper used 10 minutes) and
+//! classifies its result as the paper does in Fig. 4: `BST` (proved optimal),
+//! `SOL` (feasible, possibly suboptimal), `NUL` (proved infeasible), or
+//! `TMO` (timed out with nothing).
+//!
+//! [`solve`] is the sequential solver; [`solve_parallel`] splits the top of
+//! the tree across threads with a shared incumbent (the paper used the
+//! JSR-166 Fork/Join framework; we use `rayon`).
+
+pub mod decompose;
+mod prep;
+mod search;
+pub mod stats;
+
+pub use decompose::{solve_best_effort, solve_decomposed, solve_soft, SoftSolution};
+pub use stats::{PruneKind, SearchStats};
+
+use crate::error::CoreError;
+use crate::ic::PessimisticFailure;
+use crate::problem::Problem;
+use laar_model::ActivationStrategy;
+use parking_lot::Mutex;
+use prep::Prep;
+use search::{Engine, RawSolution, Val};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Tunables for one FT-Search run.
+#[derive(Debug, Clone)]
+pub struct FtSearchConfig {
+    /// Wall-clock limit; the paper used 10 minutes.
+    pub time_limit: Duration,
+    /// Enable pruning on the CPU constraint.
+    pub prune_cpu: bool,
+    /// Enable pruning on the IC upper bound.
+    pub prune_compl: bool,
+    /// Enable pruning on the cost lower bound.
+    pub prune_cost: bool,
+    /// Enable forward domain propagation.
+    pub prune_dom: bool,
+    /// Seed the search with a greedy feasible incumbent before exploring
+    /// (tightens COST pruning from the first node and guarantees a `SOL`
+    /// outcome on timeout whenever the greedy strategy is feasible). The
+    /// paper's FT-Search starts cold; disable for algorithm-faithful
+    /// first-solution statistics (Fig. 5).
+    pub seed_incumbent: bool,
+    /// Optional deterministic node budget: the search stops (as a timeout)
+    /// after visiting this many nodes. Unlike the wall-clock limit this is
+    /// reproducible across machines and runs.
+    pub node_limit: Option<u64>,
+    /// Worker threads for [`solve_parallel`] (`0` = rayon's default).
+    pub threads: usize,
+}
+
+impl Default for FtSearchConfig {
+    fn default() -> Self {
+        Self {
+            time_limit: Duration::from_secs(600),
+            prune_cpu: true,
+            prune_compl: true,
+            prune_cost: true,
+            prune_dom: true,
+            seed_incumbent: true,
+            node_limit: None,
+            threads: 0,
+        }
+    }
+}
+
+impl FtSearchConfig {
+    /// A configuration with the given time limit and all prunings enabled.
+    pub fn with_time_limit(time_limit: Duration) -> Self {
+        Self {
+            time_limit,
+            ..Self::default()
+        }
+    }
+}
+
+/// A feasible activation strategy with its objective values.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The activation strategy.
+    pub strategy: ActivationStrategy,
+    /// `cost(s)` per eq. 13, in CPU cycles over the billing period `T`.
+    pub cost_cycles: f64,
+    /// Guaranteed IC under the pessimistic failure model (eq. 14).
+    pub ic: f64,
+}
+
+/// Result of an FT-Search run, classified as in Fig. 4 of the paper.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// `BST`: the search exhausted the tree; the solution is optimal.
+    Optimal(Solution),
+    /// `SOL`: the time limit expired; the solution is feasible but not
+    /// proved optimal.
+    Feasible(Solution),
+    /// `NUL`: the search exhausted the tree without finding any feasible
+    /// solution; the instance is proved infeasible.
+    Infeasible,
+    /// `TMO`: the time limit expired before any feasible solution was found.
+    Timeout,
+}
+
+impl Outcome {
+    /// The solution, if any.
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            Outcome::Optimal(s) | Outcome::Feasible(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The paper's four-letter label for this outcome.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Optimal(_) => "BST",
+            Outcome::Feasible(_) => "SOL",
+            Outcome::Infeasible => "NUL",
+            Outcome::Timeout => "TMO",
+        }
+    }
+}
+
+/// An FT-Search run's outcome together with its search statistics.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// The classified outcome.
+    pub outcome: Outcome,
+    /// Collected statistics (node counts, prune accounting, timings).
+    pub stats: SearchStats,
+}
+
+/// Shared incumbent for parallel workers: the best cost seen (as `f64` bits
+/// in an atomic) plus the corresponding raw solution.
+pub(crate) struct SharedBest {
+    cost_bits: AtomicU64,
+    sol: Mutex<Option<RawSolution>>,
+    cancelled: AtomicBool,
+}
+
+impl SharedBest {
+    fn new() -> Self {
+        Self {
+            cost_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            sol: Mutex::new(None),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn cost(&self) -> f64 {
+        f64::from_bits(self.cost_bits.load(Ordering::Acquire))
+    }
+
+    #[inline]
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Install `sol` if it improves the shared incumbent.
+    pub(crate) fn offer(&self, sol: &RawSolution) {
+        let mut cur = self.cost_bits.load(Ordering::Acquire);
+        loop {
+            if sol.cost_rate >= f64::from_bits(cur) {
+                return;
+            }
+            match self.cost_bits.compare_exchange_weak(
+                cur,
+                sol.cost_rate.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        let mut guard = self.sol.lock();
+        match guard.as_ref() {
+            Some(existing) if existing.cost_rate <= sol.cost_rate => {}
+            _ => *guard = Some(sol.clone()),
+        }
+    }
+}
+
+/// Build a greedy feasible incumbent: all replicas active everywhere, then
+/// per configuration deactivate replicas on overloaded hosts —
+/// most-downstream PEs first, so upstream `Δ̂` chains survive and the IC
+/// damage stays small. Returns `None` when the result violates the IC goal
+/// or cannot unload some host.
+fn greedy_seed(prep: &Prep) -> Option<RawSolution> {
+    // Two unloading heuristics; keep the cheaper feasible result.
+    let a = greedy_seed_with(prep, SeedHeuristic::DownstreamFirst);
+    let b = greedy_seed_with(prep, SeedHeuristic::CheapestIcPerLoad);
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if x.cost_rate <= y.cost_rate { x } else { y }),
+        (x, y) => x.or(y),
+    }
+}
+
+/// Candidate-selection rule used when the greedy seed unloads a host.
+#[derive(Clone, Copy)]
+enum SeedHeuristic {
+    /// Deactivate the most-downstream fully replicated PE on the host
+    /// (preserves upstream `Δ̂` chains).
+    DownstreamFirst,
+    /// Deactivate the PE with the smallest FIC contribution per unit of
+    /// load relieved (directly IC-aware; better at strict IC goals).
+    CheapestIcPerLoad,
+}
+
+fn greedy_seed_with(prep: &Prep, heuristic: SeedHeuristic) -> Option<RawSolution> {
+    let nq = prep.num_configs;
+    let mut assign = vec![Val::Both as u8; prep.num_vars];
+    for c in 0..nq {
+        let mut load = vec![0.0f64; prep.num_hosts];
+        for pe in 0..prep.num_pes {
+            let l = prep.replica_load[pe * nq + c];
+            load[prep.host_of[pe][0] as usize] += l;
+            load[prep.host_of[pe][1] as usize] += l;
+        }
+        loop {
+            let over = (0..prep.num_hosts)
+                .filter(|&h| load[h] >= prep.cap[h])
+                .max_by(|&a, &b| {
+                    (load[a] / prep.cap[a])
+                        .partial_cmp(&(load[b] / prep.cap[b]))
+                        .unwrap()
+                });
+            let Some(h) = over else { break };
+            // Fully replicated PEs with a replica on h.
+            let mut cand: Option<(usize, usize, f64)> = None;
+            for pe in 0..prep.num_pes {
+                let v = prep.var_index[pe * nq + c];
+                if assign[v] != Val::Both as u8 {
+                    continue;
+                }
+                for r in 0..2usize {
+                    if prep.host_of[pe][r] as usize != h {
+                        continue;
+                    }
+                    let better = match heuristic {
+                        // Highest dense index = most downstream.
+                        SeedHeuristic::DownstreamFirst => {
+                            cand.is_none_or(|(p, _, _)| pe > p)
+                        }
+                        SeedHeuristic::CheapestIcPerLoad => {
+                            let l = prep.replica_load[pe * nq + c].max(1e-12);
+                            let score = prep.w_ic[v] / l;
+                            cand.is_none_or(|(_, _, s)| score < s)
+                        }
+                    };
+                    if better {
+                        let score = match heuristic {
+                            SeedHeuristic::DownstreamFirst => 0.0,
+                            SeedHeuristic::CheapestIcPerLoad => {
+                                prep.w_ic[v] / prep.replica_load[pe * nq + c].max(1e-12)
+                            }
+                        };
+                        cand = Some((pe, r, score));
+                    }
+                }
+            }
+            let (pe, r, _) = cand?;
+            let v = prep.var_index[pe * nq + c];
+            assign[v] = if r == 0 { Val::Only1 } else { Val::Only0 } as u8;
+            load[h] -= prep.replica_load[pe * nq + c];
+        }
+    }
+    let (cost_rate, fic_rate, max_rel) = search::evaluate_assignment(prep, &assign);
+    (fic_rate >= prep.goal_fic * (1.0 - 1e-9) && max_rel < 1.0).then_some(RawSolution {
+        assign,
+        cost_rate,
+        fic_rate,
+    })
+}
+
+fn raw_to_solution(problem: &Problem, prep: &Prep, raw: &RawSolution) -> Solution {
+    let sol = raw_to_solution_parts(problem, prep, &raw.assign);
+    debug_assert!(
+        (raw.fic_rate * problem.app.billing_period()
+            - problem
+                .ic_evaluator()
+                .fic(&sol.strategy, &PessimisticFailure))
+        .abs()
+            < 1e-6 * problem.ic_evaluator().bic().max(1.0)
+    );
+    sol
+}
+
+/// Convert a complete raw assignment (in `Prep` variable order) into a
+/// [`Solution`], recomputing objectives through the public evaluators so the
+/// reported numbers agree with `Problem::check`.
+pub(crate) fn raw_to_solution_parts(problem: &Problem, prep: &Prep, assign: &[u8]) -> Solution {
+    let nq = prep.num_configs;
+    let mut strategy = ActivationStrategy::all_inactive(prep.num_pes, nq, 2);
+    for (v, var) in prep.vars.iter().enumerate() {
+        let pe = var.pe as usize;
+        let c = var.cfg;
+        match assign[v] {
+            x if x == Val::Both as u8 => {
+                strategy.set_active(pe, c, 0, true);
+                strategy.set_active(pe, c, 1, true);
+            }
+            x if x == Val::Only0 as u8 => strategy.set_active(pe, c, 0, true),
+            x if x == Val::Only1 as u8 => strategy.set_active(pe, c, 1, true),
+            _ => unreachable!("complete assignment expected"),
+        }
+    }
+    // Recompute objective values through the public evaluators so the
+    // reported numbers agree with `Problem::check`.
+    let ev = problem.ic_evaluator();
+    let ic = ev.ic(&strategy, &PessimisticFailure);
+    let cm = problem.cost_model();
+    let cost_cycles = cm.cost_cycles(&strategy);
+    Solution {
+        strategy,
+        cost_cycles,
+        ic,
+    }
+}
+
+fn classify(
+    problem: &Problem,
+    prep: &Prep,
+    best: Option<RawSolution>,
+    timed_out: bool,
+) -> Outcome {
+    match (best, timed_out) {
+        (Some(raw), false) => Outcome::Optimal(raw_to_solution(problem, prep, &raw)),
+        (Some(raw), true) => Outcome::Feasible(raw_to_solution(problem, prep, &raw)),
+        (None, false) => Outcome::Infeasible,
+        (None, true) => Outcome::Timeout,
+    }
+}
+
+/// Convert a complete strategy into a raw incumbent, provided it is
+/// feasible for this problem (eq. 12 shape, CPU fit, IC goal).
+fn strategy_to_raw(prep: &Prep, strategy: &ActivationStrategy) -> Option<RawSolution> {
+    if strategy.num_pes() != prep.num_pes
+        || strategy.num_configs() != prep.num_configs
+        || strategy.k() != 2
+    {
+        return None;
+    }
+    let mut assign = vec![0u8; prep.num_vars];
+    for (v, var) in prep.vars.iter().enumerate() {
+        let pe = var.pe as usize;
+        let a0 = strategy.is_active(pe, var.cfg, 0);
+        let a1 = strategy.is_active(pe, var.cfg, 1);
+        assign[v] = match (a0, a1) {
+            (true, true) => Val::Both,
+            (true, false) => Val::Only0,
+            (false, true) => Val::Only1,
+            (false, false) => return None,
+        } as u8;
+    }
+    let (cost_rate, fic_rate, max_rel) = search::evaluate_assignment(prep, &assign);
+    (fic_rate >= prep.goal_fic * (1.0 - 1e-9) && max_rel < 1.0).then_some(RawSolution {
+        assign,
+        cost_rate,
+        fic_rate,
+    })
+}
+
+/// The cheapest feasible incumbent among the greedy seed and a caller-
+/// provided warm-start strategy.
+fn best_seed(
+    prep: &Prep,
+    opts: &FtSearchConfig,
+    warm_start: Option<&ActivationStrategy>,
+) -> Option<RawSolution> {
+    let mut best: Option<RawSolution> = None;
+    let mut offer = |cand: Option<RawSolution>| {
+        if let Some(c) = cand {
+            match &best {
+                Some(b) if b.cost_rate <= c.cost_rate => {}
+                _ => best = Some(c),
+            }
+        }
+    };
+    if opts.seed_incumbent {
+        offer(greedy_seed(prep));
+    }
+    offer(warm_start.and_then(|s| strategy_to_raw(prep, s)));
+    best
+}
+
+/// A fast deterministic estimate of the cheapest feasible cost-rate for
+/// this problem: a greedy-seeded FT-Search run under a fixed node budget.
+/// Used by the placement local search ([`crate::placement_opt`]) to rank
+/// candidate placements without a full solve per move. Returns `None` when
+/// no feasible strategy was found within the budget.
+pub fn budgeted_cost_rate(problem: &Problem, node_budget: u64) -> Option<f64> {
+    if problem.k() != 2 {
+        return None;
+    }
+    let opts = FtSearchConfig {
+        node_limit: Some(node_budget),
+        ..FtSearchConfig::default()
+    };
+    let report = solve(problem, &opts).ok()?;
+    report
+        .outcome
+        .solution()
+        .map(|s| s.cost_cycles / problem.app.billing_period())
+}
+
+/// Run sequential FT-Search on a problem.
+///
+/// # Errors
+///
+/// Returns [`CoreError::UnsupportedReplication`] unless the placement uses
+/// `k = 2` (the paper's FT-Search restriction).
+pub fn solve(problem: &Problem, opts: &FtSearchConfig) -> Result<SearchReport, CoreError> {
+    solve_with_warm_start(problem, opts, None)
+}
+
+/// Run sequential FT-Search with an optional warm-start strategy installed
+/// as the initial incumbent when it is feasible for this problem. Useful for
+/// cascades over decreasing IC requirements: a solution guaranteeing IC 0.7
+/// is feasible for the 0.6 and 0.5 problems, so solving strictest-first and
+/// warm-starting the rest guarantees cost monotonicity across the cascade
+/// even under tight time limits.
+pub fn solve_with_warm_start(
+    problem: &Problem,
+    opts: &FtSearchConfig,
+    warm_start: Option<&ActivationStrategy>,
+) -> Result<SearchReport, CoreError> {
+    if problem.k() != 2 {
+        return Err(CoreError::UnsupportedReplication { k: problem.k() });
+    }
+    let prep = Prep::build(problem);
+    let start = Instant::now();
+    let deadline = start + opts.time_limit;
+    let mut engine = Engine::new(&prep, opts, start, deadline, None);
+    if let Some(seed) = best_seed(&prep, opts, warm_start) {
+        engine.set_seed(seed);
+    }
+    let (best, timed_out) = engine.run(0);
+    let stats = engine.stats.clone();
+    Ok(SearchReport {
+        outcome: classify(problem, &prep, best, timed_out),
+        stats,
+    })
+}
+
+/// Enumerate all non-CPU-pruned prefixes of length `depth` as parallel tasks.
+fn enumerate_prefixes(depth: usize) -> Vec<Vec<Val>> {
+    let mut out: Vec<Vec<Val>> = vec![Vec::new()];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(out.len() * 3);
+        for p in &out {
+            for v in [Val::Only0, Val::Only1, Val::Both] {
+                let mut q = p.clone();
+                q.push(v);
+                next.push(q);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Run FT-Search with the top `split_depth` levels of the tree fanned out
+/// over a rayon thread pool, sharing the incumbent cost bound across workers
+/// (the parallel implementation of §4.5).
+///
+/// Worker statistics are merged; `time_to_first`/`time_to_best` reflect the
+/// earliest/cheapest across workers.
+pub fn solve_parallel(problem: &Problem, opts: &FtSearchConfig) -> Result<SearchReport, CoreError> {
+    if problem.k() != 2 {
+        return Err(CoreError::UnsupportedReplication { k: problem.k() });
+    }
+    let prep = Prep::build(problem);
+    let threads = if opts.threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        opts.threads
+    };
+    // Split deep enough to get a few tasks per thread, shallow enough that
+    // prefix duplication stays negligible.
+    let mut split_depth = 0usize;
+    while 3usize.pow(split_depth as u32) < threads * 4 && split_depth < prep.num_vars {
+        split_depth += 1;
+    }
+    if split_depth == 0 || prep.num_vars == 0 {
+        return solve(problem, opts);
+    }
+
+    let start = Instant::now();
+    let deadline = start + opts.time_limit;
+    let shared = SharedBest::new();
+    if opts.seed_incumbent {
+        if let Some(seed) = greedy_seed(&prep) {
+            shared.offer(&seed);
+        }
+    }
+    let prefixes = enumerate_prefixes(split_depth);
+
+    let run_task = |prefix: &Vec<Val>| -> (Option<RawSolution>, bool, SearchStats) {
+        let mut engine = Engine::new(&prep, opts, start, deadline, Some(&shared));
+        if !engine.push_prefix(prefix) {
+            let stats = engine.stats.clone();
+            return (None, false, stats);
+        }
+        let (best, timed_out) = engine.run(split_depth);
+        let stats = engine.stats.clone();
+        (best, timed_out, stats)
+    };
+
+    let results: Vec<(Option<RawSolution>, bool, SearchStats)> = if opts.threads == 1 {
+        prefixes.iter().map(run_task).collect()
+    } else {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        pool.install(|| {
+            use rayon::prelude::*;
+            prefixes.par_iter().map(run_task).collect()
+        })
+    };
+
+    let mut stats = SearchStats::default();
+    let mut best: Option<RawSolution> = None;
+    let mut timed_out = false;
+    for (sol, to, st) in results {
+        stats.merge(&st);
+        timed_out |= to;
+        if let Some(s) = sol {
+            match &best {
+                Some(b) if b.cost_rate <= s.cost_rate => {}
+                _ => best = Some(s),
+            }
+        }
+    }
+    // The shared incumbent may hold a solution found by a worker whose local
+    // best was later overwritten; prefer the cheapest overall.
+    if let Some(shared_sol) = shared.sol.lock().take() {
+        match &best {
+            Some(b) if b.cost_rate <= shared_sol.cost_rate => {}
+            _ => best = Some(shared_sol),
+        }
+    }
+    stats.proved = !timed_out;
+    stats.elapsed = start.elapsed();
+    Ok(SearchReport {
+        outcome: classify(problem, &prep, best, timed_out),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ic::PessimisticFailure;
+    use crate::testutil::{chain_problem, diamond_problem, fig2_problem};
+    use laar_model::ConfigId;
+
+    #[test]
+    fn fig2_outcome_is_optimal_and_feasible() {
+        let p = fig2_problem(0.6);
+        let report = solve(&p, &FtSearchConfig::default()).unwrap();
+        let sol = match &report.outcome {
+            Outcome::Optimal(s) => s,
+            o => panic!("expected BST, got {}", o.label()),
+        };
+        assert!(p.is_feasible(&sol.strategy), "{:?}", p.check(&sol.strategy));
+        assert!(sol.ic >= 0.6 - 1e-9);
+        assert_eq!(report.outcome.label(), "BST");
+    }
+
+    #[test]
+    fn infeasible_instance_is_nul() {
+        let p = fig2_problem(0.95);
+        let report = solve(&p, &FtSearchConfig::default()).unwrap();
+        assert!(matches!(report.outcome, Outcome::Infeasible));
+        assert_eq!(report.outcome.label(), "NUL");
+        assert!(report.stats.proved);
+    }
+
+    #[test]
+    fn matches_brute_force_on_diamond() {
+        // Exhaustively enumerate all 3^(4*2) = 6561 strategies and compare.
+        let p = diamond_problem(0.55);
+        let report = solve(&p, &FtSearchConfig::default()).unwrap();
+        let cm = p.cost_model();
+
+        let mut best: Option<f64> = None;
+        let np = 4;
+        let nq = 2;
+        let total = 3usize.pow((np * nq) as u32);
+        for code in 0..total {
+            let mut s = ActivationStrategy::all_inactive(np, nq, 2);
+            let mut rem = code;
+            for pe in 0..np {
+                for c in 0..nq {
+                    let v = rem % 3;
+                    rem /= 3;
+                    let cid = ConfigId(c as u32);
+                    match v {
+                        0 => {
+                            s.set_active(pe, cid, 0, true);
+                        }
+                        1 => {
+                            s.set_active(pe, cid, 1, true);
+                        }
+                        _ => {
+                            s.set_active(pe, cid, 0, true);
+                            s.set_active(pe, cid, 1, true);
+                        }
+                    }
+                }
+            }
+            if p.is_feasible(&s) {
+                let c = cm.cost_cycles(&s);
+                best = Some(best.map_or(c, |b: f64| b.min(c)));
+            }
+        }
+
+        match (&report.outcome, best) {
+            (Outcome::Optimal(sol), Some(b)) => {
+                assert!(
+                    (sol.cost_cycles - b).abs() < 1e-6 * b.max(1.0),
+                    "ftsearch {} vs brute force {}",
+                    sol.cost_cycles,
+                    b
+                );
+            }
+            (Outcome::Infeasible, None) => {}
+            (o, b) => panic!("mismatch: {} vs {:?}", o.label(), b),
+        }
+    }
+
+    #[test]
+    fn solution_respects_pessimistic_ic() {
+        for ic_req in [0.0, 0.3, 0.5, 0.7] {
+            let p = diamond_problem(ic_req);
+            let report = solve(&p, &FtSearchConfig::default()).unwrap();
+            if let Some(sol) = report.outcome.solution() {
+                let ev = p.ic_evaluator();
+                assert!(ev.ic(&sol.strategy, &PessimisticFailure) >= ic_req - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_is_monotone_in_ic_requirement() {
+        let costs: Vec<f64> = [0.0, 0.4, 0.6]
+            .iter()
+            .map(|&ic| {
+                let p = fig2_problem(ic);
+                let report = solve(&p, &FtSearchConfig::default()).unwrap();
+                report.outcome.solution().expect("feasible").cost_cycles
+            })
+            .collect();
+        assert!(costs[0] <= costs[1] + 1e-9);
+        assert!(costs[1] <= costs[2] + 1e-9);
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential() {
+        for ic in [0.0, 0.5, 0.65] {
+            let p = diamond_problem(ic);
+            let seq = solve(&p, &FtSearchConfig::default()).unwrap();
+            let par = solve_parallel(&p, &FtSearchConfig::default()).unwrap();
+            match (&seq.outcome, &par.outcome) {
+                (Outcome::Optimal(a), Outcome::Optimal(b)) => {
+                    assert!((a.cost_cycles - b.cost_cycles).abs() < 1e-6 * a.cost_cycles.max(1.0));
+                }
+                (Outcome::Infeasible, Outcome::Infeasible) => {}
+                (a, b) => panic!("outcomes differ: {} vs {}", a.label(), b.label()),
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_yields_tmo_or_sol() {
+        let p = chain_problem(24, 4, 0.5);
+        let opts = FtSearchConfig::with_time_limit(Duration::from_micros(1));
+        let report = solve(&p, &opts).unwrap();
+        assert!(
+            matches!(report.outcome, Outcome::Timeout | Outcome::Feasible(_)),
+            "got {}",
+            report.outcome.label()
+        );
+        assert!(!report.stats.proved);
+    }
+
+    #[test]
+    fn chain_instance_solves_quickly_with_pruning() {
+        let p = chain_problem(16, 4, 0.5);
+        let report = solve(&p, &FtSearchConfig::with_time_limit(Duration::from_secs(30))).unwrap();
+        assert!(
+            matches!(report.outcome, Outcome::Optimal(_) | Outcome::Infeasible),
+            "expected proved outcome, got {}",
+            report.outcome.label()
+        );
+    }
+
+    #[test]
+    fn disabling_prunings_preserves_optimum() {
+        let p = diamond_problem(0.5);
+        let full = solve(&p, &FtSearchConfig::default()).unwrap();
+        for (cpu, compl, cost, dom) in [
+            (false, true, true, true),
+            (true, false, true, true),
+            (true, true, false, true),
+            (true, true, true, false),
+            (false, false, false, false),
+        ] {
+            let opts = FtSearchConfig {
+                prune_cpu: cpu,
+                prune_compl: compl,
+                prune_cost: cost,
+                prune_dom: dom,
+                ..FtSearchConfig::default()
+            };
+            let r = solve(&p, &opts).unwrap();
+            match (&full.outcome, &r.outcome) {
+                (Outcome::Optimal(a), Outcome::Optimal(b)) => {
+                    assert!(
+                        (a.cost_cycles - b.cost_cycles).abs() < 1e-6 * a.cost_cycles.max(1.0),
+                        "ablated search changed the optimum"
+                    );
+                }
+                (Outcome::Infeasible, Outcome::Infeasible) => {}
+                (a, b) => panic!("outcomes differ: {} vs {}", a.label(), b.label()),
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_enumeration_counts() {
+        assert_eq!(enumerate_prefixes(0).len(), 1);
+        assert_eq!(enumerate_prefixes(2).len(), 9);
+        assert_eq!(enumerate_prefixes(3).len(), 27);
+    }
+}

@@ -1,0 +1,248 @@
+//! Precomputation for FT-Search: variable ordering and per-variable weights.
+//!
+//! FT-Search explores one decision variable per (PE, input configuration)
+//! pair with domain `{OnlyR0, OnlyR1, Both}` (3 values — eq. 12 excludes
+//! "none", hence the paper's `3^(|P|·|C|)` space for `k = 2`).
+//!
+//! Variable order is *configuration-major*: configurations sorted by their
+//! all-active total CPU load, descending (the paper's "most resource hungry
+//! configurations first" heuristic), and PEs in topological order within a
+//! configuration. Topological order inside a configuration is what makes the
+//! incremental `Δ̂`/FIC bookkeeping and DOM propagation possible (§4.5).
+
+use crate::problem::Problem;
+use laar_model::{ComponentKind, ConfigId};
+
+/// One input of a PE, pre-resolved to dense indices.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InEdge {
+    /// `true` if the upstream component is a data source (never fails).
+    pub from_source: bool,
+    /// Dense index of the upstream source or PE.
+    pub idx: u32,
+    /// Selectivity `δ` of this input.
+    pub sel: f64,
+}
+
+/// One search variable: the activation cell of `pe` in `cfg`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Var {
+    /// The input configuration.
+    pub cfg: ConfigId,
+    /// Dense PE index.
+    pub pe: u32,
+}
+
+/// Immutable tables shared by all (sequential or parallel) search workers.
+#[derive(Debug, Clone)]
+pub(crate) struct Prep {
+    pub num_pes: usize,
+    pub num_configs: usize,
+    pub num_hosts: usize,
+    pub num_vars: usize,
+    /// `v -> (cfg, pe)` in exploration order.
+    pub vars: Vec<Var>,
+    /// `pe * num_configs + cfg -> v`.
+    pub var_index: Vec<usize>,
+    /// Max FIC-rate contribution of variable `v`:
+    /// `P_C(c) · Σ_{j ∈ pred} Δ(j, c)`.
+    pub w_ic: Vec<f64>,
+    /// Cost-rate of *one* active replica for variable `v`:
+    /// `P_C(c) · Σ_{j ∈ pred} γ(j, x)·Δ(j, c)`.
+    pub w_cost: Vec<f64>,
+    /// CPU load (cycles/s) of one active replica: `pe * num_configs + cfg`.
+    pub replica_load: Vec<f64>,
+    /// Hosts of the two replicas of each PE.
+    pub host_of: Vec<[u32; 2]>,
+    /// Capacity `K` of each host.
+    pub cap: Vec<f64>,
+    /// Inputs of each PE (dense index).
+    pub pe_in: Vec<Vec<InEdge>>,
+    /// PE successors of each PE (dense indices).
+    pub pe_succ: Vec<Vec<u32>>,
+    /// `source_dense * num_configs + cfg -> Δ(source, cfg)`.
+    pub source_rate: Vec<f64>,
+    /// `P_C(c)` indexed by `ConfigId`.
+    pub prob: Vec<f64>,
+    /// `Σ_v w_ic[v]` — BIC divided by `T` (rate units).
+    #[allow(dead_code)] // read by unit tests and diagnostics
+    pub bic_rate: f64,
+    /// `ic_requirement · bic_rate`: the absolute FIC-rate goal.
+    pub goal_fic: f64,
+    /// `Σ_v w_cost[v]`: cost-rate of the single-replica-everywhere strategy.
+    pub total_w_cost: f64,
+}
+
+impl Prep {
+    /// Build the tables for a `k = 2` problem.
+    pub fn build(problem: &Problem) -> Self {
+        assert_eq!(problem.k(), 2, "FT-Search supports k = 2 only");
+        let g = problem.app.graph();
+        let cs = problem.app.configs();
+        let rates = problem.rates();
+        let np = g.num_pes();
+        let nq = cs.num_configs();
+        let nh = problem.placement.num_hosts();
+
+        // Sort configurations by all-active total load, descending.
+        let mut cfg_order: Vec<ConfigId> = cs.configs().collect();
+        let total_load = |c: ConfigId| -> f64 {
+            (0..np).map(|pe| rates.pe_input_load(pe, c)).sum()
+        };
+        cfg_order.sort_by(|a, b| {
+            total_load(*b)
+                .partial_cmp(&total_load(*a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let mut vars = Vec::with_capacity(np * nq);
+        let mut var_index = vec![usize::MAX; np * nq];
+        for &c in &cfg_order {
+            for pe in 0..np {
+                // `pes()` is already in topological order; dense index == rank.
+                let v = vars.len();
+                vars.push(Var {
+                    cfg: c,
+                    pe: pe as u32,
+                });
+                var_index[pe * nq + c.index()] = v;
+            }
+        }
+
+        let mut w_ic = vec![0.0; vars.len()];
+        let mut w_cost = vec![0.0; vars.len()];
+        let mut replica_load = vec![0.0; np * nq];
+        for (v, var) in vars.iter().enumerate() {
+            let pe = var.pe as usize;
+            let c = var.cfg;
+            w_ic[v] = cs.prob(c) * rates.pe_input_rate(pe, c);
+            w_cost[v] = cs.prob(c) * rates.pe_input_load(pe, c);
+            replica_load[pe * nq + c.index()] = rates.pe_input_load(pe, c);
+        }
+
+        let host_of: Vec<[u32; 2]> = (0..np)
+            .map(|pe| {
+                [
+                    problem.placement.host_of(pe, 0).0,
+                    problem.placement.host_of(pe, 1).0,
+                ]
+            })
+            .collect();
+        let cap: Vec<f64> = problem.placement.hosts().iter().map(|h| h.capacity).collect();
+
+        let mut pe_in = vec![Vec::new(); np];
+        let mut pe_succ = vec![Vec::new(); np];
+        for (dense, &pe) in g.pes().iter().enumerate() {
+            for e in g.in_edges(pe) {
+                let from = g.component(e.from);
+                match from.kind {
+                    ComponentKind::Source => pe_in[dense].push(InEdge {
+                        from_source: true,
+                        idx: g.source_dense_index(e.from).unwrap() as u32,
+                        sel: e.selectivity,
+                    }),
+                    ComponentKind::Pe => pe_in[dense].push(InEdge {
+                        from_source: false,
+                        idx: g.pe_dense_index(e.from).unwrap() as u32,
+                        sel: e.selectivity,
+                    }),
+                    ComponentKind::Sink => unreachable!("edge from sink"),
+                }
+            }
+            for e in g.out_edges(pe) {
+                if g.is_pe(e.to) {
+                    pe_succ[dense].push(g.pe_dense_index(e.to).unwrap() as u32);
+                }
+            }
+        }
+
+        let ns = g.num_sources();
+        let mut source_rate = vec![0.0; ns * nq];
+        for s in 0..ns {
+            for c in cs.configs() {
+                source_rate[s * nq + c.index()] = cs.source_rate(s, c);
+            }
+        }
+
+        let prob: Vec<f64> = cs.configs().map(|c| cs.prob(c)).collect();
+        let bic_rate: f64 = w_ic.iter().sum();
+        let total_w_cost: f64 = w_cost.iter().sum();
+
+        Self {
+            num_pes: np,
+            num_configs: nq,
+            num_hosts: nh,
+            num_vars: vars.len(),
+            vars,
+            var_index,
+            w_ic,
+            w_cost,
+            replica_load,
+            host_of,
+            cap,
+            pe_in,
+            pe_succ,
+            source_rate,
+            prob,
+            bic_rate,
+            goal_fic: problem.ic_requirement * bic_rate,
+            total_w_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fig2_problem;
+
+    #[test]
+    fn variables_cover_product_config_major() {
+        let p = fig2_problem(0.6);
+        let prep = Prep::build(&p);
+        assert_eq!(prep.num_vars, 4); // 2 PEs x 2 configs
+        // High (config 1) is more resource hungry, so it is explored first.
+        assert_eq!(prep.vars[0].cfg, ConfigId(1));
+        assert_eq!(prep.vars[1].cfg, ConfigId(1));
+        assert_eq!(prep.vars[2].cfg, ConfigId(0));
+        // PEs are in topological order inside each configuration.
+        assert_eq!(prep.vars[0].pe, 0);
+        assert_eq!(prep.vars[1].pe, 1);
+    }
+
+    #[test]
+    fn weights_match_hand_computation() {
+        let p = fig2_problem(0.6);
+        let prep = Prep::build(&p);
+        // Var 0 = (High, pe1): w_ic = 0.2 * 8, w_cost = 0.2 * 800.
+        assert!((prep.w_ic[0] - 1.6).abs() < 1e-12);
+        assert!((prep.w_cost[0] - 160.0).abs() < 1e-12);
+        // BIC rate = 0.8*8 + 0.2*16 = 9.6.
+        assert!((prep.bic_rate - 9.6).abs() < 1e-12);
+        assert!((prep.goal_fic - 0.6 * 9.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graph_navigation_tables() {
+        let p = fig2_problem(0.6);
+        let prep = Prep::build(&p);
+        // pe0 reads from the source, pe1 from pe0.
+        assert!(prep.pe_in[0][0].from_source);
+        assert!(!prep.pe_in[1][0].from_source);
+        assert_eq!(prep.pe_in[1][0].idx, 0);
+        assert_eq!(prep.pe_succ[0], vec![1]);
+        assert!(prep.pe_succ[1].is_empty());
+    }
+
+    #[test]
+    fn var_index_inverts_vars() {
+        let p = fig2_problem(0.6);
+        let prep = Prep::build(&p);
+        for (v, var) in prep.vars.iter().enumerate() {
+            assert_eq!(
+                prep.var_index[var.pe as usize * prep.num_configs + var.cfg.index()],
+                v
+            );
+        }
+    }
+}

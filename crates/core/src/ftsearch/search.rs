@@ -1,0 +1,572 @@
+//! The sequential FT-Search engine (§4.5): depth-first branch-and-bound with
+//! the four pruning strategies (CPU, COMPL, COST, DOM).
+
+use super::prep::Prep;
+use super::stats::{PruneKind, SearchStats};
+use super::{FtSearchConfig, SharedBest};
+use std::time::Instant;
+
+/// Domain values of one variable. Encoded in `assign` as `val as u8`;
+/// `0` means unassigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Val {
+    /// Both replicas active (fully replicated, `φ = 1` under eq. 14).
+    Both = 1,
+    /// Only replica 0 active.
+    Only0 = 2,
+    /// Only replica 1 active.
+    Only1 = 3,
+}
+
+impl Val {
+    #[inline]
+    fn actives(self) -> &'static [usize] {
+        match self {
+            Val::Both => &[0, 1],
+            Val::Only0 => &[0],
+            Val::Only1 => &[1],
+        }
+    }
+
+    #[inline]
+    fn is_both(self) -> bool {
+        self == Val::Both
+    }
+}
+
+/// Relative slack used in floating-point bound comparisons. Running sums are
+/// maintained incrementally (with exact recomputation at every incumbent), so
+/// bounds can drift by a few ULPs; the slack keeps that drift from causing
+/// incorrect prunes.
+const BOUND_EPS: f64 = 1e-9;
+
+/// How many nodes between deadline checks.
+const TIMEOUT_CHECK_MASK: u64 = 0x1FFF;
+
+/// A complete assignment together with its exact cost and FIC rate.
+#[derive(Debug, Clone)]
+pub(crate) struct RawSolution {
+    /// One `Val as u8` per variable, in `Prep::vars` order.
+    pub assign: Vec<u8>,
+    /// Exact cost-rate (`Σ P_C·γ·Δ·s`, cost without the `T` factor).
+    pub cost_rate: f64,
+    /// Exact FIC rate under the pessimistic model (FIC without `T`).
+    pub fic_rate: f64,
+}
+
+/// The mutable search state of one worker.
+pub(crate) struct Engine<'a> {
+    prep: &'a Prep,
+    opts: &'a FtSearchConfig,
+    deadline: Instant,
+    start: Instant,
+    shared: Option<&'a SharedBest>,
+
+    assign: Vec<u8>,
+    /// `host * num_configs + cfg` -> current load (cycles/s).
+    host_load: Vec<f64>,
+    /// `pe * num_configs + cfg` -> Δ̂ of assigned PEs (stale when unassigned).
+    dhat: Vec<f64>,
+    /// FIC-rate contribution recorded per variable (for undo).
+    fic_contrib: Vec<f64>,
+    fic: f64,
+    cost: f64,
+    /// Upper bound on the FIC-rate still obtainable from unassigned vars.
+    ic_ub_rem: f64,
+    /// Lower bound on the cost-rate still to be paid by unassigned vars.
+    cost_lb_rem: f64,
+    /// DOM: `Both` removed from this variable's domain.
+    both_removed: Vec<bool>,
+    trail: Vec<u32>,
+
+    best: Option<RawSolution>,
+    pub(crate) stats: SearchStats,
+    timed_out: bool,
+}
+
+impl<'a> Engine<'a> {
+    pub(crate) fn new(
+        prep: &'a Prep,
+        opts: &'a FtSearchConfig,
+        start: Instant,
+        deadline: Instant,
+        shared: Option<&'a SharedBest>,
+    ) -> Self {
+        let nv = prep.num_vars;
+        Self {
+            prep,
+            opts,
+            deadline,
+            start,
+            shared,
+            assign: vec![0; nv],
+            host_load: vec![0.0; prep.num_hosts * prep.num_configs],
+            dhat: vec![0.0; prep.num_pes * prep.num_configs],
+            fic_contrib: vec![0.0; nv],
+            fic: 0.0,
+            cost: 0.0,
+            ic_ub_rem: prep.w_ic.iter().sum(),
+            cost_lb_rem: prep.total_w_cost,
+            both_removed: vec![false; nv],
+            trail: Vec::with_capacity(nv),
+            best: None,
+            stats: SearchStats::default(),
+            timed_out: false,
+        }
+    }
+
+    /// Install a known-feasible solution as the incumbent (greedy seeding).
+    /// Does not touch first/best statistics: those track solutions found by
+    /// the search itself (Fig. 5 semantics).
+    pub(crate) fn set_seed(&mut self, sol: RawSolution) {
+        if let Some(sh) = self.shared {
+            sh.offer(&sol);
+        }
+        self.best = Some(sol);
+    }
+
+    /// Pre-assign a prefix of variables (used by the parallel splitter).
+    /// Returns `false` if the prefix itself is infeasible (prunable).
+    pub(crate) fn push_prefix(&mut self, prefix: &[Val]) -> bool {
+        for (v, &val) in prefix.iter().enumerate() {
+            if self.both_removed[v] && val.is_both() {
+                return false; // dominated prefix: nothing worth searching
+            }
+            if !self.try_assign(v, val) {
+                return false;
+            }
+            if self.opts.prune_compl && self.fic + self.ic_ub_rem < self.goal_lo() {
+                self.unassign(v, val);
+                return false;
+            }
+            if val != Val::Both && self.opts.prune_dom {
+                self.propagate_dom(v);
+            }
+        }
+        true
+    }
+
+    /// Run the search from variable `from` to completion or timeout.
+    pub(crate) fn run(&mut self, from: usize) -> (Option<RawSolution>, bool) {
+        self.search(from);
+        self.stats.proved = !self.timed_out;
+        self.stats.elapsed = self.start.elapsed();
+        (self.best.take(), self.timed_out)
+    }
+
+    #[inline]
+    fn goal_lo(&self) -> f64 {
+        self.prep.goal_fic * (1.0 - BOUND_EPS) - 1e-12
+    }
+
+    /// The cost of the best known solution, local or shared.
+    #[inline]
+    fn incumbent_cost(&self) -> Option<f64> {
+        let local = self.best.as_ref().map(|b| b.cost_rate);
+        let shared = self.shared.map(|s| s.cost());
+        match (local, shared) {
+            (Some(l), Some(s)) => Some(l.min(s)),
+            (Some(l), None) => Some(l),
+            (None, Some(s)) if s.is_finite() => Some(s),
+            _ => None,
+        }
+    }
+
+    fn check_deadline(&mut self) {
+        if self.stats.nodes & TIMEOUT_CHECK_MASK == 0 && Instant::now() >= self.deadline {
+            self.timed_out = true;
+        }
+        if self.opts.node_limit.is_some_and(|n| self.stats.nodes >= n) {
+            self.timed_out = true;
+        }
+        if let Some(s) = self.shared {
+            if s.is_cancelled() {
+                self.timed_out = true;
+            }
+        }
+    }
+
+    fn search(&mut self, v: usize) {
+        if self.timed_out {
+            return;
+        }
+        if v == self.prep.num_vars {
+            self.record_leaf();
+            return;
+        }
+        for val in self.value_order(v) {
+            self.stats.nodes += 1;
+            self.check_deadline();
+            if self.timed_out {
+                return;
+            }
+            if !self.try_assign(v, val) {
+                continue; // CPU-pruned (recorded inside)
+            }
+
+            let height = (self.prep.num_vars - v) as u64;
+            // Pruning on IC upper bound (COMPL).
+            if self.opts.prune_compl && self.fic + self.ic_ub_rem < self.goal_lo() {
+                self.stats.record_prune(PruneKind::Compl, height);
+                self.unassign(v, val);
+                continue;
+            }
+            // Pruning on cost lower bound (COST).
+            if self.opts.prune_cost {
+                if let Some(best) = self.incumbent_cost() {
+                    if self.cost + self.cost_lb_rem >= best * (1.0 - BOUND_EPS) {
+                        self.stats.record_prune(PruneKind::Cost, height);
+                        self.unassign(v, val);
+                        continue;
+                    }
+                }
+            }
+
+            let mark = self.trail.len();
+            if !val.is_both() && self.opts.prune_dom {
+                self.propagate_dom(v);
+            }
+            self.search(v + 1);
+            self.undo_dom(mark);
+            self.unassign(v, val);
+            if self.timed_out {
+                return;
+            }
+        }
+    }
+
+    /// Value order: cheaper single first (the one whose host currently has
+    /// the lower load in this configuration), then the other single, then
+    /// `Both` — unless DOM removed it. Trying cheap values first makes the
+    /// first feasible solution close to optimal in cost (Fig. 5a).
+    fn value_order(&self, v: usize) -> impl Iterator<Item = Val> + 'static {
+        let var = self.prep.vars[v];
+        let pe = var.pe as usize;
+        let c = var.cfg.index();
+        let nq = self.prep.num_configs;
+        let h0 = self.prep.host_of[pe][0] as usize;
+        let h1 = self.prep.host_of[pe][1] as usize;
+        let l0 = self.host_load[h0 * nq + c];
+        let l1 = self.host_load[h1 * nq + c];
+        let (first, second) = if l0 <= l1 {
+            (Val::Only0, Val::Only1)
+        } else {
+            (Val::Only1, Val::Only0)
+        };
+        let include_both = !self.both_removed[v];
+        [Some(first), Some(second), include_both.then_some(Val::Both)]
+            .into_iter()
+            .flatten()
+    }
+
+    /// Assign `val` to variable `v`, updating loads, Δ̂, FIC, cost, and
+    /// bounds. Returns `false` (state rolled back, prune recorded) if a host
+    /// CPU constraint is violated and CPU pruning is enabled. When CPU
+    /// pruning is disabled the overload is tolerated here and caught at the
+    /// leaf.
+    fn try_assign(&mut self, v: usize, val: Val) -> bool {
+        let var = self.prep.vars[v];
+        let pe = var.pe as usize;
+        let c = var.cfg.index();
+        let nq = self.prep.num_configs;
+        let load = self.prep.replica_load[pe * nq + c];
+
+        // CPU loads.
+        let mut overloaded = false;
+        for &r in val.actives() {
+            let h = self.prep.host_of[pe][r] as usize;
+            let slot = h * nq + c;
+            self.host_load[slot] += load;
+            if self.host_load[slot] >= self.prep.cap[h] {
+                overloaded = true;
+            }
+        }
+        if overloaded && self.opts.prune_cpu {
+            for &r in val.actives() {
+                let h = self.prep.host_of[pe][r] as usize;
+                self.host_load[h * nq + c] -= load;
+            }
+            self.stats
+                .record_prune(PruneKind::Cpu, (self.prep.num_vars - v) as u64);
+            return false;
+        }
+
+        // Δ̂ and FIC (eqs. 6–7): predecessors in this configuration are
+        // already assigned (topological order within a configuration).
+        let mut received = 0.0;
+        let mut weighted = 0.0;
+        for e in &self.prep.pe_in[pe] {
+            let d = if e.from_source {
+                self.prep.source_rate[e.idx as usize * nq + c]
+            } else {
+                self.dhat[e.idx as usize * nq + c]
+            };
+            received += d;
+            weighted += e.sel * d;
+        }
+        let phi = if val.is_both() { 1.0 } else { 0.0 };
+        self.dhat[pe * nq + c] = phi * weighted;
+        let contrib = self.prep.prob[c] * phi * received;
+        self.fic_contrib[v] = contrib;
+        self.fic += contrib;
+
+        // Cost and bounds.
+        let mult = val.actives().len() as f64;
+        self.cost += mult * self.prep.w_cost[v];
+        self.cost_lb_rem -= self.prep.w_cost[v];
+        if !self.both_removed[v] {
+            // If DOM removed Both earlier, w_ic[v] was already subtracted.
+            self.ic_ub_rem -= self.prep.w_ic[v];
+        }
+
+        self.assign[v] = val as u8;
+        true
+    }
+
+    fn unassign(&mut self, v: usize, val: Val) {
+        let var = self.prep.vars[v];
+        let pe = var.pe as usize;
+        let c = var.cfg.index();
+        let nq = self.prep.num_configs;
+        let load = self.prep.replica_load[pe * nq + c];
+        for &r in val.actives() {
+            let h = self.prep.host_of[pe][r] as usize;
+            self.host_load[h * nq + c] -= load;
+        }
+        self.fic -= self.fic_contrib[v];
+        self.fic_contrib[v] = 0.0;
+        let mult = val.actives().len() as f64;
+        self.cost -= mult * self.prep.w_cost[v];
+        self.cost_lb_rem += self.prep.w_cost[v];
+        if !self.both_removed[v] {
+            self.ic_ub_rem += self.prep.w_ic[v];
+        }
+        self.assign[v] = 0;
+    }
+
+    /// Forward domain propagation (DOM, §4.5): after binding `v` to a
+    /// single-replica value, recursively remove `Both` from successors whose
+    /// predecessors are all "dead" in this configuration (no source inputs
+    /// and every PE input with `Δ̂ = 0` or doomed to it).
+    fn propagate_dom(&mut self, v: usize) {
+        let var = self.prep.vars[v];
+        let c = var.cfg.index();
+        let nq = self.prep.num_configs;
+        let mut stack: Vec<u32> = self.prep.pe_succ[var.pe as usize].clone();
+        while let Some(succ) = stack.pop() {
+            let u = self.prep.var_index[succ as usize * nq + c];
+            if self.assign[u] != 0 || self.both_removed[u] {
+                continue;
+            }
+            let mut all_dead = true;
+            for e in &self.prep.pe_in[succ as usize] {
+                if e.from_source {
+                    all_dead = false;
+                    break;
+                }
+                let p = e.idx as usize;
+                let pv = self.prep.var_index[p * nq + c];
+                let dead = if self.assign[pv] != 0 {
+                    self.dhat[p * nq + c] == 0.0
+                } else {
+                    self.both_removed[pv]
+                };
+                if !dead {
+                    all_dead = false;
+                    break;
+                }
+            }
+            if all_dead {
+                self.both_removed[u] = true;
+                self.ic_ub_rem -= self.prep.w_ic[u];
+                self.trail.push(u as u32);
+                self.stats
+                    .record_prune(PruneKind::Dom, (self.prep.num_vars - u) as u64);
+                for &s2 in &self.prep.pe_succ[succ as usize] {
+                    stack.push(s2);
+                }
+            }
+        }
+    }
+
+    fn undo_dom(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let u = self.trail.pop().unwrap() as usize;
+            self.both_removed[u] = false;
+            self.ic_ub_rem += self.prep.w_ic[u];
+        }
+    }
+
+    /// A complete assignment was reached: recompute FIC/cost exactly (kills
+    /// incremental drift), re-validate, and record if improving.
+    fn record_leaf(&mut self) {
+        let (cost, fic, max_rel_load) = self.recompute_exact();
+        if fic < self.prep.goal_fic * (1.0 - BOUND_EPS) {
+            // Only reachable when COMPL pruning is disabled (ablation mode).
+            return;
+        }
+        if max_rel_load >= 1.0 {
+            // Only reachable when CPU pruning is disabled (ablation mode).
+            return;
+        }
+        let improving = match self.incumbent_cost() {
+            Some(b) => cost < b * (1.0 - BOUND_EPS),
+            None => true,
+        };
+        if !improving {
+            return;
+        }
+        let now = self.start.elapsed();
+        if self.stats.time_to_first.is_none() {
+            self.stats.time_to_first = Some(now);
+            self.stats.first_cost = Some(cost);
+        }
+        self.stats.time_to_best = Some(now);
+        self.stats.best_cost = Some(cost);
+        self.stats.improvements += 1;
+        let sol = RawSolution {
+            assign: self.assign.clone(),
+            cost_rate: cost,
+            fic_rate: fic,
+        };
+        if let Some(sh) = self.shared {
+            sh.offer(&sol);
+        }
+        self.best = Some(sol);
+    }
+
+    /// Exact (non-incremental) evaluation of the current complete assignment.
+    /// Returns `(cost_rate, fic_rate, max load/capacity ratio)`.
+    fn recompute_exact(&self) -> (f64, f64, f64) {
+        evaluate_assignment(self.prep, &self.assign)
+    }
+}
+
+/// Exact evaluation of a complete assignment: `(cost_rate, fic_rate,
+/// max load/capacity ratio over hosts and configurations)`. Shared by the
+/// engine's leaf check and the greedy incumbent seeding.
+pub(crate) fn evaluate_assignment(p: &Prep, assign: &[u8]) -> (f64, f64, f64) {
+    let nq = p.num_configs;
+    let mut cost = 0.0;
+    let mut fic = 0.0;
+    let mut host_load = vec![0.0f64; p.num_hosts * nq];
+    let mut dhat = vec![0.0f64; p.num_pes * nq];
+    for c in 0..nq {
+        // PEs in topological (dense) order.
+        for pe in 0..p.num_pes {
+            let v = p.var_index[pe * nq + c];
+            let val = assign[v];
+            debug_assert_ne!(val, 0);
+            let both = val == Val::Both as u8;
+            let mut received = 0.0;
+            let mut weighted = 0.0;
+            for e in &p.pe_in[pe] {
+                let d = if e.from_source {
+                    p.source_rate[e.idx as usize * nq + c]
+                } else {
+                    dhat[e.idx as usize * nq + c]
+                };
+                received += d;
+                weighted += e.sel * d;
+            }
+            let phi = if both { 1.0 } else { 0.0 };
+            dhat[pe * nq + c] = phi * weighted;
+            fic += p.prob[c] * phi * received;
+            let mult = if both { 2.0 } else { 1.0 };
+            cost += mult * p.w_cost[v];
+            let load = p.replica_load[pe * nq + c];
+            match val {
+                x if x == Val::Both as u8 => {
+                    host_load[p.host_of[pe][0] as usize * nq + c] += load;
+                    host_load[p.host_of[pe][1] as usize * nq + c] += load;
+                }
+                x if x == Val::Only0 as u8 => {
+                    host_load[p.host_of[pe][0] as usize * nq + c] += load;
+                }
+                _ => {
+                    host_load[p.host_of[pe][1] as usize * nq + c] += load;
+                }
+            }
+        }
+    }
+    let mut max_rel = 0.0f64;
+    for h in 0..p.num_hosts {
+        for c in 0..nq {
+            let rel = host_load[h * nq + c] / p.cap[h];
+            max_rel = max_rel.max(rel);
+        }
+    }
+    (cost, fic, max_rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftsearch::FtSearchConfig;
+    use crate::testutil::fig2_problem;
+    use std::time::Duration;
+
+    fn run_fig2(ic: f64) -> (Option<RawSolution>, SearchStats) {
+        let p = fig2_problem(ic);
+        let prep = Prep::build(&p);
+        let opts = FtSearchConfig::default();
+        let start = Instant::now();
+        let deadline = start + Duration::from_secs(10);
+        let mut eng = Engine::new(&prep, &opts, start, deadline, None);
+        let (sol, timed_out) = eng.run(0);
+        assert!(!timed_out);
+        (sol, eng.stats)
+    }
+
+    #[test]
+    fn fig2_ic06_finds_fig2b_like_solution() {
+        let (sol, stats) = run_fig2(0.6);
+        let sol = sol.expect("feasible");
+        assert!(stats.proved);
+        // IC must be at least 0.6 of BIC-rate 9.6.
+        assert!(sol.fic_rate >= 0.6 * 9.6 - 1e-9);
+        // Optimal: fully replicate in Low (0.8 * 2 PEs * 400 * 2 replicas),
+        // single replicas at High (0.2 * 2 * 800): cost = 1280 + 320 = 1600.
+        assert!((sol.cost_rate - 1600.0).abs() < 1e-6, "{}", sol.cost_rate);
+    }
+
+    #[test]
+    fn fig2_ic_zero_single_replicas_everywhere() {
+        let (sol, _) = run_fig2(0.0);
+        let sol = sol.expect("feasible");
+        // Cheapest valid strategy: one replica everywhere.
+        // cost = 0.8*2*400 + 0.2*2*800 = 640 + 320 = 960.
+        assert!((sol.cost_rate - 960.0).abs() < 1e-6, "{}", sol.cost_rate);
+    }
+
+    #[test]
+    fn fig2_high_ic_is_infeasible() {
+        // Full replication at High is impossible (hosts overload), so any
+        // IC above the Low-only share (2/3) cannot be guaranteed.
+        let (sol, stats) = run_fig2(0.9);
+        assert!(sol.is_none());
+        assert!(stats.proved);
+    }
+
+    #[test]
+    fn fig2_boundary_ic_two_thirds_feasible() {
+        let (sol, _) = run_fig2(2.0 / 3.0);
+        assert!(sol.is_some());
+    }
+
+    #[test]
+    fn stats_record_pruning() {
+        let (_, stats) = run_fig2(0.6);
+        assert!(stats.nodes > 0);
+        let total_prunes: u64 = stats.prunes.iter().sum();
+        assert!(total_prunes > 0, "expected some pruning on fig2");
+    }
+
+    #[test]
+    fn first_solution_not_cheaper_than_best() {
+        let (_, stats) = run_fig2(0.6);
+        if let Some(r) = stats.first_to_best_cost_ratio() {
+            assert!(r >= 1.0 - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The LAAR cost-minimization problem (§4.4, eqs. 9–12).
+//!
+//! ```text
+//! minimize   cost(s)                                     (eq. 9 / 13)
+//! subject to IC(s) ≥ SLA constraint                      (eq. 10)
+//!            host loads < K  for all hosts, configs      (eq. 11)
+//!            ≥ 1 active replica per PE per config        (eq. 12)
+//! ```
+//!
+//! IC is evaluated under the pessimistic failure model (eq. 14), which makes
+//! the guarantee a lower bound for any real failure scenario.
+
+use crate::cost::CostModel;
+use crate::error::{CoreError, Violation};
+use crate::ic::{FailureModel, IcEvaluator, PessimisticFailure};
+use laar_model::{ActivationStrategy, Application, ConfigId, Placement, RateTable};
+
+/// Relative tolerance used in feasibility comparisons (floating-point slack).
+pub const FEASIBILITY_EPS: f64 = 1e-9;
+
+/// A fully specified optimization problem instance.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// The application contract.
+    pub app: Application,
+    /// The replicated placement.
+    pub placement: Placement,
+    /// The SLA's internal-completeness requirement in `[0, 1]`.
+    pub ic_requirement: f64,
+    rates: RateTable,
+}
+
+impl Problem {
+    /// Build a problem instance; validates the IC requirement, the
+    /// app/placement agreement, and precomputes the rate table.
+    pub fn new(
+        app: Application,
+        placement: Placement,
+        ic_requirement: f64,
+    ) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&ic_requirement) || !ic_requirement.is_finite() {
+            return Err(CoreError::InvalidIcRequirement(ic_requirement));
+        }
+        if placement.num_pes() != app.graph().num_pes() {
+            return Err(CoreError::PlacementMismatch);
+        }
+        let rates = RateTable::compute(&app);
+        Ok(Self {
+            app,
+            placement,
+            ic_requirement,
+            rates,
+        })
+    }
+
+    /// The precomputed failure-free rate table.
+    #[inline]
+    pub fn rates(&self) -> &RateTable {
+        &self.rates
+    }
+
+    /// Number of PEs.
+    #[inline]
+    pub fn num_pes(&self) -> usize {
+        self.app.graph().num_pes()
+    }
+
+    /// Number of input configurations.
+    #[inline]
+    pub fn num_configs(&self) -> usize {
+        self.app.configs().num_configs()
+    }
+
+    /// Replication factor.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.placement.k()
+    }
+
+    /// A cost model borrowing this problem's tables.
+    pub fn cost_model(&self) -> CostModel<'_> {
+        CostModel::new(&self.app, &self.placement, &self.rates)
+    }
+
+    /// An IC evaluator borrowing this problem's tables.
+    pub fn ic_evaluator(&self) -> IcEvaluator<'_> {
+        IcEvaluator::new(&self.app, &self.rates)
+    }
+
+    /// Check all three constraints (eqs. 10–12) for a candidate strategy
+    /// under the pessimistic failure model. Returns every violation found.
+    pub fn check(&self, s: &ActivationStrategy) -> Vec<Violation> {
+        self.check_under(s, &PessimisticFailure)
+    }
+
+    /// Check the constraints under an arbitrary failure model.
+    pub fn check_under(&self, s: &ActivationStrategy, model: &dyn FailureModel) -> Vec<Violation> {
+        let mut violations = Vec::new();
+
+        // eq. 12
+        for pe in 0..self.num_pes() {
+            for c in 0..self.num_configs() {
+                if s.active_count(pe, ConfigId(c as u32)) == 0 {
+                    violations.push(Violation::NoActiveReplica {
+                        pe_dense: pe,
+                        config: ConfigId(c as u32),
+                    });
+                }
+            }
+        }
+
+        // eq. 11
+        let cm = self.cost_model();
+        let m = cm.host_load_matrix(s);
+        for (h, row) in m.iter().enumerate() {
+            let cap = self.placement.hosts()[h].capacity;
+            for (c, &load) in row.iter().enumerate() {
+                if load >= cap {
+                    violations.push(Violation::HostOverloaded {
+                        host: laar_model::HostId(h as u32),
+                        config: ConfigId(c as u32),
+                        load,
+                        capacity: cap,
+                    });
+                }
+            }
+        }
+
+        // eq. 10
+        let ev = self.ic_evaluator();
+        let ic = ev.ic(s, model);
+        if ic < self.ic_requirement * (1.0 - FEASIBILITY_EPS) {
+            violations.push(Violation::IcTooLow {
+                required: self.ic_requirement,
+                actual: ic,
+            });
+        }
+
+        violations
+    }
+
+    /// `true` iff the strategy satisfies all constraints.
+    pub fn is_feasible(&self, s: &ActivationStrategy) -> bool {
+        self.check(s).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laar_model::{ConfigSpace, GraphBuilder, Host, HostId};
+
+    fn fig2_problem(ic_req: f64) -> Problem {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("src");
+        let p1 = b.add_pe("pe1");
+        let p2 = b.add_pe("pe2");
+        let k = b.add_sink("sink");
+        b.connect(s, p1, 1.0, 100.0).unwrap();
+        b.connect(p1, p2, 1.0, 100.0).unwrap();
+        b.connect_sink(p2, k).unwrap();
+        let g = b.build().unwrap();
+        let cs = ConfigSpace::new(&g, vec![vec![4.0, 8.0]], vec![0.8, 0.2]).unwrap();
+        let hosts = vec![
+            Host {
+                id: HostId(0),
+                name: "h0".into(),
+                capacity: 1000.0,
+            },
+            Host {
+                id: HostId(1),
+                name: "h1".into(),
+                capacity: 1000.0,
+            },
+        ];
+        let assignment = vec![HostId(0), HostId(1), HostId(0), HostId(1)];
+        let placement = Placement::new(&g, 2, hosts, assignment).unwrap();
+        let app = Application::new("fig2", g, cs, 300.0).unwrap();
+        Problem::new(app, placement, ic_req).unwrap()
+    }
+
+    #[test]
+    fn invalid_ic_requirement_rejected() {
+        let p = fig2_problem(0.5);
+        assert!(matches!(
+            Problem::new(p.app.clone(), p.placement.clone(), 1.5),
+            Err(CoreError::InvalidIcRequirement(_))
+        ));
+        assert!(matches!(
+            Problem::new(p.app.clone(), p.placement.clone(), -0.1),
+            Err(CoreError::InvalidIcRequirement(_))
+        ));
+    }
+
+    #[test]
+    fn static_replication_violates_cpu_at_high() {
+        let p = fig2_problem(0.5);
+        let s = ActivationStrategy::all_active(2, 2, 2);
+        let v = p.check(&s);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::HostOverloaded { .. })));
+        assert!(!p.is_feasible(&s));
+    }
+
+    #[test]
+    fn fig2b_strategy_feasible_for_two_thirds_ic() {
+        let p = fig2_problem(0.6);
+        let mut s = ActivationStrategy::all_active(2, 2, 2);
+        s.set_active(0, ConfigId(1), 1, false);
+        s.set_active(1, ConfigId(1), 0, false);
+        // IC = 2/3 under the pessimistic model (see ic.rs tests), no host is
+        // overloaded: feasible for requirement 0.6.
+        assert!(p.is_feasible(&s), "{:?}", p.check(&s));
+    }
+
+    #[test]
+    fn fig2b_strategy_infeasible_for_high_ic() {
+        let p = fig2_problem(0.9);
+        let mut s = ActivationStrategy::all_active(2, 2, 2);
+        s.set_active(0, ConfigId(1), 1, false);
+        s.set_active(1, ConfigId(1), 0, false);
+        let v = p.check(&s);
+        assert!(v.iter().any(|x| matches!(x, Violation::IcTooLow { .. })));
+    }
+
+    #[test]
+    fn missing_replica_detected() {
+        let p = fig2_problem(0.0);
+        let mut s = ActivationStrategy::all_active(2, 2, 2);
+        s.set_active(0, ConfigId(0), 0, false);
+        s.set_active(0, ConfigId(0), 1, false);
+        let v = p.check(&s);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::NoActiveReplica { pe_dense: 0, .. })));
+    }
+}

@@ -1,0 +1,419 @@
+//! An R-tree over input-configuration rate vectors (§4.6).
+//!
+//! The HAController must map measured source rates to the input
+//! configuration that is "spatially closer to the current data rates and
+//! whose components are all greater than the corresponding actual rates" —
+//! i.e. the *dominating* configuration with minimal slack, so the chosen
+//! replica activation never underestimates the actual load. The paper uses
+//! an "R-Tree-like data structure" (citing Guttman \[15\]); this module
+//! implements a Sort-Tile-Recursive (STR) bulk-loaded R-tree storing one
+//! point per configuration, with a branch-and-bound dominating-point query.
+
+use laar_model::ConfigId;
+
+/// Maximum entries per node.
+const NODE_CAPACITY: usize = 8;
+
+/// Minimum bounding rectangle in `dim` dimensions.
+#[derive(Debug, Clone)]
+struct Mbr {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Mbr {
+    fn of_points(points: &[(Vec<f64>, ConfigId)]) -> Self {
+        let dim = points[0].0.len();
+        let mut lo = vec![f64::INFINITY; dim];
+        let mut hi = vec![f64::NEG_INFINITY; dim];
+        for (p, _) in points {
+            for d in 0..dim {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        Self { lo, hi }
+    }
+
+    fn of_mbrs<'a>(mbrs: impl Iterator<Item = &'a Mbr>) -> Self {
+        let mut lo: Option<Vec<f64>> = None;
+        let mut hi: Option<Vec<f64>> = None;
+        for m in mbrs {
+            match (&mut lo, &mut hi) {
+                (Some(l), Some(h)) => {
+                    for d in 0..l.len() {
+                        l[d] = l[d].min(m.lo[d]);
+                        h[d] = h[d].max(m.hi[d]);
+                    }
+                }
+                _ => {
+                    lo = Some(m.lo.clone());
+                    hi = Some(m.hi.clone());
+                }
+            }
+        }
+        Self {
+            lo: lo.expect("non-empty"),
+            hi: hi.expect("non-empty"),
+        }
+    }
+
+    /// Can this MBR contain a point dominating `q`? True iff the upper
+    /// corner dominates `q`.
+    fn may_dominate(&self, q: &[f64]) -> bool {
+        self.hi.iter().zip(q).all(|(h, x)| h >= x)
+    }
+
+    /// Lower bound on the L1 slack `Σ (pᵢ - qᵢ)` of any dominating point in
+    /// this MBR.
+    fn slack_lower_bound(&self, q: &[f64]) -> f64 {
+        self.lo
+            .iter()
+            .zip(q)
+            .map(|(l, x)| (l - x).max(0.0))
+            .sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        mbr: Mbr,
+        entries: Vec<(Vec<f64>, ConfigId)>,
+    },
+    Inner {
+        mbr: Mbr,
+        children: Vec<Node>,
+    },
+}
+
+impl Node {
+    fn mbr(&self) -> &Mbr {
+        match self {
+            Node::Leaf { mbr, .. } | Node::Inner { mbr, .. } => mbr,
+        }
+    }
+}
+
+/// A static R-tree over `(rate vector, configuration)` points.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    dim: usize,
+    root: Option<Node>,
+    len: usize,
+}
+
+impl RTree {
+    /// Bulk-load the tree from configuration points using STR packing
+    /// (sort by the first dimension, tile, then recursively by the next).
+    pub fn bulk_load(mut points: Vec<(Vec<f64>, ConfigId)>) -> Self {
+        if points.is_empty() {
+            return Self {
+                dim: 0,
+                root: None,
+                len: 0,
+            };
+        }
+        let dim = points[0].0.len();
+        assert!(points.iter().all(|(p, _)| p.len() == dim));
+        let len = points.len();
+        let leaves = Self::str_pack(&mut points, dim, 0);
+        let root = Self::build_up(leaves);
+        Self {
+            dim,
+            root: Some(root),
+            len,
+        }
+    }
+
+    fn str_pack(points: &mut [(Vec<f64>, ConfigId)], dim: usize, axis: usize) -> Vec<Node> {
+        points.sort_by(|a, b| a.0[axis].partial_cmp(&b.0[axis]).unwrap());
+        if points.len() <= NODE_CAPACITY {
+            return vec![Node::Leaf {
+                mbr: Mbr::of_points(points),
+                entries: points.to_vec(),
+            }];
+        }
+        // Number of leaves needed and the slab size along this axis.
+        let n_leaves = points.len().div_ceil(NODE_CAPACITY);
+        let n_slabs = (n_leaves as f64).powf(1.0 / (dim - axis) as f64).ceil() as usize;
+        let slab_size = points.len().div_ceil(n_slabs);
+        let mut out = Vec::new();
+        for chunk in points.chunks_mut(slab_size.max(1)) {
+            if axis + 1 < dim {
+                out.extend(Self::str_pack(chunk, dim, axis + 1));
+            } else {
+                for leaf_chunk in chunk.chunks(NODE_CAPACITY) {
+                    out.push(Node::Leaf {
+                        mbr: Mbr::of_points(leaf_chunk),
+                        entries: leaf_chunk.to_vec(),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn build_up(mut level: Vec<Node>) -> Node {
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(NODE_CAPACITY));
+            for chunk in level.chunks(NODE_CAPACITY) {
+                let mbr = Mbr::of_mbrs(chunk.iter().map(|n| n.mbr()));
+                next.push(Node::Inner {
+                    mbr,
+                    children: chunk.to_vec(),
+                });
+            }
+            level = next;
+        }
+        level.pop().expect("non-empty")
+    }
+
+    /// Number of indexed configurations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no configurations are indexed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality (number of data sources).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Find the configuration whose rate vector dominates `q` (every
+    /// component `≥` the measured one) with minimal L1 slack
+    /// `Σ (cᵢ - qᵢ)`. Returns `None` when no configuration dominates `q`
+    /// (the caller falls back to the componentwise-maximal configuration).
+    pub fn dominating_min_slack(&self, q: &[f64]) -> Option<(ConfigId, f64)> {
+        let root = self.root.as_ref()?;
+        assert_eq!(q.len(), self.dim);
+        let mut best: Option<(ConfigId, f64)> = None;
+        Self::query(root, q, &mut best);
+        best
+    }
+
+    fn query(node: &Node, q: &[f64], best: &mut Option<(ConfigId, f64)>) {
+        if !node.mbr().may_dominate(q) {
+            return;
+        }
+        if let Some((_, b)) = best {
+            if node.mbr().slack_lower_bound(q) >= *b {
+                return;
+            }
+        }
+        match node {
+            Node::Leaf { entries, .. } => {
+                for (p, id) in entries {
+                    if p.iter().zip(q).all(|(a, b)| a >= b) {
+                        let slack: f64 = p.iter().zip(q).map(|(a, b)| a - b).sum();
+                        match best {
+                            Some((_, b)) if *b <= slack => {}
+                            _ => *best = Some((*id, slack)),
+                        }
+                    }
+                }
+            }
+            Node::Inner { children, .. } => {
+                // Visit the child with the smallest slack lower bound first
+                // so `best` tightens early.
+                let mut order: Vec<usize> = (0..children.len()).collect();
+                order.sort_by(|&a, &b| {
+                    children[a]
+                        .mbr()
+                        .slack_lower_bound(q)
+                        .partial_cmp(&children[b].mbr().slack_lower_bound(q))
+                        .unwrap()
+                });
+                for i in order {
+                    Self::query(&children[i], q, best);
+                }
+            }
+        }
+    }
+
+    /// All configurations whose points fall inside the axis-aligned box
+    /// `[lo, hi]` (inclusive). Used by diagnostics and tests.
+    pub fn range(&self, lo: &[f64], hi: &[f64]) -> Vec<ConfigId> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            Self::range_rec(root, lo, hi, &mut out);
+        }
+        out.sort();
+        out
+    }
+
+    fn range_rec(node: &Node, lo: &[f64], hi: &[f64], out: &mut Vec<ConfigId>) {
+        let m = node.mbr();
+        let disjoint = m
+            .lo
+            .iter()
+            .zip(hi)
+            .any(|(a, b)| a > b)
+            || m.hi.iter().zip(lo).any(|(a, b)| a < b);
+        if disjoint {
+            return;
+        }
+        match node {
+            Node::Leaf { entries, .. } => {
+                for (p, id) in entries {
+                    if p.iter().zip(lo).all(|(x, l)| x >= l)
+                        && p.iter().zip(hi).all(|(x, h)| x <= h)
+                    {
+                        out.push(*id);
+                    }
+                }
+            }
+            Node::Inner { children, .. } => {
+                for c in children {
+                    Self::range_rec(c, lo, hi, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_dominating(
+        points: &[(Vec<f64>, ConfigId)],
+        q: &[f64],
+    ) -> Option<(ConfigId, f64)> {
+        points
+            .iter()
+            .filter(|(p, _)| p.iter().zip(q).all(|(a, b)| a >= b))
+            .map(|(p, id)| (*id, p.iter().zip(q).map(|(a, b)| a - b).sum::<f64>()))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    }
+
+    fn grid_points(nx: usize, ny: usize) -> Vec<(Vec<f64>, ConfigId)> {
+        let mut out = Vec::new();
+        let mut id = 0;
+        for i in 0..nx {
+            for j in 0..ny {
+                out.push((vec![i as f64 * 2.0, j as f64 * 3.0], ConfigId(id)));
+                id += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::bulk_load(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.dominating_min_slack(&[]), None);
+    }
+
+    #[test]
+    fn single_point() {
+        let t = RTree::bulk_load(vec![(vec![4.0], ConfigId(0))]);
+        assert_eq!(t.dominating_min_slack(&[3.0]), Some((ConfigId(0), 1.0)));
+        assert_eq!(t.dominating_min_slack(&[4.0]), Some((ConfigId(0), 0.0)));
+        assert_eq!(t.dominating_min_slack(&[4.5]), None);
+    }
+
+    #[test]
+    fn low_high_like_paper() {
+        // Low = 4 t/s, High = 8 t/s.
+        let t = RTree::bulk_load(vec![
+            (vec![4.0], ConfigId(0)),
+            (vec![8.0], ConfigId(1)),
+        ]);
+        assert_eq!(t.dominating_min_slack(&[2.0]).unwrap().0, ConfigId(0));
+        assert_eq!(t.dominating_min_slack(&[4.0]).unwrap().0, ConfigId(0));
+        assert_eq!(t.dominating_min_slack(&[4.1]).unwrap().0, ConfigId(1));
+        assert_eq!(t.dominating_min_slack(&[8.0]).unwrap().0, ConfigId(1));
+        assert!(t.dominating_min_slack(&[9.0]).is_none());
+    }
+
+    #[test]
+    fn matches_brute_force_on_grid() {
+        let points = grid_points(13, 11);
+        let t = RTree::bulk_load(points.clone());
+        assert_eq!(t.len(), 143);
+        for qi in 0..30 {
+            let q = vec![qi as f64 * 0.9, (30 - qi) as f64 * 1.1];
+            let got = t.dominating_min_slack(&q);
+            let want = brute_force_dominating(&points, &q);
+            match (got, want) {
+                (Some((_, gs)), Some((_, ws))) => {
+                    assert!((gs - ws).abs() < 1e-9, "slack mismatch at {q:?}");
+                }
+                (None, None) => {}
+                (g, w) => panic!("mismatch at {q:?}: {g:?} vs {w:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn three_dimensional_queries() {
+        let mut points = Vec::new();
+        let mut id = 0;
+        for i in 0..5 {
+            for j in 0..5 {
+                for k in 0..5 {
+                    points.push((
+                        vec![i as f64, j as f64 * 1.5, k as f64 * 2.5],
+                        ConfigId(id),
+                    ));
+                    id += 1;
+                }
+            }
+        }
+        let t = RTree::bulk_load(points.clone());
+        for q in [
+            vec![0.5, 0.5, 0.5],
+            vec![3.9, 5.9, 9.9],
+            vec![4.0, 6.0, 10.0],
+            vec![4.1, 0.0, 0.0],
+        ] {
+            let got = t.dominating_min_slack(&q).map(|(_, s)| s);
+            let want = brute_force_dominating(&points, &q).map(|(_, s)| s);
+            match (got, want) {
+                (Some(g), Some(w)) => assert!((g - w).abs() < 1e-9),
+                (None, None) => {}
+                (g, w) => panic!("mismatch at {q:?}: {g:?} vs {w:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn range_query_matches_filter() {
+        let points = grid_points(9, 9);
+        let t = RTree::bulk_load(points.clone());
+        let lo = vec![2.0, 3.0];
+        let hi = vec![10.0, 12.0];
+        let got = t.range(&lo, &hi);
+        let mut want: Vec<ConfigId> = points
+            .iter()
+            .filter(|(p, _)| {
+                p.iter().zip(&lo).all(|(x, l)| x >= l) && p.iter().zip(&hi).all(|(x, h)| x <= h)
+            })
+            .map(|(_, id)| *id)
+            .collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dominance_is_strict_per_component() {
+        let t = RTree::bulk_load(vec![
+            (vec![4.0, 10.0], ConfigId(0)),
+            (vec![8.0, 5.0], ConfigId(1)),
+            (vec![8.0, 10.0], ConfigId(2)),
+        ]);
+        // Only config 2 dominates (5, 7).
+        assert_eq!(t.dominating_min_slack(&[5.0, 7.0]).unwrap().0, ConfigId(2));
+        // (3, 6): config 0 dominates with slack 5; config 2 with slack 9.
+        assert_eq!(t.dominating_min_slack(&[3.0, 6.0]).unwrap().0, ConfigId(0));
+    }
+}

@@ -1,0 +1,111 @@
+//! Shared fixtures for unit, integration, and property tests.
+//!
+//! Public (but `doc(hidden)`) so downstream crates' tests and benches can
+//! reuse the same canonical instances.
+
+#![allow(missing_docs)]
+
+use crate::problem::Problem;
+use laar_model::{
+    Application, ConfigSpace, GraphBuilder, Host, HostId, Placement,
+};
+
+/// The paper's Fig. 1/2 scenario: `src -> pe1 -> pe2 -> sink`, selectivity 1,
+/// per-tuple cost 100 cycles, hosts of 1000 cycles/s, Low = 4 t/s (p = 0.8),
+/// High = 8 t/s (p = 0.2), replica `r` of each PE on host `r`, `T` = 300 s.
+pub fn fig2_problem(ic_req: f64) -> Problem {
+    let mut b = GraphBuilder::new();
+    let s = b.add_source("src");
+    let p1 = b.add_pe("pe1");
+    let p2 = b.add_pe("pe2");
+    let k = b.add_sink("sink");
+    b.connect(s, p1, 1.0, 100.0).unwrap();
+    b.connect(p1, p2, 1.0, 100.0).unwrap();
+    b.connect_sink(p2, k).unwrap();
+    let g = b.build().unwrap();
+    let cs = ConfigSpace::new(&g, vec![vec![4.0, 8.0]], vec![0.8, 0.2]).unwrap();
+    let hosts = vec![
+        Host {
+            id: HostId(0),
+            name: "h0".into(),
+            capacity: 1000.0,
+        },
+        Host {
+            id: HostId(1),
+            name: "h1".into(),
+            capacity: 1000.0,
+        },
+    ];
+    let assignment = vec![HostId(0), HostId(1), HostId(0), HostId(1)];
+    let placement = Placement::new(&g, 2, hosts, assignment).unwrap();
+    let app = Application::new("fig2", g, cs, 300.0).unwrap();
+    Problem::new(app, placement, ic_req).unwrap()
+}
+
+/// A three-stage pipeline with a fan-out in the middle:
+/// `src -> a -> {b, c} -> d -> sink`, on 3 hosts, with loads chosen so that
+/// all-active overloads at High but a single replica everywhere fits.
+pub fn diamond_problem(ic_req: f64) -> Problem {
+    let mut bld = GraphBuilder::new();
+    let s = bld.add_source("src");
+    let a = bld.add_pe("a");
+    let b = bld.add_pe("b");
+    let c = bld.add_pe("c");
+    let d = bld.add_pe("d");
+    let k = bld.add_sink("sink");
+    bld.connect(s, a, 1.0, 60.0).unwrap();
+    bld.connect(a, b, 0.8, 50.0).unwrap();
+    bld.connect(a, c, 1.2, 40.0).unwrap();
+    bld.connect(b, d, 1.0, 30.0).unwrap();
+    bld.connect(c, d, 1.0, 30.0).unwrap();
+    bld.connect_sink(d, k).unwrap();
+    let g = bld.build().unwrap();
+    let cs = ConfigSpace::new(&g, vec![vec![5.0, 11.0]], vec![0.7, 0.3]).unwrap();
+    let hosts = Placement::uniform_hosts(3, 1200.0);
+    // Spread replicas: replica 0 round-robin 0,1,2,0; replica 1 offset by 1.
+    let assignment = vec![
+        HostId(0),
+        HostId(1), // a
+        HostId(1),
+        HostId(2), // b
+        HostId(2),
+        HostId(0), // c
+        HostId(0),
+        HostId(1), // d
+    ];
+    let placement = Placement::new(&g, 2, hosts, assignment).unwrap();
+    let app = Application::new("diamond", g, cs, 300.0).unwrap();
+    Problem::new(app, placement, ic_req).unwrap()
+}
+
+/// A wider synthetic instance: a layered graph of `n_pes` PEs in a chain of
+/// fan-outs over `n_hosts` hosts. Deterministic (no RNG) so tests are stable.
+pub fn chain_problem(n_pes: usize, n_hosts: usize, ic_req: f64) -> Problem {
+    assert!(n_pes >= 1 && n_hosts >= 2);
+    let mut b = GraphBuilder::new();
+    let s = b.add_source("src");
+    let mut pes = Vec::new();
+    for i in 0..n_pes {
+        pes.push(b.add_pe(&format!("pe{i}")));
+    }
+    let k = b.add_sink("sink");
+    // Chain with selectivity alternating around 1 and modest costs.
+    b.connect(s, pes[0], 1.0, 80.0).unwrap();
+    for i in 1..n_pes {
+        let sel = if i % 2 == 0 { 0.9 } else { 1.1 };
+        b.connect(pes[i - 1], pes[i], sel, 60.0 + (i % 5) as f64 * 10.0)
+            .unwrap();
+    }
+    b.connect_sink(pes[n_pes - 1], k).unwrap();
+    let g = b.build().unwrap();
+    let cs = ConfigSpace::new(&g, vec![vec![4.0, 9.0]], vec![0.75, 0.25]).unwrap();
+    let hosts = Placement::uniform_hosts(n_hosts, 1000.0 * (n_pes as f64 / n_hosts as f64).max(1.0));
+    let mut assignment = Vec::new();
+    for i in 0..n_pes {
+        assignment.push(HostId((i % n_hosts) as u32));
+        assignment.push(HostId(((i + 1) % n_hosts) as u32));
+    }
+    let placement = Placement::new(&g, 2, hosts, assignment).unwrap();
+    let app = Application::new("chain", g, cs, 300.0).unwrap();
+    Problem::new(app, placement, ic_req).unwrap()
+}

@@ -1,0 +1,342 @@
+//! The replication variants compared in the paper's evaluation (§5.2).
+//!
+//! Besides the three LAAR strategies (L.5/L.6/L.7, produced by FT-Search
+//! with IC requirements 0.5/0.6/0.7), the paper evaluates:
+//!
+//! * **SR** — *static replication*: every replica active all the time;
+//! * **GRD** — *greedy*: from static replication, per configuration,
+//!   iteratively deactivate redundant replicas on overloaded hosts until no
+//!   host is overloaded (most CPU-consuming replica first, with a heuristic
+//!   preferring upstream PEs);
+//! * **NR** — *non-replicated*: derived from the L.5 strategy's activations
+//!   in the "High" configuration, reduced so exactly one replica of each PE
+//!   is ever active, used in every configuration.
+
+use crate::problem::Problem;
+use laar_model::{ActivationStrategy, ConfigId};
+use serde::{Deserialize, Serialize};
+
+/// Names for the six variants used throughout the evaluation harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VariantKind {
+    /// Non-replicated deployment (derived from L.5, §5.2).
+    NonReplicated,
+    /// Static active replication: everything active everywhere.
+    StaticReplication,
+    /// The greedy dynamic baseline.
+    Greedy,
+    /// LAAR with IC requirement 0.5.
+    Laar05,
+    /// LAAR with IC requirement 0.6.
+    Laar06,
+    /// LAAR with IC requirement 0.7.
+    Laar07,
+}
+
+impl VariantKind {
+    /// All variants in the paper's reporting order.
+    pub const ALL: [VariantKind; 6] = [
+        VariantKind::NonReplicated,
+        VariantKind::StaticReplication,
+        VariantKind::Greedy,
+        VariantKind::Laar05,
+        VariantKind::Laar06,
+        VariantKind::Laar07,
+    ];
+
+    /// The paper's label (NR, SR, GRD, L.5, L.6, L.7).
+    pub fn label(self) -> &'static str {
+        match self {
+            VariantKind::NonReplicated => "NR",
+            VariantKind::StaticReplication => "SR",
+            VariantKind::Greedy => "GRD",
+            VariantKind::Laar05 => "L.5",
+            VariantKind::Laar06 => "L.6",
+            VariantKind::Laar07 => "L.7",
+        }
+    }
+
+    /// The IC requirement of LAAR variants (`None` for baselines).
+    pub fn ic_requirement(self) -> Option<f64> {
+        match self {
+            VariantKind::Laar05 => Some(0.5),
+            VariantKind::Laar06 => Some(0.6),
+            VariantKind::Laar07 => Some(0.7),
+            _ => None,
+        }
+    }
+}
+
+/// Static replication (SR): every replica active in every configuration.
+pub fn static_replication(problem: &Problem) -> ActivationStrategy {
+    ActivationStrategy::all_active(problem.num_pes(), problem.num_configs(), problem.k())
+}
+
+/// Result of the greedy derivation.
+#[derive(Debug, Clone)]
+pub struct GreedyResult {
+    /// The derived strategy.
+    pub strategy: ActivationStrategy,
+    /// `true` when every host ended below capacity in every configuration.
+    /// Greedy cannot always unload a host (it never deactivates the last
+    /// replica of a PE); the paper notes its "unpredictable behavior".
+    pub fully_unloaded: bool,
+}
+
+/// The greedy dynamic baseline (GRD, §5.2): starting from static active
+/// replication, for every input configuration, iteratively disable redundant
+/// PE replicas until every host is non-overloaded. At each iteration an
+/// overloaded host is chosen, and among its deactivatable replicas (those
+/// whose PE keeps another active replica) the most CPU-consuming one is
+/// deactivated, with a heuristic preferring upstream PEs first: candidates
+/// within 20 % of the maximum candidate load are considered ties and the
+/// topologically earliest wins.
+pub fn greedy(problem: &Problem) -> GreedyResult {
+    let np = problem.num_pes();
+    let nq = problem.num_configs();
+    let k = problem.k();
+    let placement = &problem.placement;
+    let rates = problem.rates();
+    let mut s = ActivationStrategy::all_active(np, nq, k);
+    let mut fully_unloaded = true;
+
+    for ci in 0..nq {
+        let c = ConfigId(ci as u32);
+        // Current load per host in this configuration.
+        let mut load = vec![0.0f64; placement.num_hosts()];
+        for pe in 0..np {
+            for r in 0..k {
+                load[placement.host_of(pe, r).index()] += rates.pe_input_load(pe, c);
+            }
+        }
+        loop {
+            // Most overloaded host first.
+            let over = (0..load.len())
+                .filter(|&h| load[h] >= placement.hosts()[h].capacity)
+                .max_by(|&a, &b| {
+                    (load[a] / placement.hosts()[a].capacity)
+                        .partial_cmp(&(load[b] / placement.hosts()[b].capacity))
+                        .unwrap()
+                });
+            let Some(h) = over else { break };
+
+            // Deactivatable replicas on h: active here, PE has another
+            // active replica in this configuration.
+            let candidates: Vec<(usize, usize, f64)> = placement
+                .replicas_on(laar_model::HostId(h as u32))
+                .into_iter()
+                .filter(|&(pe, r)| s.is_active(pe, c, r) && s.active_count(pe, c) > 1)
+                .map(|(pe, r)| (pe, r, rates.pe_input_load(pe, c)))
+                .collect();
+            if candidates.is_empty() {
+                fully_unloaded = false;
+                break;
+            }
+            let max_load = candidates
+                .iter()
+                .map(|&(_, _, l)| l)
+                .fold(f64::NEG_INFINITY, f64::max);
+            // Upstream preference among near-maximal candidates.
+            let &(pe, r, l) = candidates
+                .iter()
+                .filter(|&&(_, _, l)| l >= 0.8 * max_load)
+                .min_by_key(|&&(pe, r, _)| (pe, r))
+                .expect("non-empty");
+            s.set_active(pe, c, r, false);
+            load[h] -= l;
+        }
+        // A host may stay overloaded in configurations where even single
+        // replicas don't fit; record it.
+        for (h, &l) in load.iter().enumerate() {
+            if l >= placement.hosts()[h].capacity {
+                fully_unloaded = false;
+            }
+        }
+    }
+
+    GreedyResult {
+        strategy: s,
+        fully_unloaded,
+    }
+}
+
+/// The configuration with the largest all-active total CPU load — the
+/// paper's "High" reference used to derive the NR variant.
+pub fn peak_config(problem: &Problem) -> ConfigId {
+    let rates = problem.rates();
+    let np = problem.num_pes();
+    problem
+        .app
+        .configs()
+        .configs()
+        .max_by(|&a, &b| {
+            let la: f64 = (0..np).map(|pe| rates.pe_input_load(pe, a)).sum();
+            let lb: f64 = (0..np).map(|pe| rates.pe_input_load(pe, b)).sum();
+            la.partial_cmp(&lb).unwrap()
+        })
+        .expect("at least one configuration")
+}
+
+/// The non-replicated variant (NR, §5.2): start from `base`'s activations in
+/// the peak ("High") configuration, reduce every PE to exactly one active
+/// replica (keeping, among the active ones, the replica whose host has the
+/// smallest accumulated peak load — a balance-preserving tie-break), and use
+/// that single-replica assignment in *all* configurations.
+pub fn non_replicated(problem: &Problem, base: &ActivationStrategy) -> ActivationStrategy {
+    let np = problem.num_pes();
+    let nq = problem.num_configs();
+    let k = problem.k();
+    let placement = &problem.placement;
+    let rates = problem.rates();
+    let peak = peak_config(problem);
+
+    let mut host_load = vec![0.0f64; placement.num_hosts()];
+    let mut keep = vec![0usize; np];
+    for pe in 0..np {
+        let active: Vec<usize> = (0..k).filter(|&r| base.is_active(pe, peak, r)).collect();
+        debug_assert!(!active.is_empty(), "base strategy violates eq. 12");
+        let chosen = active
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                host_load[placement.host_of(pe, a).index()]
+                    .partial_cmp(&host_load[placement.host_of(pe, b).index()])
+                    .unwrap()
+            })
+            .unwrap_or(0);
+        keep[pe] = chosen;
+        host_load[placement.host_of(pe, chosen).index()] += rates.pe_input_load(pe, peak);
+    }
+
+    let mut s = ActivationStrategy::all_inactive(np, nq, k);
+    for (pe, &kept) in keep.iter().enumerate() {
+        for c in 0..nq {
+            s.set_active(pe, ConfigId(c as u32), kept, true);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftsearch::{solve, FtSearchConfig};
+    use crate::ic::PessimisticFailure;
+    use crate::testutil::{diamond_problem, fig2_problem};
+
+    #[test]
+    fn sr_is_all_active() {
+        let p = fig2_problem(0.5);
+        let s = static_replication(&p);
+        assert_eq!(s.total_active(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn greedy_unloads_fig2() {
+        let p = fig2_problem(0.5);
+        let g = greedy(&p);
+        assert!(g.fully_unloaded);
+        let cm = p.cost_model();
+        cm.check_no_overload(&g.strategy).unwrap();
+        // At Low nothing is overloaded, so everything stays active.
+        assert_eq!(g.strategy.active_count(0, ConfigId(0)), 2);
+        assert_eq!(g.strategy.active_count(1, ConfigId(0)), 2);
+        // At High exactly one replica per PE survives on these hosts.
+        assert_eq!(g.strategy.active_count(0, ConfigId(1)), 1);
+        assert_eq!(g.strategy.active_count(1, ConfigId(1)), 1);
+    }
+
+    #[test]
+    fn greedy_keeps_eq12() {
+        for ic in [0.0, 0.5] {
+            let p = diamond_problem(ic);
+            let g = greedy(&p);
+            g.strategy
+                .validate(p.app.graph(), p.num_configs(), p.k())
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn greedy_costs_at_most_sr() {
+        let p = diamond_problem(0.5);
+        let cm = p.cost_model();
+        let sr = static_replication(&p);
+        let g = greedy(&p);
+        assert!(cm.cost_cycles(&g.strategy) <= cm.cost_cycles(&sr));
+    }
+
+    #[test]
+    fn peak_config_is_high() {
+        let p = fig2_problem(0.5);
+        assert_eq!(peak_config(&p), ConfigId(1));
+    }
+
+    #[test]
+    fn nr_single_replica_everywhere() {
+        let p = fig2_problem(0.5);
+        let report = solve(&p, &FtSearchConfig::default()).unwrap();
+        let l5 = &report.outcome.solution().expect("L.5 feasible").strategy;
+        let nr = non_replicated(&p, l5);
+        for pe in 0..2 {
+            for c in 0..2 {
+                assert_eq!(nr.active_count(pe, ConfigId(c)), 1);
+            }
+        }
+        // NR is never overloaded.
+        p.cost_model().check_no_overload(&nr).unwrap();
+        // NR keeps a replica that L.5 had active at High.
+        for pe in 0..2 {
+            let r = (0..2).find(|&r| nr.is_active(pe, ConfigId(1), r)).unwrap();
+            assert!(l5.is_active(pe, ConfigId(1), r));
+        }
+    }
+
+    #[test]
+    fn nr_has_zero_pessimistic_ic() {
+        let p = fig2_problem(0.5);
+        let report = solve(&p, &FtSearchConfig::default()).unwrap();
+        let l5 = &report.outcome.solution().unwrap().strategy;
+        let nr = non_replicated(&p, l5);
+        let ev = p.ic_evaluator();
+        assert_eq!(ev.ic(&nr, &PessimisticFailure), 0.0);
+    }
+
+    #[test]
+    fn variant_labels() {
+        assert_eq!(VariantKind::Laar05.label(), "L.5");
+        assert_eq!(VariantKind::Greedy.label(), "GRD");
+        assert_eq!(VariantKind::Laar06.ic_requirement(), Some(0.6));
+        assert_eq!(VariantKind::StaticReplication.ic_requirement(), None);
+    }
+
+    #[test]
+    fn cost_ordering_across_variants() {
+        // cost(NR) <= cost(L.5) <= cost(L.6) <= cost(SR); GRD <= SR.
+        let p5 = fig2_problem(0.5);
+        let cm = p5.cost_model();
+        let l5 = solve(&p5, &FtSearchConfig::default())
+            .unwrap()
+            .outcome
+            .solution()
+            .unwrap()
+            .strategy
+            .clone();
+        let p6 = fig2_problem(0.6);
+        let l6 = solve(&p6, &FtSearchConfig::default())
+            .unwrap()
+            .outcome
+            .solution()
+            .unwrap()
+            .strategy
+            .clone();
+        let sr = static_replication(&p5);
+        let nr = non_replicated(&p5, &l5);
+        let grd = greedy(&p5).strategy;
+        let c = |s: &ActivationStrategy| cm.cost_cycles(s);
+        assert!(c(&nr) <= c(&l5) + 1e-9);
+        assert!(c(&l5) <= c(&l6) + 1e-9);
+        assert!(c(&l6) <= c(&sr) + 1e-9);
+        assert!(c(&grd) <= c(&sr) + 1e-9);
+    }
+}

@@ -1,0 +1,36 @@
+//! # laar-dsps
+//!
+//! A deterministic discrete-event simulator of a distributed stream
+//! processing cluster — the substrate standing in for the paper's IBM
+//! InfoSphere Streams® deployment on a 60-core BladeCenter® cluster.
+//!
+//! It models:
+//!
+//! * hosts with CPU capacity `K` cycles/s, shared across resident replicas
+//!   with generalized processor sharing evaluated in fixed quanta;
+//! * replicated PEs behind HAProxy-style proxies: bounded per-port input
+//!   queues (drop on overflow), per-tuple CPU costs, selectivity
+//!   accumulators, primary-only output forwarding, activation/deactivation
+//!   commands, heartbeat-delayed fail-over, and state re-synchronization on
+//!   (re)activation;
+//! * trace-driven data sources and measuring sinks;
+//! * the LAAR runtime loop (Rate Monitor → HAController → commands) running
+//!   in simulation time;
+//! * failure injection: none (best case), the pessimistic worst case of
+//!   eq. 14, and timed single-host crashes with recovery (§5.3).
+
+#![warn(missing_docs)]
+
+pub mod failure;
+pub mod metrics;
+pub mod profiler;
+pub mod replica;
+pub mod sim;
+pub mod trace;
+
+pub use failure::FailurePlan;
+pub use metrics::{LatencyStats, SimMetrics, TimeSeries};
+pub use replica::{InPort, Replica, ReplicaStatus};
+pub use sim::{SimConfig, Simulation};
+pub use profiler::{profile_application, EstimatedDescriptor};
+pub use trace::{ArrivalProcess, InputTrace, RateSchedule, SourceEmitter};

@@ -1,0 +1,422 @@
+//! Simulated PE replicas: bounded per-port input queues, per-tuple CPU
+//! costs, selectivity accumulators, and the active/idle/failed/syncing state
+//! machine driven by the HAProxy protocol (§4.6, §5.1).
+//!
+//! Queue entries carry the *birth timestamp* of the source tuple that
+//! (transitively) produced them, so sinks can measure end-to-end latency;
+//! the head tuple additionally carries partial processing progress in
+//! cycles so work spans scheduling quanta exactly.
+
+use std::collections::VecDeque;
+
+/// One input port of a replica (one incoming graph edge).
+#[derive(Debug, Clone)]
+pub struct InPort {
+    /// Per-tuple CPU cost `γ` in cycles.
+    pub cost: f64,
+    /// Selectivity `δ` of this input.
+    pub sel: f64,
+    /// Maximum queued tuples; arrivals beyond this are dropped.
+    pub capacity: usize,
+    /// Birth timestamps of queued tuples (front = head, possibly partially
+    /// processed).
+    pub queue: VecDeque<f64>,
+    /// Cycles already invested in the head tuple.
+    pub head_progress: f64,
+    /// Tuples dropped because the queue was full.
+    pub drops: u64,
+    /// Tuples fully processed from this port (profiling counter).
+    pub processed: u64,
+}
+
+impl InPort {
+    /// A port with the given cost, selectivity, and queue capacity.
+    pub fn new(cost: f64, sel: f64, capacity: usize) -> Self {
+        Self {
+            cost,
+            sel,
+            capacity: capacity.max(1),
+            queue: VecDeque::new(),
+            head_progress: 0.0,
+            drops: 0,
+            processed: 0,
+        }
+    }
+
+    /// Number of queued tuples.
+    #[inline]
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// The liveness/activation state of one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaStatus {
+    /// Alive, active, and processing.
+    Running,
+    /// Alive but deactivated (idle, resource-saving).
+    Idle,
+    /// Alive, activated, but still re-synchronizing state.
+    Syncing,
+    /// Dead (failure injection).
+    Dead,
+}
+
+/// One simulated replica of one PE.
+#[derive(Debug, Clone)]
+pub struct Replica {
+    /// Dense PE index.
+    pub pe_dense: usize,
+    /// Replica index.
+    pub replica: usize,
+    /// Dense host index.
+    pub host: usize,
+    /// Input ports, aligned with the PE's `in_edges` order.
+    pub ports: Vec<InPort>,
+    /// Selectivity accumulator: one output is emitted every time it crosses 1.
+    pub out_acc: f64,
+    /// Activation flag (HAController command state).
+    pub active: bool,
+    /// Liveness flag (failure injection).
+    pub alive: bool,
+    /// While `Some(t)`, the replica is re-synchronizing until time `t`.
+    pub sync_until: Option<f64>,
+    /// Tuples fully processed by this replica.
+    pub processed: u64,
+    /// Snapshot of `processed` at the last accounting point (used by the
+    /// simulator to attribute logical work to the current primary).
+    pub processed_snapshot: u64,
+    /// Output tuples emitted (whether or not forwarded as primary).
+    pub emitted: u64,
+    /// CPU cycles consumed.
+    pub cycles_used: f64,
+    /// Tuples discarded while idle/dead/syncing.
+    pub idle_discards: u64,
+    /// Birth timestamps of outputs produced during the current quantum;
+    /// drained by the simulator after scheduling.
+    pub out_births: Vec<f64>,
+    /// Round-robin cursor over ports.
+    rr: usize,
+}
+
+impl Replica {
+    /// A replica with the given ports, initially alive and active.
+    pub fn new(pe_dense: usize, replica: usize, host: usize, ports: Vec<InPort>) -> Self {
+        Self {
+            pe_dense,
+            replica,
+            host,
+            ports,
+            out_acc: 0.0,
+            active: true,
+            alive: true,
+            sync_until: None,
+            processed: 0,
+            processed_snapshot: 0,
+            emitted: 0,
+            cycles_used: 0.0,
+            idle_discards: 0,
+            out_births: Vec::new(),
+            rr: 0,
+        }
+    }
+
+    /// Current status at time `now`.
+    pub fn status(&self, now: f64) -> ReplicaStatus {
+        if !self.alive {
+            ReplicaStatus::Dead
+        } else if !self.active {
+            ReplicaStatus::Idle
+        } else if self.sync_until.is_some_and(|t| now < t) {
+            ReplicaStatus::Syncing
+        } else {
+            ReplicaStatus::Running
+        }
+    }
+
+    /// `true` when the replica may process and forward tuples.
+    #[inline]
+    pub fn eligible(&self, now: f64) -> bool {
+        self.status(now) == ReplicaStatus::Running
+    }
+
+    /// `true` if any port has queued work.
+    pub fn has_work(&self) -> bool {
+        self.ports.iter().any(|p| !p.queue.is_empty())
+    }
+
+    /// Offer tuples with the given birth timestamps to port `port` at time
+    /// `now`. Ineligible replicas discard; eligible ones enqueue up to
+    /// capacity and drop the rest.
+    pub fn offer(&mut self, port: usize, births: &[f64], now: f64) {
+        if births.is_empty() {
+            return;
+        }
+        if !self.eligible(now) {
+            self.idle_discards += births.len() as u64;
+            return;
+        }
+        let p = &mut self.ports[port];
+        let space = p.capacity.saturating_sub(p.queue.len());
+        let accepted = births.len().min(space);
+        p.queue.extend(&births[..accepted]);
+        p.drops += (births.len() - accepted) as u64;
+    }
+
+    /// Offer `n` tuples that were all born at `birth` (convenience wrapper
+    /// used when arrivals within one quantum share a timestamp).
+    pub fn offer_n(&mut self, port: usize, n: usize, birth: f64, now: f64) {
+        if n == 0 {
+            return;
+        }
+        if !self.eligible(now) {
+            self.idle_discards += n as u64;
+            return;
+        }
+        let p = &mut self.ports[port];
+        let space = p.capacity.saturating_sub(p.queue.len());
+        let accepted = n.min(space);
+        for _ in 0..accepted {
+            p.queue.push_back(birth);
+        }
+        p.drops += (n - accepted) as u64;
+    }
+
+    /// Consume up to `budget` CPU cycles of queued work, round-robin across
+    /// ports (one tuple at a time). Returns the cycles used; produced
+    /// outputs accumulate in [`Replica::out_births`] carrying the birth
+    /// timestamp of the tuple whose processing completed them.
+    pub fn process(&mut self, budget: f64) -> f64 {
+        let mut used = 0.0;
+        if self.ports.is_empty() {
+            return 0.0;
+        }
+        'outer: while used < budget {
+            // Find the next non-empty port starting at the cursor.
+            let mut found = None;
+            for off in 0..self.ports.len() {
+                let i = (self.rr + off) % self.ports.len();
+                if !self.ports[i].queue.is_empty() {
+                    found = Some(i);
+                    break;
+                }
+            }
+            let Some(i) = found else { break 'outer };
+            let p = &mut self.ports[i];
+            let need = (p.cost - p.head_progress).max(0.0);
+            let avail = budget - used;
+            if avail >= need {
+                used += need;
+                p.head_progress = 0.0;
+                let birth = p.queue.pop_front().expect("non-empty");
+                p.processed += 1;
+                self.processed += 1;
+                self.out_acc += p.sel;
+                while self.out_acc >= 1.0 {
+                    self.out_births.push(birth);
+                    self.emitted += 1;
+                    self.out_acc -= 1.0;
+                }
+                self.rr = (i + 1) % self.ports.len();
+            } else {
+                p.head_progress += avail;
+                used = budget;
+                break;
+            }
+        }
+        self.cycles_used += used;
+        used
+    }
+
+    /// Deactivate (HAController command): enter the idle state immediately,
+    /// discarding queued input.
+    pub fn deactivate(&mut self) {
+        self.active = false;
+        self.clear_queues_as_discards();
+    }
+
+    /// Activate (HAController command) at `now`: re-synchronize state with an
+    /// active replica for `sync_delay` seconds, then resume processing fresh
+    /// input. The selectivity accumulator is reset as part of the state sync.
+    pub fn activate(&mut self, now: f64, sync_delay: f64) {
+        self.active = true;
+        self.out_acc = 0.0;
+        self.sync_until = if sync_delay > 0.0 {
+            Some(now + sync_delay)
+        } else {
+            None
+        };
+    }
+
+    /// Kill the replica (failure injection): all queued input is lost.
+    pub fn kill(&mut self) {
+        self.alive = false;
+        self.clear_queues_as_discards();
+    }
+
+    /// Recover from a failure at `now`: like an activation, the replica must
+    /// re-synchronize before it resumes.
+    pub fn recover(&mut self, now: f64, sync_delay: f64) {
+        self.alive = true;
+        self.out_acc = 0.0;
+        for p in &mut self.ports {
+            p.head_progress = 0.0;
+        }
+        self.sync_until = if sync_delay > 0.0 {
+            Some(now + sync_delay)
+        } else {
+            None
+        };
+    }
+
+    fn clear_queues_as_discards(&mut self) {
+        for p in &mut self.ports {
+            self.idle_discards += p.queue.len() as u64;
+            p.queue.clear();
+            p.head_progress = 0.0;
+        }
+    }
+
+    /// Total queue-overflow drops across ports.
+    pub fn total_drops(&self) -> u64 {
+        self.ports.iter().map(|p| p.drops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replica_one_port(cost: f64, sel: f64, cap: usize) -> Replica {
+        Replica::new(0, 0, 0, vec![InPort::new(cost, sel, cap)])
+    }
+
+    #[test]
+    fn processes_whole_tuples_within_budget() {
+        let mut r = replica_one_port(100.0, 1.0, 10);
+        r.offer_n(0, 5, 0.0, 0.0);
+        let used = r.process(250.0);
+        assert_eq!(used, 250.0);
+        assert_eq!(r.out_births.len(), 2);
+        assert_eq!(r.processed, 2);
+        assert_eq!(r.ports[0].queued(), 3);
+        assert!((r.ports[0].head_progress - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_progress_carries_over() {
+        let mut r = replica_one_port(100.0, 1.0, 10);
+        r.offer_n(0, 1, 0.0, 0.0);
+        r.process(60.0);
+        assert_eq!(r.processed, 0);
+        let used = r.process(60.0);
+        assert_eq!(r.out_births.len(), 1);
+        assert!((used - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity_below_one_accumulates() {
+        let mut r = replica_one_port(10.0, 0.5, 100);
+        r.offer_n(0, 10, 0.0, 0.0);
+        r.process(1e9);
+        assert_eq!(r.out_births.len(), 5);
+    }
+
+    #[test]
+    fn selectivity_above_one_multiplies() {
+        let mut r = replica_one_port(10.0, 1.5, 100);
+        r.offer_n(0, 10, 0.0, 0.0);
+        r.process(1e9);
+        assert_eq!(r.out_births.len(), 15);
+    }
+
+    #[test]
+    fn outputs_inherit_birth_timestamps() {
+        let mut r = replica_one_port(10.0, 1.0, 100);
+        r.offer(0, &[1.5, 2.5, 3.5], 4.0);
+        r.process(1e9);
+        assert_eq!(r.out_births, vec![1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut r = replica_one_port(10.0, 1.0, 4);
+        r.offer_n(0, 10, 0.0, 0.0);
+        assert_eq!(r.ports[0].queued(), 4);
+        assert_eq!(r.ports[0].drops, 6);
+        assert_eq!(r.total_drops(), 6);
+    }
+
+    #[test]
+    fn idle_replica_discards() {
+        let mut r = replica_one_port(10.0, 1.0, 4);
+        r.deactivate();
+        r.offer_n(0, 3, 0.0, 0.0);
+        assert_eq!(r.ports[0].queued(), 0);
+        assert_eq!(r.idle_discards, 3);
+        assert_eq!(r.status(0.0), ReplicaStatus::Idle);
+    }
+
+    #[test]
+    fn deactivation_discards_queued_input() {
+        let mut r = replica_one_port(10.0, 1.0, 10);
+        r.offer_n(0, 5, 0.0, 0.0);
+        r.deactivate();
+        assert_eq!(r.idle_discards, 5);
+        assert!(!r.has_work());
+    }
+
+    #[test]
+    fn sync_window_blocks_processing() {
+        let mut r = replica_one_port(10.0, 1.0, 10);
+        r.deactivate();
+        r.activate(100.0, 0.5);
+        assert_eq!(r.status(100.2), ReplicaStatus::Syncing);
+        r.offer_n(0, 2, 100.2, 100.2);
+        assert_eq!(r.idle_discards, 2);
+        assert_eq!(r.status(100.5), ReplicaStatus::Running);
+        r.offer_n(0, 2, 100.6, 100.6);
+        assert_eq!(r.ports[0].queued(), 2);
+    }
+
+    #[test]
+    fn kill_and_recover() {
+        let mut r = replica_one_port(10.0, 1.0, 10);
+        r.offer_n(0, 4, 0.0, 0.0);
+        r.kill();
+        assert_eq!(r.status(1.0), ReplicaStatus::Dead);
+        assert_eq!(r.idle_discards, 4);
+        r.recover(10.0, 1.0);
+        assert_eq!(r.status(10.5), ReplicaStatus::Syncing);
+        assert_eq!(r.status(11.0), ReplicaStatus::Running);
+    }
+
+    #[test]
+    fn round_robin_across_ports() {
+        let mut r = Replica::new(
+            0,
+            0,
+            0,
+            vec![InPort::new(10.0, 1.0, 10), InPort::new(10.0, 1.0, 10)],
+        );
+        r.offer_n(0, 3, 0.0, 0.0);
+        r.offer_n(1, 3, 0.0, 0.0);
+        r.process(40.0);
+        // Fair: two from each port.
+        assert_eq!(r.ports[0].queued(), 1);
+        assert_eq!(r.ports[1].queued(), 1);
+        // Per-port processed counters track the split.
+        assert_eq!(r.ports[0].processed, 2);
+        assert_eq!(r.ports[1].processed, 2);
+    }
+
+    #[test]
+    fn zero_cost_tuples_are_free() {
+        let mut r = replica_one_port(0.0, 1.0, 10);
+        r.offer_n(0, 5, 0.0, 0.0);
+        let used = r.process(1.0);
+        assert_eq!(r.out_births.len(), 5);
+        assert!(used < 1e-9);
+    }
+}

@@ -1,0 +1,401 @@
+//! Input traces: time-varying source rate schedules (§5.2).
+//!
+//! The paper drives every experiment with a 5-minute trace in which the
+//! "High" input configuration is active for one third of the time. A trace
+//! here is, per source, a piecewise-constant rate schedule; sources emit
+//! tuples deterministically at the scheduled rate (evenly spaced), which
+//! matches the paper's deterministic synthetic operators.
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant rate schedule for one source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateSchedule {
+    /// `(start_time_seconds, rate_tuples_per_second)` segments, sorted by
+    /// start time; the first segment must start at 0. Each segment lasts
+    /// until the next one (or the end of the trace).
+    segments: Vec<(f64, f64)>,
+}
+
+impl RateSchedule {
+    /// A constant-rate schedule.
+    pub fn constant(rate: f64) -> Self {
+        Self {
+            segments: vec![(0.0, rate)],
+        }
+    }
+
+    /// Build from explicit segments. Panics if empty, unsorted, or not
+    /// starting at 0.
+    pub fn from_segments(segments: Vec<(f64, f64)>) -> Self {
+        assert!(!segments.is_empty(), "empty schedule");
+        assert_eq!(segments[0].0, 0.0, "first segment must start at t = 0");
+        assert!(
+            segments.windows(2).all(|w| w[0].0 < w[1].0),
+            "segments must be strictly increasing in start time"
+        );
+        assert!(
+            segments.iter().all(|&(_, r)| r.is_finite() && r >= 0.0),
+            "rates must be finite and non-negative"
+        );
+        Self { segments }
+    }
+
+    /// The rate at time `t`.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        match self
+            .segments
+            .iter()
+            .rev()
+            .find(|&&(start, _)| start <= t)
+        {
+            Some(&(_, r)) => r,
+            None => self.segments[0].1,
+        }
+    }
+
+    /// The segments of the schedule.
+    pub fn segments(&self) -> &[(f64, f64)] {
+        &self.segments
+    }
+
+    /// Total tuples this schedule emits in `[0, duration)` (deterministic
+    /// even spacing, one tuple every `1/rate` seconds starting at each
+    /// segment boundary).
+    pub fn expected_tuples(&self, duration: f64) -> f64 {
+        let mut total = 0.0;
+        for (i, &(start, rate)) in self.segments.iter().enumerate() {
+            if start >= duration {
+                break;
+            }
+            let end = self
+                .segments
+                .get(i + 1)
+                .map(|&(s, _)| s)
+                .unwrap_or(duration)
+                .min(duration);
+            total += (end - start) * rate;
+        }
+        total
+    }
+}
+
+/// A full input trace: one schedule per source plus the trace duration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputTrace {
+    /// Per-source rate schedules, in the graph's dense source order.
+    pub schedules: Vec<RateSchedule>,
+    /// Trace duration in seconds.
+    pub duration: f64,
+}
+
+impl InputTrace {
+    /// A trace with every source at a constant rate.
+    pub fn constant(rates: &[f64], duration: f64) -> Self {
+        Self {
+            schedules: rates.iter().map(|&r| RateSchedule::constant(r)).collect(),
+            duration,
+        }
+    }
+
+    /// The paper's experiment trace for a single source: `duration` seconds
+    /// at `low` tuples/s with one contiguous window at `high` tuples/s
+    /// covering `high_fraction` of the trace, centered in the middle.
+    pub fn low_high_centered(low: f64, high: f64, duration: f64, high_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&high_fraction));
+        let hw = duration * high_fraction;
+        let start = (duration - hw) / 2.0;
+        let mut segments = vec![(0.0, low)];
+        if hw > 0.0 {
+            segments.push((start, high));
+            if start + hw < duration {
+                segments.push((start + hw, low));
+            }
+        }
+        Self {
+            schedules: vec![RateSchedule::from_segments(segments)],
+            duration,
+        }
+    }
+
+    /// A single-source trace alternating Low/High in `n_bursts` evenly
+    /// spaced High bursts totalling `high_fraction` of the duration.
+    pub fn low_high_bursts(
+        low: f64,
+        high: f64,
+        duration: f64,
+        high_fraction: f64,
+        n_bursts: usize,
+    ) -> Self {
+        assert!(n_bursts >= 1);
+        assert!((0.0..1.0).contains(&high_fraction));
+        let burst_len = duration * high_fraction / n_bursts as f64;
+        let period = duration / n_bursts as f64;
+        let mut segments = vec![(0.0, low)];
+        for i in 0..n_bursts {
+            let start = i as f64 * period + (period - burst_len) / 2.0;
+            segments.push((start, high));
+            segments.push((start + burst_len, low));
+        }
+        Self {
+            schedules: vec![RateSchedule::from_segments(segments)],
+            duration,
+        }
+    }
+
+    /// Time windows (start, end) during which source 0 runs at a rate
+    /// `> threshold` — used by the harness to place host crashes inside
+    /// "High" periods.
+    pub fn windows_above(&self, source: usize, threshold: f64) -> Vec<(f64, f64)> {
+        let sched = &self.schedules[source];
+        let mut out = Vec::new();
+        let mut open: Option<f64> = None;
+        for (i, &(start, rate)) in sched.segments().iter().enumerate() {
+            let end = sched
+                .segments()
+                .get(i + 1)
+                .map(|&(s, _)| s)
+                .unwrap_or(self.duration);
+            if rate > threshold {
+                if open.is_none() {
+                    open = Some(start);
+                }
+                if i + 1 == sched.segments().len() || sched.segments()[i + 1].1 <= threshold {
+                    out.push((open.take().unwrap(), end));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// How a source spaces its tuples at the scheduled rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Evenly spaced arrivals (the paper's deterministic synthetic
+    /// operators).
+    Deterministic,
+    /// A Poisson process: exponential inter-arrival times, seeded for
+    /// reproducibility. Rate changes take effect at the next emission
+    /// (piecewise-homogeneous approximation).
+    Poisson {
+        /// RNG seed (xorshift64*).
+        seed: u64,
+    },
+}
+
+/// Tuple emitter for one source: produces arrival timestamps at the
+/// scheduled rate, either evenly spaced or Poisson-distributed.
+#[derive(Debug, Clone)]
+pub struct SourceEmitter {
+    schedule: RateSchedule,
+    next_emit: f64,
+    emitted: u64,
+    process: ArrivalProcess,
+    rng: u64,
+}
+
+impl SourceEmitter {
+    /// Start a deterministic emitter at time 0.
+    pub fn new(schedule: RateSchedule) -> Self {
+        Self::with_process(schedule, ArrivalProcess::Deterministic)
+    }
+
+    /// Start an emitter with the given arrival process at time 0.
+    pub fn with_process(schedule: RateSchedule, process: ArrivalProcess) -> Self {
+        let rng = match process {
+            ArrivalProcess::Deterministic => 0,
+            ArrivalProcess::Poisson { seed } => seed | 1,
+        };
+        Self {
+            schedule,
+            next_emit: 0.0,
+            emitted: 0,
+            process,
+            rng,
+        }
+    }
+
+    /// Next inter-arrival interval at the given rate.
+    fn interval(&mut self, rate: f64) -> f64 {
+        match self.process {
+            ArrivalProcess::Deterministic => 1.0 / rate,
+            ArrivalProcess::Poisson { .. } => {
+                // xorshift64* -> uniform in (0, 1) -> exponential.
+                self.rng ^= self.rng << 13;
+                self.rng ^= self.rng >> 7;
+                self.rng ^= self.rng << 17;
+                let u = (self.rng.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64
+                    / (1u64 << 53) as f64;
+                -(1.0 - u).ln() / rate
+            }
+        }
+    }
+
+    /// Emit all tuples with timestamps in `[from, to)`; returns their times.
+    pub fn emit_until(&mut self, to: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        loop {
+            let rate = self.schedule.rate_at(self.next_emit);
+            if rate <= 0.0 {
+                // Skip to the next segment with a positive rate.
+                match self
+                    .schedule
+                    .segments()
+                    .iter()
+                    .find(|&&(s, r)| s > self.next_emit && r > 0.0)
+                {
+                    Some(&(s, _)) => {
+                        self.next_emit = s;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            if self.next_emit >= to {
+                break;
+            }
+            out.push(self.next_emit);
+            self.emitted += 1;
+            let dt = self.interval(rate);
+            self.next_emit += dt;
+        }
+        out
+    }
+
+    /// Tuples emitted so far.
+    #[inline]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule() {
+        let s = RateSchedule::constant(4.0);
+        assert_eq!(s.rate_at(0.0), 4.0);
+        assert_eq!(s.rate_at(1e6), 4.0);
+        assert!((s.expected_tuples(300.0) - 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn piecewise_rates() {
+        let s = RateSchedule::from_segments(vec![(0.0, 4.0), (100.0, 8.0), (200.0, 4.0)]);
+        assert_eq!(s.rate_at(50.0), 4.0);
+        assert_eq!(s.rate_at(100.0), 8.0);
+        assert_eq!(s.rate_at(150.0), 8.0);
+        assert_eq!(s.rate_at(250.0), 4.0);
+        // 100*4 + 100*8 + 100*4 = 1600 tuples over 300 s.
+        assert!((s.expected_tuples(300.0) - 1600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centered_high_window() {
+        let t = InputTrace::low_high_centered(4.0, 8.0, 300.0, 1.0 / 3.0);
+        let sched = &t.schedules[0];
+        assert_eq!(sched.rate_at(0.0), 4.0);
+        assert_eq!(sched.rate_at(150.0), 8.0);
+        assert_eq!(sched.rate_at(299.0), 4.0);
+        let windows = t.windows_above(0, 4.0);
+        assert_eq!(windows.len(), 1);
+        let (a, b) = windows[0];
+        assert!((b - a - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bursty_trace_total_high_time() {
+        let t = InputTrace::low_high_bursts(2.0, 10.0, 300.0, 1.0 / 3.0, 3);
+        let windows = t.windows_above(0, 2.0);
+        assert_eq!(windows.len(), 3);
+        let total: f64 = windows.iter().map(|(a, b)| b - a).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emitter_even_spacing() {
+        let mut e = SourceEmitter::new(RateSchedule::constant(4.0));
+        let times = e.emit_until(2.0);
+        assert_eq!(times.len(), 8);
+        assert!((times[1] - times[0] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emitter_tracks_rate_change() {
+        let sched = RateSchedule::from_segments(vec![(0.0, 2.0), (5.0, 10.0)]);
+        let mut e = SourceEmitter::new(sched);
+        let before = e.emit_until(5.0);
+        assert_eq!(before.len(), 10);
+        let after = e.emit_until(6.0);
+        // ~10 tuples per second after the switch.
+        assert!((after.len() as i64 - 10).abs() <= 1);
+    }
+
+    #[test]
+    fn emitter_incremental_equals_oneshot() {
+        let sched = RateSchedule::from_segments(vec![(0.0, 3.0), (10.0, 7.0), (20.0, 1.0)]);
+        let mut once = SourceEmitter::new(sched.clone());
+        let all = once.emit_until(30.0);
+        let mut inc = SourceEmitter::new(sched);
+        let mut merged = Vec::new();
+        let mut t: f64 = 0.0;
+        while t < 30.0 {
+            t += 0.37;
+            merged.extend(inc.emit_until(t.min(30.0)));
+        }
+        assert_eq!(all, merged);
+    }
+
+    #[test]
+    fn zero_rate_segment_is_skipped() {
+        let sched = RateSchedule::from_segments(vec![(0.0, 0.0), (10.0, 5.0)]);
+        let mut e = SourceEmitter::new(sched);
+        let times = e.emit_until(12.0);
+        assert!(!times.is_empty());
+        assert!(times.iter().all(|&t| t >= 10.0));
+    }
+
+    #[test]
+    fn poisson_rate_approximates_schedule() {
+        let mut e = SourceEmitter::with_process(
+            RateSchedule::constant(50.0),
+            ArrivalProcess::Poisson { seed: 42 },
+        );
+        let times = e.emit_until(100.0);
+        let n = times.len() as f64;
+        // 5000 expected; 5 sigma ~ 350.
+        assert!((n - 5000.0).abs() < 400.0, "n = {n}");
+        // Inter-arrival CV should be near 1 (exponential), unlike the
+        // deterministic process where it is 0.
+        let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.15, "cv = {cv}");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let run = |seed| {
+            SourceEmitter::with_process(
+                RateSchedule::constant(10.0),
+                ArrivalProcess::Poisson { seed },
+            )
+            .emit_until(50.0)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn expected_tuples_matches_emitter() {
+        let t = InputTrace::low_high_centered(4.0, 8.0, 300.0, 1.0 / 3.0);
+        let expected = t.schedules[0].expected_tuples(300.0);
+        let mut e = SourceEmitter::new(t.schedules[0].clone());
+        let emitted = e.emit_until(300.0).len() as f64;
+        assert!((expected - emitted).abs() <= 3.0, "{expected} vs {emitted}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig. 10 — application output rate during the load peak, normalized
+//! against the (over-provisioned, never overloaded) NR deployment.
+//!
+//! Paper expectation: SR averages ~33 % slower than NR (up to 63 %); LAAR
+//! stays within 9 % of NR; GRD lands in between but is inconsistent across
+//! applications (2–38 % slower).
+
+use laar_experiments::cli::CommonArgs;
+use laar_experiments::cache::load_or_evaluate;
+use laar_experiments::evaluation::EvalConfig;
+use laar_experiments::figures::fig10_peak_output_rate;
+use laar_experiments::report::variant_table;
+use std::time::Duration;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let cfg = EvalConfig {
+        num_apps: args.count_or(30, 100),
+        seed: args.seed.unwrap_or(0xEDB7_2014),
+        solver_time_limit: args.time_limit_or(Duration::from_secs(5), Duration::from_secs(600)),
+        run_worst_case: true, // share one cached evaluation with figs 11/12
+        ..EvalConfig::default()
+    };
+    eprintln!(
+        "Fig. 10 — evaluating {} applications x 6 variants (best case)...",
+        cfg.num_apps
+    );
+    let eval = load_or_evaluate(&cfg);
+    eprintln!(
+        "evaluated {} apps ({} skipped)",
+        eval.apps.len(),
+        eval.skipped.len()
+    );
+
+    println!(
+        "{}",
+        variant_table(
+            "Fig. 10 — output rate during the load peak, normalized vs NR",
+            &fig10_peak_output_rate(&eval),
+            Some(&[("NR", 1.0), ("SR", 0.67), ("L.5", 0.93), ("L.6", 0.93), ("L.7", 0.92)]),
+        )
+    );
+    println!(
+        "paper: SR mean 33 % below NR (up to 63 %); LAAR at most 9 % below;\n\
+         GRD inconsistent, 2-38 % below NR depending on the application."
+    );
+}

@@ -1,0 +1,39 @@
+//! Fig. 5 — over the instances FT-Search solved to optimality: (a) the cost
+//! ratio between the first feasible solution and the optimum (paper mean
+//! 1.057, positively skewed) and (b) the time ratio between finding the
+//! first solution and the optimum (paper mean 0.37).
+
+use laar_experiments::cli::CommonArgs;
+use laar_experiments::solver_eval::{evaluate_solver_corpus, SolverEvalConfig};
+use laar_experiments::{BoxPlot, Histogram};
+use std::time::Duration;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let cfg = SolverEvalConfig {
+        num_instances: args.count_or(120, 600),
+        seed: args.seed.unwrap_or(0xF7_5EA7C4),
+        time_limit: args.time_limit_or(Duration::from_secs(5), Duration::from_secs(600)),
+        ic_constraints: vec![0.5, 0.6, 0.7, 0.8, 0.9],
+    };
+    eprintln!(
+        "Fig. 5 — running FT-Search on {} instances (limit {:?})...",
+        cfg.num_instances, cfg.time_limit
+    );
+    let runs = evaluate_solver_corpus(&cfg);
+
+    let cost_ratios: Vec<f64> = runs.iter().filter_map(|r| r.cost_ratio()).collect();
+    let time_ratios: Vec<f64> = runs.iter().filter_map(|r| r.time_ratio()).collect();
+
+    println!(
+        "Fig. 5 — first solution vs optimum over {} optimally solved runs\n",
+        cost_ratios.len()
+    );
+    println!("(a) cost ratio first/optimal  (paper mean: 1.057, positively skewed)");
+    println!("    measured: {}", BoxPlot::of(&cost_ratios).render());
+    println!("{}\n", Histogram::of(&cost_ratios, 1.0, 1.5, 10).render());
+
+    println!("(b) time ratio first/optimal  (paper mean: 0.37)");
+    println!("    measured: {}", BoxPlot::of(&time_ratios).render());
+    println!("{}", Histogram::of(&time_ratios, 0.0, 1.0, 10).render());
+}

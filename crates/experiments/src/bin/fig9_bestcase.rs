@@ -1,0 +1,72 @@
+//! Fig. 9 — best-case (no failures) evaluation over the generated corpus:
+//! total CPU time used (top) and tuples dropped on full queues (bottom),
+//! both normalized against the non-replicated (NR) deployment.
+//!
+//! Paper expectation: SR is the most expensive (1.61–1.90× NR — not 2×
+//! because the cluster saturates at the peak); GRD second; the three LAAR
+//! variants are the cheapest with cost proportional to the IC requirement.
+//! SR drops up to 33.6× more tuples than NR; the dynamic variants drop few.
+
+use laar_experiments::cli::CommonArgs;
+use laar_experiments::cache::load_or_evaluate;
+use laar_experiments::evaluation::EvalConfig;
+use laar_experiments::figures::{fig9_cpu_time, fig9_drop_fraction, fig9_drops};
+use laar_experiments::report::variant_table;
+use std::time::Duration;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let cfg = EvalConfig {
+        num_apps: args.count_or(30, 100),
+        seed: args.seed.unwrap_or(0xEDB7_2014),
+        solver_time_limit: args.time_limit_or(Duration::from_secs(5), Duration::from_secs(600)),
+        run_worst_case: true, // share one cached evaluation with figs 11/12
+        ..EvalConfig::default()
+    };
+    eprintln!(
+        "Fig. 9 — evaluating {} applications x 6 variants (best case)...",
+        cfg.num_apps
+    );
+    let eval = load_or_evaluate(&cfg);
+    eprintln!(
+        "evaluated {} apps ({} skipped: {:?})",
+        eval.apps.len(),
+        eval.skipped.len(),
+        eval.skipped.iter().map(|(s, r)| format!("{s}:{r}")).collect::<Vec<_>>()
+    );
+
+    println!(
+        "{}",
+        variant_table(
+            "Fig. 9 (top) — total CPU time, normalized vs NR",
+            &fig9_cpu_time(&eval),
+            Some(&[("NR", 1.0), ("SR", 1.75)]), // paper: overhead 61-90 %
+        )
+    );
+    println!("paper: SR between 1.61x and 1.90x NR; LAAR cheapest, cost grows with IC.\n");
+
+    println!(
+        "{}",
+        variant_table(
+            "Fig. 9 (bottom) — tuples dropped (full queues), normalized vs NR",
+            &fig9_drops(&eval),
+            Some(&[("SR", 33.6)]), // paper: SR can drop up to 33.6x NR
+        )
+    );
+    println!(
+        "paper: SR drops up to 33.6x NR with high variance; dynamic variants drop\n\
+         little. NOTE: our simulated NR drops exactly zero tuples (the paper's NR\n\
+         dropped a few on rate glitches), so the NR-relative ratio degenerates;\n\
+         the fraction view below carries the comparison."
+    );
+
+    println!(
+        "\n{}",
+        variant_table(
+            "Fig. 9 (bottom, companion) — drops as a fraction of tuples handled",
+            &fig9_drop_fraction(&eval),
+            None,
+        )
+    );
+    println!("paper shape: only SR loses a meaningful share of the stream; the\ndynamic variants lose (almost) nothing.");
+}

@@ -1,0 +1,114 @@
+//! Fig. 3: the motivating two-host pipeline experiment (§4.1).
+//!
+//! Reproduces both panels: (a) static active replication saturating when
+//! the source switches to the High rate, and (b) LAAR deactivating one
+//! replica of each PE during the High period so the output keeps following
+//! the input.
+
+use laar_core::testutil::fig2_problem;
+use laar_dsps::{FailurePlan, InputTrace, RateSchedule, SimConfig, SimMetrics, Simulation};
+use laar_model::{ActivationStrategy, ConfigId};
+
+/// Result of the Fig. 3 experiment: per-second series for both panels.
+#[derive(Debug)]
+pub struct Fig3Result {
+    /// Panel (a): static replication.
+    pub static_replication: SimMetrics,
+    /// Panel (b): LAAR.
+    pub laar: SimMetrics,
+    /// Second at which the High configuration starts.
+    pub high_start: f64,
+    /// Second at which the High configuration ends.
+    pub high_end: f64,
+}
+
+/// The paper's trace: Low (4 t/s) for ~50 s, then High (8 t/s), then Low
+/// again; 150 s total.
+pub fn fig3_trace() -> InputTrace {
+    InputTrace {
+        schedules: vec![RateSchedule::from_segments(vec![
+            (0.0, 4.0),
+            (50.0, 8.0),
+            (110.0, 4.0),
+        ])],
+        duration: 150.0,
+    }
+}
+
+/// The LAAR strategy of Fig. 2b: fully replicated at Low, staggered single
+/// replicas at High.
+pub fn fig2b_strategy() -> ActivationStrategy {
+    let mut s = ActivationStrategy::all_active(2, 2, 2);
+    s.set_active(0, ConfigId(1), 1, false);
+    s.set_active(1, ConfigId(1), 0, false);
+    s
+}
+
+/// Run both panels.
+pub fn run_fig3() -> Fig3Result {
+    let problem = fig2_problem(0.6);
+    let trace = fig3_trace();
+    let run = |strategy: ActivationStrategy| {
+        Simulation::new(
+            &problem.app,
+            &problem.placement,
+            strategy,
+            &trace,
+            FailurePlan::None,
+            SimConfig::default(),
+        )
+        .run()
+    };
+    Fig3Result {
+        static_replication: run(ActivationStrategy::all_active(2, 2, 2)),
+        laar: run(fig2b_strategy()),
+        high_start: 50.0,
+        high_end: 110.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_a_saturates_panel_b_follows() {
+        let r = run_fig3();
+        let window = (60.0, 110.0);
+        let input = r.static_replication.input_rate.mean_over(window.0, window.1);
+        let sr_out = r
+            .static_replication
+            .output_rate
+            .mean_over(window.0, window.1);
+        let laar_out = r.laar.output_rate.mean_over(window.0, window.1);
+        assert!(
+            sr_out < input * 0.8,
+            "SR should fall behind: in {input}, out {sr_out}"
+        );
+        assert!(
+            laar_out > input * 0.85,
+            "LAAR should follow: in {input}, out {laar_out}"
+        );
+    }
+
+    #[test]
+    fn panel_a_cpu_saturates_during_high() {
+        let r = run_fig3();
+        for h in 0..2 {
+            let util = r.static_replication.host_utilization[h].mean_over(60.0, 100.0);
+            assert!(util > 0.95, "host {h} util {util} should saturate");
+        }
+        // LAAR keeps both hosts at ~80 % during High (8 t/s x 0.1 s).
+        for h in 0..2 {
+            let util = r.laar.host_utilization[h].mean_over(60.0, 100.0);
+            assert!(util < 0.95, "host {h} util {util} should not saturate");
+        }
+    }
+
+    #[test]
+    fn sr_drops_laar_does_not() {
+        let r = run_fig3();
+        assert!(r.static_replication.queue_drops > 0);
+        assert!(r.laar.queue_drops < r.static_replication.queue_drops / 4);
+    }
+}

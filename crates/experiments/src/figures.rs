@@ -1,0 +1,213 @@
+//! Aggregations turning raw corpus measurements into the series shown in
+//! Figs. 9–12 of the paper.
+
+use crate::evaluation::{AppEvaluation, CorpusEvaluation};
+use crate::stats::BoxPlot;
+use laar_core::variants::VariantKind;
+use std::collections::BTreeMap;
+
+/// Per-variant distribution of a normalized metric.
+#[derive(Debug)]
+pub struct VariantDistribution {
+    /// The variant.
+    pub variant: VariantKind,
+    /// Box-plot summary across applications.
+    pub summary: BoxPlot,
+    /// The raw per-application values.
+    pub values: Vec<f64>,
+}
+
+fn collect<F>(eval: &CorpusEvaluation, f: F) -> Vec<VariantDistribution>
+where
+    F: Fn(&AppEvaluation, VariantKind) -> Option<f64>,
+{
+    VariantKind::ALL
+        .iter()
+        .map(|&variant| {
+            let values: Vec<f64> = eval
+                .apps
+                .iter()
+                .filter_map(|app| f(app, variant))
+                .collect();
+            VariantDistribution {
+                variant,
+                summary: BoxPlot::of(&values),
+                values,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 9 (top): total CPU time in the best-case scenario, normalized
+/// against the NR variant of the same application.
+pub fn fig9_cpu_time(eval: &CorpusEvaluation) -> Vec<VariantDistribution> {
+    collect(eval, |app, variant| {
+        let nr = app.runs[&VariantKind::NonReplicated].best.total_cpu_seconds();
+        let v = app.runs[&variant].best.total_cpu_seconds();
+        (nr > 0.0).then(|| v / nr)
+    })
+}
+
+/// Fig. 9 (bottom): tuples dropped due to full queues in the best case,
+/// normalized against NR (whose drop count is floored at 1 tuple, since an
+/// adaptive-free single-replica deployment can be drop-free in simulation).
+pub fn fig9_drops(eval: &CorpusEvaluation) -> Vec<VariantDistribution> {
+    collect(eval, |app, variant| {
+        let nr = app.runs[&VariantKind::NonReplicated].best.queue_drops as f64;
+        let v = app.runs[&variant].best.queue_drops as f64;
+        Some(v / nr.max(1.0))
+    })
+}
+
+/// Companion to Fig. 9 (bottom): drops as a *fraction of tuples handled*
+/// (`drops / (drops + processed)`), which stays meaningful when NR drops
+/// nothing at all (the paper's NR dropped a handful of tuples on input
+/// glitches, so its ratio normalization worked there).
+pub fn fig9_drop_fraction(eval: &CorpusEvaluation) -> Vec<VariantDistribution> {
+    collect(eval, |app, variant| {
+        let m = &app.runs[&variant].best;
+        let handled = m.queue_drops + m.total_processed();
+        (handled > 0).then(|| m.queue_drops as f64 / handled as f64)
+    })
+}
+
+/// Fig. 10: application output rate during the load peak (the High window),
+/// normalized against NR.
+pub fn fig10_peak_output_rate(eval: &CorpusEvaluation) -> Vec<VariantDistribution> {
+    collect(eval, |app, variant| {
+        let (hs, he) = app.high_window;
+        // Skip the first seconds of the window: the controller needs a
+        // monitoring period to react, and the paper measures the sustained
+        // peak rate.
+        let from = hs + (he - hs) * 0.15;
+        let nr = app.runs[&VariantKind::NonReplicated]
+            .best
+            .output_rate_over(from, he);
+        let v = app.runs[&variant].best.output_rate_over(from, he);
+        (nr > 0.0).then(|| v / nr)
+    })
+}
+
+/// Fig. 11 (top): total samples processed under the pessimistic worst-case
+/// failure model, normalized against the *failure-free* NR run — the
+/// empirically measured IC.
+pub fn fig11_worst_case(eval: &CorpusEvaluation) -> Vec<VariantDistribution> {
+    collect(eval, |app, variant| {
+        let reference = app.runs[&VariantKind::NonReplicated].best.total_processed() as f64;
+        let worst = app.runs[&variant].worst.as_ref()?;
+        (reference > 0.0).then(|| worst.total_processed() as f64 / reference)
+    })
+}
+
+/// One row of the Fig. 12 summary: mean values normalized against SR.
+#[derive(Debug)]
+pub struct SummaryRow {
+    /// The variant.
+    pub variant: VariantKind,
+    /// Mean best-case drops / SR.
+    pub drops_vs_sr: f64,
+    /// Mean measured worst-case IC (Fig. 11 top value, absolute).
+    pub measured_ic: f64,
+    /// Mean best-case CPU cost / SR.
+    pub cost_vs_sr: f64,
+}
+
+/// Accumulators for one variant: (drops ratios, measured ICs, cost ratios).
+type SummaryAccum = (Vec<f64>, Vec<f64>, Vec<f64>);
+
+/// Fig. 12: per-variant summary normalized against static replication.
+pub fn fig12_summary(eval: &CorpusEvaluation) -> Vec<SummaryRow> {
+    let mut per_variant: BTreeMap<VariantKind, SummaryAccum> = BTreeMap::new();
+    for app in &eval.apps {
+        let sr = &app.runs[&VariantKind::StaticReplication];
+        let sr_drops = sr.best.queue_drops as f64;
+        let sr_cost = sr.best.total_cpu_seconds();
+        let reference = app.runs[&VariantKind::NonReplicated].best.total_processed() as f64;
+        for (&variant, run) in &app.runs {
+            let e = per_variant.entry(variant).or_default();
+            e.0.push(run.best.queue_drops as f64 / sr_drops.max(1.0));
+            if let Some(w) = &run.worst {
+                if reference > 0.0 {
+                    e.1.push(w.total_processed() as f64 / reference);
+                }
+            }
+            e.2.push(run.best.total_cpu_seconds() / sr_cost.max(1e-12));
+        }
+    }
+    VariantKind::ALL
+        .iter()
+        .map(|&variant| {
+            let (drops, ic, cost) = per_variant.remove(&variant).unwrap_or_default();
+            SummaryRow {
+                variant,
+                drops_vs_sr: crate::stats::mean(&drops),
+                measured_ic: crate::stats::mean(&ic),
+                cost_vs_sr: crate::stats::mean(&cost),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::{evaluate_corpus, EvalConfig};
+    use laar_gen::GenParams;
+    use std::time::Duration;
+
+    fn tiny_eval() -> CorpusEvaluation {
+        evaluate_corpus(&EvalConfig {
+            num_apps: 3,
+            seed: 20_14,
+            solver_time_limit: Duration::from_secs(5),
+            gen: GenParams {
+                num_pes: 6,
+                num_hosts: 2,
+                duration: 60.0,
+                ..GenParams::default()
+            },
+            ..EvalConfig::default()
+        })
+    }
+
+    #[test]
+    fn figure_shapes_match_paper_ordering() {
+        let eval = tiny_eval();
+        assert!(!eval.apps.is_empty(), "all apps skipped: {:?}", eval.skipped);
+
+        // Fig. 9 top: SR is the most expensive variant; LAAR cost grows
+        // with the IC requirement; all replicated variants cost >= NR.
+        let cpu = fig9_cpu_time(&eval);
+        let mean_of = |v: VariantKind, rows: &[VariantDistribution]| {
+            rows.iter().find(|r| r.variant == v).unwrap().summary.mean
+        };
+        let sr = mean_of(VariantKind::StaticReplication, &cpu);
+        let l5 = mean_of(VariantKind::Laar05, &cpu);
+        let l7 = mean_of(VariantKind::Laar07, &cpu);
+        assert!(sr > 1.2, "SR/NR mean = {sr}");
+        assert!(l5 <= l7 + 0.05, "cost should grow with IC: {l5} vs {l7}");
+        assert!(sr >= l7 - 0.05, "SR should be the most expensive");
+
+        // Fig. 11 top: NR processes nothing; LAAR respects its bound.
+        let worst = fig11_worst_case(&eval);
+        assert!(mean_of(VariantKind::NonReplicated, &worst) < 1e-9);
+        assert!(mean_of(VariantKind::Laar05, &worst) >= 0.40);
+        assert!(
+            mean_of(VariantKind::StaticReplication, &worst)
+                >= mean_of(VariantKind::Laar07, &worst) - 0.05
+        );
+    }
+
+    #[test]
+    fn fig12_summary_has_all_variants() {
+        let eval = tiny_eval();
+        let rows = fig12_summary(&eval);
+        assert_eq!(rows.len(), 6);
+        let sr = rows
+            .iter()
+            .find(|r| r.variant == VariantKind::StaticReplication)
+            .unwrap();
+        assert!((sr.cost_vs_sr - 1.0).abs() < 1e-9);
+        assert!((sr.drops_vs_sr - 1.0).abs() < 0.3); // SR vs itself (floored)
+    }
+}

@@ -1,0 +1,103 @@
+//! Plain-text rendering of experiment results, including paper-vs-measured
+//! comparison rows for EXPERIMENTS.md.
+
+use crate::figures::VariantDistribution;
+
+/// Render a fixed-width table: header row plus rows of cells.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render per-variant box-plot distributions with an optional column of
+/// paper-reported mean values for comparison.
+pub fn variant_table(
+    title: &str,
+    rows: &[VariantDistribution],
+    paper_means: Option<&[(&str, f64)]>,
+) -> String {
+    let mut out = format!("== {title} ==\n");
+    let headers = vec![
+        "variant", "n", "mean", "min", "q1", "median", "q3", "max", "paper-mean",
+    ];
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let paper = paper_means
+                .and_then(|pm| {
+                    pm.iter()
+                        .find(|(v, _)| *v == r.variant.label())
+                        .map(|(_, m)| format!("{m:.3}"))
+                })
+                .unwrap_or_else(|| "-".to_owned());
+            vec![
+                r.variant.label().to_owned(),
+                r.summary.n.to_string(),
+                format!("{:.3}", r.summary.mean),
+                format!("{:.3}", r.summary.min),
+                format!("{:.3}", r.summary.q1),
+                format!("{:.3}", r.summary.median),
+                format!("{:.3}", r.summary.q3),
+                format!("{:.3}", r.summary.max),
+                paper,
+            ]
+        })
+        .collect();
+    out.push_str(&table(&headers, &body));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::BoxPlot;
+    use laar_core::variants::VariantKind;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = table(
+            &["a", "bbb"],
+            &[vec!["1".into(), "2".into()], vec!["10".into(), "200".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn variant_table_includes_paper_column() {
+        let rows = vec![VariantDistribution {
+            variant: VariantKind::StaticReplication,
+            summary: BoxPlot::of(&[1.5, 1.7, 1.9]),
+            values: vec![1.5, 1.7, 1.9],
+        }];
+        let t = variant_table("Fig test", &rows, Some(&[("SR", 1.75)]));
+        assert!(t.contains("SR"));
+        assert!(t.contains("1.750"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Descriptive statistics for the experiment reports: box-plot five-number
+//! summaries with outliers (the paper presents most results as box plots)
+//! and fixed-width histograms (Fig. 5).
+
+/// Box-plot summary of a sample: quartiles, whiskers at 1.5 × IQR, and
+/// outliers — exactly the convention of the paper's footnote 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxPlot {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean (the paper labels boxes with mean values).
+    pub mean: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Smallest sample within `q1 - 1.5·IQR`.
+    pub whisker_lo: f64,
+    /// Largest sample within `q3 + 1.5·IQR`.
+    pub whisker_hi: f64,
+    /// Samples outside the whiskers.
+    pub outliers: Vec<f64>,
+}
+
+/// Linear-interpolation percentile of a sorted slice (R-7, the default of
+/// most statistics packages).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+impl BoxPlot {
+    /// Summarize a sample (NaNs are ignored).
+    pub fn of(values: &[f64]) -> Self {
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if v.is_empty() {
+            return Self {
+                n: 0,
+                mean: f64::NAN,
+                min: f64::NAN,
+                q1: f64::NAN,
+                median: f64::NAN,
+                q3: f64::NAN,
+                max: f64::NAN,
+                whisker_lo: f64::NAN,
+                whisker_hi: f64::NAN,
+                outliers: Vec::new(),
+            };
+        }
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let q1 = percentile(&v, 0.25);
+        let median = percentile(&v, 0.5);
+        let q3 = percentile(&v, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_lo = v
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(v[0]);
+        let whisker_hi = v
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(v[v.len() - 1]);
+        let outliers = v
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+        Self {
+            n: v.len(),
+            mean,
+            min: v[0],
+            q1,
+            median,
+            q3,
+            max: v[v.len() - 1],
+            whisker_lo,
+            whisker_hi,
+            outliers,
+        }
+    }
+
+    /// One-line rendering: `mean [min | q1 med q3 | max] (k outliers)`.
+    pub fn render(&self) -> String {
+        if self.n == 0 {
+            return "(empty)".to_owned();
+        }
+        format!(
+            "mean {:.3} [min {:.3} | q1 {:.3} med {:.3} q3 {:.3} | max {:.3}] ({} outliers)",
+            self.mean,
+            self.min,
+            self.q1,
+            self.median,
+            self.q3,
+            self.max,
+            self.outliers.len()
+        )
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with counts per bin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Lower bound of the first bin.
+    pub lo: f64,
+    /// Bin width.
+    pub width: f64,
+    /// Counts per bin; values above the last bin land in it.
+    pub counts: Vec<u64>,
+    /// Samples below `lo` (counted separately).
+    pub underflow: u64,
+}
+
+impl Histogram {
+    /// Build a histogram with `bins` bins of equal width over `[lo, hi)`.
+    pub fn of(values: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && hi > lo);
+        let width = (hi - lo) / bins as f64;
+        let mut counts = vec![0u64; bins];
+        let mut underflow = 0;
+        for &v in values {
+            if !v.is_finite() {
+                continue;
+            }
+            if v < lo {
+                underflow += 1;
+            } else {
+                let b = (((v - lo) / width) as usize).min(bins - 1);
+                counts[b] += 1;
+            }
+        }
+        Self {
+            lo,
+            width,
+            counts,
+            underflow,
+        }
+    }
+
+    /// Render as one `bin-start: count (bar)` line per bin.
+    pub fn render(&self) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let start = self.lo + i as f64 * self.width;
+                let bar = "#".repeat((c * 40 / max) as usize);
+                format!("{start:>8.3}: {c:>5} {bar}")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Arithmetic mean (NaN on empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        f64::NAN
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Elementwise ratio `num[i] / den[i]`, with the denominator clamped away
+/// from zero by `den_floor` (used when normalizing drop counts against NR,
+/// which can be drop-free).
+pub fn ratios(num: &[f64], den: &[f64], den_floor: f64) -> Vec<f64> {
+    num.iter()
+        .zip(den)
+        .map(|(&n, &d)| n / d.max(den_floor))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_number_summary() {
+        let v: Vec<f64> = (1..=9).map(|x| x as f64).collect();
+        let b = BoxPlot::of(&v);
+        assert_eq!(b.n, 9);
+        assert_eq!(b.median, 5.0);
+        assert_eq!(b.q1, 3.0);
+        assert_eq!(b.q3, 7.0);
+        assert_eq!(b.mean, 5.0);
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 9.0);
+    }
+
+    #[test]
+    fn outliers_detected() {
+        let mut v: Vec<f64> = (1..=20).map(|x| x as f64).collect();
+        v.push(1000.0);
+        let b = BoxPlot::of(&v);
+        assert_eq!(b.outliers, vec![1000.0]);
+        assert!(b.whisker_hi <= 20.0);
+        assert_eq!(b.max, 1000.0);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(BoxPlot::of(&[]).n, 0);
+        let b = BoxPlot::of(&[3.5]);
+        assert_eq!(b.median, 3.5);
+        assert_eq!(b.q1, 3.5);
+    }
+
+    #[test]
+    fn nan_filtered() {
+        let b = BoxPlot::of(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(b.n, 2);
+        assert_eq!(b.mean, 2.0);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let h = Histogram::of(&[0.1, 0.15, 0.5, 0.95, 1.5, -0.2], 0.0, 1.0, 10);
+        assert_eq!(h.counts[0], 0);
+        assert_eq!(h.counts[1], 2); // 0.1, 0.15
+        assert_eq!(h.counts[5], 1); // 0.5
+        assert_eq!(h.counts[9], 2); // 0.95 and the 1.5 overflow
+        assert_eq!(h.underflow, 1);
+    }
+
+    #[test]
+    fn ratio_floor() {
+        let r = ratios(&[10.0, 5.0], &[0.0, 2.0], 1.0);
+        assert_eq!(r, vec![10.0, 2.5]);
+    }
+
+    #[test]
+    fn render_smoke() {
+        let b = BoxPlot::of(&[1.0, 2.0, 3.0]);
+        assert!(b.render().contains("mean 2.000"));
+        let h = Histogram::of(&[0.5], 0.0, 1.0, 2);
+        assert!(h.render().contains("0.500"));
+    }
+}

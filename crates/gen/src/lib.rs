@@ -1,0 +1,27 @@
+//! # laar-gen
+//!
+//! Synthetic stream-application generator reproducing the paper's
+//! experimental setup (§5.2):
+//!
+//! * random DAGs with a target average out-degree between 1.5 and 3;
+//! * port selectivities uniform in `[0.5, 1.5]`;
+//! * a single external source with two rates ("Low" < "High") drawn
+//!   uniformly from `[1, 20]` tuples/s;
+//! * per-tuple CPU costs calibrated so the deployment is **not** overloaded
+//!   with all replicas active in the Low configuration but **is** overloaded
+//!   with all replicas active in the High configuration;
+//! * balanced two-fold replicated placements (replicas on distinct hosts);
+//! * input traces with the High configuration active for a configurable
+//!   fraction of the time (the paper uses 1/3 of a 5-minute trace);
+//! * the solver-benchmark corpus (600 instances on 1–12 hosts with 2–12
+//!   PEs per host) used for Figs. 4–6.
+//!
+//! All generation is deterministic given a `u64` seed.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod generator;
+
+pub use corpus::{runtime_corpus, solver_corpus, SolverInstance};
+pub use generator::{GenParams, GeneratedApp};

@@ -1,0 +1,117 @@
+//! The complete application contract: graph + descriptor + billing period.
+//!
+//! In the paper's service model (§3), a customer-provider contract bundles
+//! the stream processing application, its descriptor (PE selectivities,
+//! per-tuple CPU costs, source rate distributions), and the SLA. Here the
+//! descriptor attributes live on the graph edges and the [`ConfigSpace`];
+//! [`Application`] ties them together with the billing period `T`.
+
+use crate::config::ConfigSpace;
+use crate::error::ModelError;
+use crate::graph::ApplicationGraph;
+use serde::{Deserialize, Serialize};
+
+/// A validated stream processing application with its descriptor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Application {
+    /// Application name (used in corpus reports).
+    pub name: String,
+    graph: ApplicationGraph,
+    configs: ConfigSpace,
+    /// Billing period `T` in seconds.
+    billing_period: f64,
+}
+
+impl Application {
+    /// Bundle a graph, its configuration space, and the billing period `T`
+    /// (seconds). The configuration space must have been built against the
+    /// same graph.
+    pub fn new(
+        name: &str,
+        graph: ApplicationGraph,
+        configs: ConfigSpace,
+        billing_period: f64,
+    ) -> Result<Self, ModelError> {
+        if !(billing_period.is_finite() && billing_period > 0.0) {
+            return Err(ModelError::InvalidBillingPeriod(billing_period));
+        }
+        if configs.num_sources() != graph.num_sources() {
+            return Err(ModelError::InvalidRateSet(u32::MAX));
+        }
+        Ok(Self {
+            name: name.to_owned(),
+            graph,
+            configs,
+            billing_period,
+        })
+    }
+
+    /// The dataflow graph.
+    #[inline]
+    pub fn graph(&self) -> &ApplicationGraph {
+        &self.graph
+    }
+
+    /// The input configuration space and its probability mass function.
+    #[inline]
+    pub fn configs(&self) -> &ConfigSpace {
+        &self.configs
+    }
+
+    /// Billing period `T` in seconds.
+    #[inline]
+    pub fn billing_period(&self) -> f64 {
+        self.billing_period
+    }
+
+    /// Serialize the whole contract to pretty JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("application serializes")
+    }
+
+    /// Parse a contract back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn app() -> Application {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("s");
+        let p = b.add_pe("p");
+        let k = b.add_sink("k");
+        b.connect(s, p, 1.0, 1.0e8).unwrap();
+        b.connect_sink(p, k).unwrap();
+        let g = b.build().unwrap();
+        let cs = ConfigSpace::new(&g, vec![vec![4.0, 8.0]], vec![0.8, 0.2]).unwrap();
+        Application::new("demo", g, cs, 300.0).unwrap()
+    }
+
+    #[test]
+    fn construction() {
+        let a = app();
+        assert_eq!(a.billing_period(), 300.0);
+        assert_eq!(a.graph().num_pes(), 1);
+        assert_eq!(a.configs().num_configs(), 2);
+    }
+
+    #[test]
+    fn non_positive_billing_period_rejected() {
+        let a = app();
+        let err = Application::new("x", a.graph().clone(), a.configs().clone(), 0.0).unwrap_err();
+        assert_eq!(err, ModelError::InvalidBillingPeriod(0.0));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let a = app();
+        let j = a.to_json_pretty();
+        let a2 = Application::from_json(&j).unwrap();
+        assert_eq!(a, a2);
+    }
+}

@@ -1,0 +1,147 @@
+//! Error type shared by all model-construction and validation code.
+
+use std::fmt;
+
+/// Errors produced while building or validating the application model.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum ModelError {
+    /// The application graph contains a cycle (it must be a DAG).
+    CyclicGraph,
+    /// An edge references a component id that does not exist.
+    UnknownComponent(u32),
+    /// A duplicate edge between the same pair of components was added.
+    DuplicateEdge { from: u32, to: u32 },
+    /// An edge terminates at a data source (sources have no inputs).
+    EdgeIntoSource(u32),
+    /// An edge originates at a data sink (sinks have no outputs).
+    EdgeFromSink(u32),
+    /// A processing element has no incoming edges.
+    DisconnectedPe(u32),
+    /// A data source has no outgoing edges.
+    DisconnectedSource(u32),
+    /// A data sink has no incoming edges.
+    DisconnectedSink(u32),
+    /// A selectivity value is not finite or is negative.
+    InvalidSelectivity { from: u32, to: u32, value: f64 },
+    /// A per-tuple CPU cost is not finite or is negative.
+    InvalidCpuCost { from: u32, to: u32, value: f64 },
+    /// A source declares an empty or invalid rate set.
+    InvalidRateSet(u32),
+    /// The configuration probability table has the wrong length.
+    ProbabilityLength { expected: usize, actual: usize },
+    /// The configuration probabilities do not sum to (approximately) one.
+    ProbabilityMass(f64),
+    /// A probability value is negative or not finite.
+    InvalidProbability(f64),
+    /// The placement does not assign every replica of every PE.
+    IncompletePlacement,
+    /// A placement references an unknown host.
+    UnknownHost(u32),
+    /// Two replicas of the same PE are placed on the same host.
+    CoLocatedReplicas { pe: u32, host: u32 },
+    /// A host has a non-positive CPU capacity.
+    InvalidCapacity { host: u32, value: f64 },
+    /// The activation strategy has dimensions that do not match the application.
+    StrategyShape {
+        expected_pes: usize,
+        expected_configs: usize,
+        expected_k: usize,
+    },
+    /// The strategy leaves a PE with zero active replicas in some configuration
+    /// (violates eq. 12 of the paper).
+    NoActiveReplica { pe: u32, config: u32 },
+    /// The billing period is non-positive.
+    InvalidBillingPeriod(f64),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::CyclicGraph => write!(f, "application graph contains a cycle"),
+            ModelError::UnknownComponent(id) => write!(f, "unknown component id {id}"),
+            ModelError::DuplicateEdge { from, to } => {
+                write!(f, "duplicate edge from component {from} to {to}")
+            }
+            ModelError::EdgeIntoSource(id) => {
+                write!(f, "edge terminates at data source {id}")
+            }
+            ModelError::EdgeFromSink(id) => write!(f, "edge originates at data sink {id}"),
+            ModelError::DisconnectedPe(id) => {
+                write!(f, "processing element {id} has no incoming edge")
+            }
+            ModelError::DisconnectedSource(id) => {
+                write!(f, "data source {id} has no outgoing edge")
+            }
+            ModelError::DisconnectedSink(id) => {
+                write!(f, "data sink {id} has no incoming edge")
+            }
+            ModelError::InvalidSelectivity { from, to, value } => {
+                write!(f, "invalid selectivity {value} on edge {from} -> {to}")
+            }
+            ModelError::InvalidCpuCost { from, to, value } => {
+                write!(f, "invalid per-tuple CPU cost {value} on edge {from} -> {to}")
+            }
+            ModelError::InvalidRateSet(id) => {
+                write!(f, "source {id} declares an empty or invalid rate set")
+            }
+            ModelError::ProbabilityLength { expected, actual } => write!(
+                f,
+                "configuration probability table has length {actual}, expected {expected}"
+            ),
+            ModelError::ProbabilityMass(sum) => write!(
+                f,
+                "configuration probabilities sum to {sum}, expected 1.0"
+            ),
+            ModelError::InvalidProbability(p) => write!(f, "invalid probability value {p}"),
+            ModelError::IncompletePlacement => {
+                write!(f, "placement does not cover every PE replica")
+            }
+            ModelError::UnknownHost(id) => write!(f, "unknown host id {id}"),
+            ModelError::CoLocatedReplicas { pe, host } => write!(
+                f,
+                "two replicas of PE {pe} are co-located on host {host}"
+            ),
+            ModelError::InvalidCapacity { host, value } => {
+                write!(f, "host {host} has invalid CPU capacity {value}")
+            }
+            ModelError::StrategyShape {
+                expected_pes,
+                expected_configs,
+                expected_k,
+            } => write!(
+                f,
+                "activation strategy shape mismatch (expected {expected_pes} PEs x \
+                 {expected_configs} configurations x {expected_k} replicas)"
+            ),
+            ModelError::NoActiveReplica { pe, config } => write!(
+                f,
+                "PE {pe} has no active replica in configuration {config} (violates eq. 12)"
+            ),
+            ModelError::InvalidBillingPeriod(t) => {
+                write!(f, "invalid billing period {t} (must be positive)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::NoActiveReplica { pe: 3, config: 1 };
+        let s = e.to_string();
+        assert!(s.contains("PE 3"));
+        assert!(s.contains("configuration 1"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(ModelError::CyclicGraph);
+        assert_eq!(e.to_string(), "application graph contains a cycle");
+    }
+}

@@ -1,0 +1,657 @@
+//! The application dataflow graph (§3 of the paper).
+//!
+//! An application is a directed acyclic graph whose vertices are *data
+//! sources*, *processing elements* (PEs), and *data sinks*, and whose edges
+//! are stream connections annotated with the PE characteristics from the
+//! application descriptor: *selectivity* `δ(xᵢ, xⱼ)` and *per-tuple CPU cost*
+//! `γ(xᵢ, xⱼ)` (both attached to the edge going *into* a PE).
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a component (source, PE, or sink) inside one application.
+///
+/// Ids are dense indices assigned in insertion order by [`GraphBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ComponentId(pub u32);
+
+impl ComponentId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The role a component plays in the dataflow graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// External data source: produces tuples, has no inputs.
+    Source,
+    /// Processing element: transforms input streams into one output stream.
+    Pe,
+    /// External data sink: consumes tuples, has no outputs.
+    Sink,
+}
+
+/// A vertex of the application graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Component {
+    /// Dense component id.
+    pub id: ComponentId,
+    /// Role of the component.
+    pub kind: ComponentKind,
+    /// Human-readable name (used in reports and serialized descriptors).
+    pub name: String,
+}
+
+/// Identifier of an edge inside one application graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A stream connection between two components, annotated with the descriptor
+/// attributes of the *downstream* PE for this input port.
+///
+/// For edges terminating at a data sink the annotations are unused; by
+/// convention they are stored as selectivity `1.0` and cost `0.0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Dense edge id.
+    pub id: EdgeId,
+    /// Upstream component.
+    pub from: ComponentId,
+    /// Downstream component.
+    pub to: ComponentId,
+    /// Selectivity `δ(from, to)`: expected output tuples of `to` produced per
+    /// tuple received from `from`.
+    pub selectivity: f64,
+    /// Per-tuple CPU cost `γ(from, to)` in CPU cycles needed by `to` to
+    /// process one tuple arriving from `from`.
+    pub cpu_cost: f64,
+}
+
+/// An immutable, validated application dataflow graph.
+///
+/// Construction goes through [`GraphBuilder`], which checks acyclicity and
+/// all structural invariants. Component ids are dense, so lookups are plain
+/// vector indexing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationGraph {
+    components: Vec<Component>,
+    edges: Vec<Edge>,
+    /// For each component, ids of edges arriving at it.
+    in_edges: Vec<Vec<EdgeId>>,
+    /// For each component, ids of edges leaving it.
+    out_edges: Vec<Vec<EdgeId>>,
+    /// Components in one valid topological order.
+    topo_order: Vec<ComponentId>,
+    /// Dense index of each PE among PEs only (`None` for sources/sinks).
+    pe_index: Vec<Option<u32>>,
+    /// Dense index of each source among sources only.
+    source_index: Vec<Option<u32>>,
+    /// PEs in topological order.
+    pes_topo: Vec<ComponentId>,
+    sources: Vec<ComponentId>,
+    sinks: Vec<ComponentId>,
+}
+
+impl ApplicationGraph {
+    /// Number of components (sources + PEs + sinks).
+    #[inline]
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of processing elements.
+    #[inline]
+    pub fn num_pes(&self) -> usize {
+        self.pes_topo.len()
+    }
+
+    /// Number of data sources.
+    #[inline]
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of data sinks.
+    #[inline]
+    pub fn num_sinks(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All components.
+    #[inline]
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// The component with the given id.
+    #[inline]
+    pub fn component(&self, id: ComponentId) -> &Component {
+        &self.components[id.index()]
+    }
+
+    /// All edges.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge with the given id.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Edges arriving at `id` (the `pred` function of eq. 1, with annotations).
+    #[inline]
+    pub fn in_edges(&self, id: ComponentId) -> impl Iterator<Item = &Edge> + '_ {
+        self.in_edges[id.index()].iter().map(|e| self.edge(*e))
+    }
+
+    /// Edges leaving `id`.
+    #[inline]
+    pub fn out_edges(&self, id: ComponentId) -> impl Iterator<Item = &Edge> + '_ {
+        self.out_edges[id.index()].iter().map(|e| self.edge(*e))
+    }
+
+    /// Predecessor components of `id`.
+    pub fn predecessors(&self, id: ComponentId) -> impl Iterator<Item = ComponentId> + '_ {
+        self.in_edges(id).map(|e| e.from)
+    }
+
+    /// Successor components of `id`.
+    pub fn successors(&self, id: ComponentId) -> impl Iterator<Item = ComponentId> + '_ {
+        self.out_edges(id).map(|e| e.to)
+    }
+
+    /// Number of incoming edges.
+    #[inline]
+    pub fn in_degree(&self, id: ComponentId) -> usize {
+        self.in_edges[id.index()].len()
+    }
+
+    /// Number of outgoing edges.
+    #[inline]
+    pub fn out_degree(&self, id: ComponentId) -> usize {
+        self.out_edges[id.index()].len()
+    }
+
+    /// All components in one valid topological order.
+    #[inline]
+    pub fn topological_order(&self) -> &[ComponentId] {
+        &self.topo_order
+    }
+
+    /// All PEs in topological order.
+    #[inline]
+    pub fn pes(&self) -> &[ComponentId] {
+        &self.pes_topo
+    }
+
+    /// All data sources (insertion order).
+    #[inline]
+    pub fn sources(&self) -> &[ComponentId] {
+        &self.sources
+    }
+
+    /// All data sinks (insertion order).
+    #[inline]
+    pub fn sinks(&self) -> &[ComponentId] {
+        &self.sinks
+    }
+
+    /// Dense index of a PE among the PEs (topological rank is *not* implied;
+    /// this is an arbitrary but stable dense numbering used to index
+    /// strategy/placement tables).
+    #[inline]
+    pub fn pe_dense_index(&self, id: ComponentId) -> Option<usize> {
+        self.pe_index[id.index()].map(|i| i as usize)
+    }
+
+    /// Dense index of a source among the sources.
+    #[inline]
+    pub fn source_dense_index(&self, id: ComponentId) -> Option<usize> {
+        self.source_index[id.index()].map(|i| i as usize)
+    }
+
+    /// `true` if the component is a PE.
+    #[inline]
+    pub fn is_pe(&self, id: ComponentId) -> bool {
+        self.component(id).kind == ComponentKind::Pe
+    }
+
+    /// `true` if the component is a source.
+    #[inline]
+    pub fn is_source(&self, id: ComponentId) -> bool {
+        self.component(id).kind == ComponentKind::Source
+    }
+
+    /// `true` if the component is a sink.
+    #[inline]
+    pub fn is_sink(&self, id: ComponentId) -> bool {
+        self.component(id).kind == ComponentKind::Sink
+    }
+
+    /// Average out-degree over sources and PEs (a generator statistic used by
+    /// the paper: "average outgoing node degree between 1.5 and 3").
+    pub fn average_out_degree(&self) -> f64 {
+        let non_sink: Vec<_> = self
+            .components
+            .iter()
+            .filter(|c| c.kind != ComponentKind::Sink)
+            .collect();
+        if non_sink.is_empty() {
+            return 0.0;
+        }
+        let total: usize = non_sink.iter().map(|c| self.out_degree(c.id)).sum();
+        total as f64 / non_sink.len() as f64
+    }
+}
+
+/// Incremental builder for [`ApplicationGraph`].
+///
+/// ```
+/// use laar_model::graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// let src = b.add_source("source");
+/// let pe1 = b.add_pe("pe1");
+/// let pe2 = b.add_pe("pe2");
+/// let sink = b.add_sink("sink");
+/// b.connect(src, pe1, 1.0, 1.0e8).unwrap();
+/// b.connect(pe1, pe2, 1.0, 1.0e8).unwrap();
+/// b.connect_sink(pe2, sink).unwrap();
+/// let graph = b.build().unwrap();
+/// assert_eq!(graph.num_pes(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    components: Vec<Component>,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add_component(&mut self, kind: ComponentKind, name: &str) -> ComponentId {
+        let id = ComponentId(self.components.len() as u32);
+        self.components.push(Component {
+            id,
+            kind,
+            name: name.to_owned(),
+        });
+        id
+    }
+
+    /// Add a data source.
+    pub fn add_source(&mut self, name: &str) -> ComponentId {
+        self.add_component(ComponentKind::Source, name)
+    }
+
+    /// Add a processing element.
+    pub fn add_pe(&mut self, name: &str) -> ComponentId {
+        self.add_component(ComponentKind::Pe, name)
+    }
+
+    /// Add a data sink.
+    pub fn add_sink(&mut self, name: &str) -> ComponentId {
+        self.add_component(ComponentKind::Sink, name)
+    }
+
+    /// Connect `from` to the PE `to` with the given selectivity `δ` and
+    /// per-tuple CPU cost `γ` (cycles per tuple).
+    pub fn connect(
+        &mut self,
+        from: ComponentId,
+        to: ComponentId,
+        selectivity: f64,
+        cpu_cost: f64,
+    ) -> Result<EdgeId, ModelError> {
+        self.check_endpoints(from, to)?;
+        if !(selectivity.is_finite() && selectivity >= 0.0) {
+            return Err(ModelError::InvalidSelectivity {
+                from: from.0,
+                to: to.0,
+                value: selectivity,
+            });
+        }
+        if !(cpu_cost.is_finite() && cpu_cost >= 0.0) {
+            return Err(ModelError::InvalidCpuCost {
+                from: from.0,
+                to: to.0,
+                value: cpu_cost,
+            });
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge {
+            id,
+            from,
+            to,
+            selectivity,
+            cpu_cost,
+        });
+        Ok(id)
+    }
+
+    /// Connect a PE to a data sink (no selectivity/cost semantics).
+    pub fn connect_sink(&mut self, from: ComponentId, to: ComponentId) -> Result<EdgeId, ModelError> {
+        self.connect(from, to, 1.0, 0.0)
+    }
+
+    fn check_endpoints(&self, from: ComponentId, to: ComponentId) -> Result<(), ModelError> {
+        let n = self.components.len() as u32;
+        if from.0 >= n {
+            return Err(ModelError::UnknownComponent(from.0));
+        }
+        if to.0 >= n {
+            return Err(ModelError::UnknownComponent(to.0));
+        }
+        if self.components[to.index()].kind == ComponentKind::Source {
+            return Err(ModelError::EdgeIntoSource(to.0));
+        }
+        if self.components[from.index()].kind == ComponentKind::Sink {
+            return Err(ModelError::EdgeFromSink(from.0));
+        }
+        if self
+            .edges
+            .iter()
+            .any(|e| e.from == from && e.to == to)
+        {
+            return Err(ModelError::DuplicateEdge {
+                from: from.0,
+                to: to.0,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validate all structural invariants and freeze the graph.
+    pub fn build(self) -> Result<ApplicationGraph, ModelError> {
+        let n = self.components.len();
+        let mut in_edges = vec![Vec::new(); n];
+        let mut out_edges = vec![Vec::new(); n];
+        for e in &self.edges {
+            in_edges[e.to.index()].push(e.id);
+            out_edges[e.from.index()].push(e.id);
+        }
+
+        // Connectivity checks.
+        for c in &self.components {
+            match c.kind {
+                ComponentKind::Source => {
+                    if out_edges[c.id.index()].is_empty() {
+                        return Err(ModelError::DisconnectedSource(c.id.0));
+                    }
+                }
+                ComponentKind::Pe => {
+                    if in_edges[c.id.index()].is_empty() {
+                        return Err(ModelError::DisconnectedPe(c.id.0));
+                    }
+                }
+                ComponentKind::Sink => {
+                    if in_edges[c.id.index()].is_empty() {
+                        return Err(ModelError::DisconnectedSink(c.id.0));
+                    }
+                }
+            }
+        }
+
+        // Kahn's algorithm [20] for topological sorting; also detects cycles.
+        let mut indeg: Vec<usize> = in_edges.iter().map(Vec::len).collect();
+        let mut queue: std::collections::VecDeque<ComponentId> = self
+            .components
+            .iter()
+            .filter(|c| indeg[c.id.index()] == 0)
+            .map(|c| c.id)
+            .collect();
+        let mut topo_order = Vec::with_capacity(n);
+        while let Some(c) = queue.pop_front() {
+            topo_order.push(c);
+            for &eid in &out_edges[c.index()] {
+                let to = self.edges[eid.index()].to;
+                indeg[to.index()] -= 1;
+                if indeg[to.index()] == 0 {
+                    queue.push_back(to);
+                }
+            }
+        }
+        if topo_order.len() != n {
+            return Err(ModelError::CyclicGraph);
+        }
+
+        let mut pe_index = vec![None; n];
+        let mut source_index = vec![None; n];
+        let mut pes_topo = Vec::new();
+        let mut sources = Vec::new();
+        let mut sinks = Vec::new();
+        for &cid in &topo_order {
+            if self.components[cid.index()].kind == ComponentKind::Pe {
+                pe_index[cid.index()] = Some(pes_topo.len() as u32);
+                pes_topo.push(cid);
+            }
+        }
+        for c in &self.components {
+            match c.kind {
+                ComponentKind::Source => {
+                    source_index[c.id.index()] = Some(sources.len() as u32);
+                    sources.push(c.id);
+                }
+                ComponentKind::Sink => sinks.push(c.id),
+                ComponentKind::Pe => {}
+            }
+        }
+
+        Ok(ApplicationGraph {
+            components: self.components,
+            edges: self.edges,
+            in_edges,
+            out_edges,
+            topo_order,
+            pe_index,
+            source_index,
+            pes_topo,
+            sources,
+            sinks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline() -> ApplicationGraph {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("src");
+        let p1 = b.add_pe("pe1");
+        let p2 = b.add_pe("pe2");
+        let k = b.add_sink("sink");
+        b.connect(s, p1, 1.0, 100.0).unwrap();
+        b.connect(p1, p2, 0.5, 200.0).unwrap();
+        b.connect_sink(p2, k).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_simple_pipeline() {
+        let g = pipeline();
+        assert_eq!(g.num_components(), 4);
+        assert_eq!(g.num_pes(), 2);
+        assert_eq!(g.num_sources(), 1);
+        assert_eq!(g.num_sinks(), 1);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn predecessors_and_successors() {
+        let g = pipeline();
+        let p2 = g.pes()[1];
+        let preds: Vec<_> = g.predecessors(p2).collect();
+        assert_eq!(preds, vec![g.pes()[0]]);
+        let succs: Vec<_> = g.successors(p2).collect();
+        assert_eq!(succs, vec![g.sinks()[0]]);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = pipeline();
+        let pos: Vec<usize> = (0..g.num_components())
+            .map(|i| {
+                g.topological_order()
+                    .iter()
+                    .position(|c| c.index() == i)
+                    .unwrap()
+            })
+            .collect();
+        for e in g.edges() {
+            assert!(pos[e.from.index()] < pos[e.to.index()]);
+        }
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("src");
+        let p1 = b.add_pe("pe1");
+        let p2 = b.add_pe("pe2");
+        let k = b.add_sink("sink");
+        b.connect(s, p1, 1.0, 1.0).unwrap();
+        b.connect(p1, p2, 1.0, 1.0).unwrap();
+        b.connect(p2, p1, 1.0, 1.0).unwrap();
+        b.connect_sink(p2, k).unwrap();
+        assert_eq!(b.build().unwrap_err(), ModelError::CyclicGraph);
+    }
+
+    #[test]
+    fn edge_into_source_is_rejected() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("src");
+        let p = b.add_pe("pe");
+        assert_eq!(
+            b.connect(p, s, 1.0, 1.0).unwrap_err(),
+            ModelError::EdgeIntoSource(s.0)
+        );
+    }
+
+    #[test]
+    fn edge_from_sink_is_rejected() {
+        let mut b = GraphBuilder::new();
+        let k = b.add_sink("sink");
+        let p = b.add_pe("pe");
+        assert_eq!(
+            b.connect(k, p, 1.0, 1.0).unwrap_err(),
+            ModelError::EdgeFromSink(k.0)
+        );
+    }
+
+    #[test]
+    fn duplicate_edge_is_rejected() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("src");
+        let p = b.add_pe("pe");
+        b.connect(s, p, 1.0, 1.0).unwrap();
+        assert!(matches!(
+            b.connect(s, p, 1.0, 1.0),
+            Err(ModelError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_pe_is_rejected() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("src");
+        let p1 = b.add_pe("pe1");
+        let _p2 = b.add_pe("orphan");
+        let k = b.add_sink("sink");
+        b.connect(s, p1, 1.0, 1.0).unwrap();
+        b.connect_sink(p1, k).unwrap();
+        assert!(matches!(b.build(), Err(ModelError::DisconnectedPe(_))));
+    }
+
+    #[test]
+    fn negative_selectivity_is_rejected() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("src");
+        let p = b.add_pe("pe");
+        assert!(matches!(
+            b.connect(s, p, -0.5, 1.0),
+            Err(ModelError::InvalidSelectivity { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_cost_is_rejected() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("src");
+        let p = b.add_pe("pe");
+        assert!(matches!(
+            b.connect(s, p, 1.0, f64::NAN),
+            Err(ModelError::InvalidCpuCost { .. })
+        ));
+    }
+
+    #[test]
+    fn pe_dense_indices_are_dense_and_topological() {
+        let g = pipeline();
+        let idx: Vec<usize> = g.pes().iter().map(|&p| g.pe_dense_index(p).unwrap()).collect();
+        assert_eq!(idx, vec![0, 1]);
+        assert_eq!(g.pe_dense_index(g.sources()[0]), None);
+    }
+
+    #[test]
+    fn diamond_graph_fanout() {
+        // src -> a -> {b, c} -> d -> sink
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("src");
+        let a = b.add_pe("a");
+        let x = b.add_pe("b");
+        let y = b.add_pe("c");
+        let d = b.add_pe("d");
+        let k = b.add_sink("sink");
+        b.connect(s, a, 1.0, 1.0).unwrap();
+        b.connect(a, x, 0.7, 2.0).unwrap();
+        b.connect(a, y, 1.3, 3.0).unwrap();
+        b.connect(x, d, 1.0, 4.0).unwrap();
+        b.connect(y, d, 1.0, 5.0).unwrap();
+        b.connect_sink(d, k).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.in_degree(d), 2);
+        assert_eq!(g.out_degree(a), 2);
+        let preds: Vec<_> = g.predecessors(d).collect();
+        assert!(preds.contains(&x) && preds.contains(&y));
+    }
+
+    #[test]
+    fn average_out_degree_pipeline() {
+        let g = pipeline();
+        // src:1, pe1:1, pe2:1 over 3 non-sink components
+        assert!((g.average_out_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = pipeline();
+        let s = serde_json::to_string(&g).unwrap();
+        let g2: ApplicationGraph = serde_json::from_str(&s).unwrap();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,249 @@
+//! Failure-free expected rate propagation `Δ(xᵢ, c)` (§4.2).
+//!
+//! Under the paper's linear load model, the expected output rate of a PE in
+//! configuration `c` is the selectivity-weighted sum of its predecessors'
+//! output rates:
+//!
+//! ```text
+//! Δ(x, c) = rate of x in c                          if x is a source
+//! Δ(x, c) = Σ_{y ∈ pred(x)} δ(y, x) · Δ(y, c)       if x is a PE
+//! ```
+//!
+//! From `Δ` follow the per-edge input loads `γ(y, x) · Δ(y, c)` used by the
+//! CPU constraint (eq. 11) and the cost function (eq. 13).
+
+use crate::app::Application;
+use crate::config::ConfigId;
+use crate::graph::{ComponentId, ComponentKind};
+
+/// Precomputed `Δ(x, c)` for every component and configuration, plus the
+/// derived per-PE input quantities used throughout the optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateTable {
+    num_components: usize,
+    num_configs: usize,
+    /// `delta[comp][config]`, tuples per second.
+    delta: Vec<f64>,
+    /// Total input *tuple* rate of each PE per configuration:
+    /// `Σ_{y ∈ pred} Δ(y, c)` (dense PE index major).
+    pe_input_rate: Vec<f64>,
+    /// Total input *CPU load* of each PE per configuration:
+    /// `Σ_{y ∈ pred} γ(y, x) · Δ(y, c)` in cycles per second.
+    pe_input_load: Vec<f64>,
+    num_pes: usize,
+}
+
+impl RateTable {
+    /// Compute the table for an application by propagating rates in
+    /// topological order.
+    pub fn compute(app: &Application) -> Self {
+        let g = app.graph();
+        let cs = app.configs();
+        let nc = g.num_components();
+        let nq = cs.num_configs();
+        let mut delta = vec![0.0f64; nc * nq];
+
+        for c in cs.configs() {
+            for &x in g.topological_order() {
+                let v = match g.component(x).kind {
+                    ComponentKind::Source => {
+                        let si = g.source_dense_index(x).expect("source index");
+                        cs.source_rate(si, c)
+                    }
+                    ComponentKind::Pe => g
+                        .in_edges(x)
+                        .map(|e| e.selectivity * delta[e.from.index() * nq + c.index()])
+                        .sum(),
+                    ComponentKind::Sink => g
+                        .in_edges(x)
+                        .map(|e| delta[e.from.index() * nq + c.index()])
+                        .sum(),
+                };
+                delta[x.index() * nq + c.index()] = v;
+            }
+        }
+
+        let np = g.num_pes();
+        let mut pe_input_rate = vec![0.0f64; np * nq];
+        let mut pe_input_load = vec![0.0f64; np * nq];
+        for (dense, &pe) in g.pes().iter().enumerate() {
+            for c in cs.configs() {
+                let mut rate = 0.0;
+                let mut load = 0.0;
+                for e in g.in_edges(pe) {
+                    let d = delta[e.from.index() * nq + c.index()];
+                    rate += d;
+                    load += e.cpu_cost * d;
+                }
+                pe_input_rate[dense * nq + c.index()] = rate;
+                pe_input_load[dense * nq + c.index()] = load;
+            }
+        }
+
+        Self {
+            num_components: nc,
+            num_configs: nq,
+            delta,
+            pe_input_rate,
+            pe_input_load,
+            num_pes: np,
+        }
+    }
+
+    /// `Δ(x, c)`: expected failure-free output rate of component `x` in
+    /// configuration `c` (tuples per second).
+    #[inline]
+    pub fn delta(&self, x: ComponentId, c: ConfigId) -> f64 {
+        self.delta[x.index() * self.num_configs + c.index()]
+    }
+
+    /// Total input tuple rate of the PE with dense index `pe_dense` in `c`:
+    /// `Σ_{y ∈ pred} Δ(y, c)`. This is the per-configuration term of BIC
+    /// (eq. 5) before probability weighting.
+    #[inline]
+    pub fn pe_input_rate(&self, pe_dense: usize, c: ConfigId) -> f64 {
+        self.pe_input_rate[pe_dense * self.num_configs + c.index()]
+    }
+
+    /// Total input CPU load of one *active replica* of the PE with dense
+    /// index `pe_dense` in `c`: `Σ_{y ∈ pred} γ(y, x) · Δ(y, c)` (cycles/s).
+    /// This is the per-replica term of the CPU constraint (eq. 11) and the
+    /// cost function (eq. 13).
+    #[inline]
+    pub fn pe_input_load(&self, pe_dense: usize, c: ConfigId) -> f64 {
+        self.pe_input_load[pe_dense * self.num_configs + c.index()]
+    }
+
+    /// Number of configurations the table covers.
+    #[inline]
+    pub fn num_configs(&self) -> usize {
+        self.num_configs
+    }
+
+    /// Number of PEs the table covers.
+    #[inline]
+    pub fn num_pes(&self) -> usize {
+        self.num_pes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfigSpace;
+    use crate::graph::GraphBuilder;
+
+    /// The paper's Fig. 1 application: two PEs in a pipeline, selectivity 1,
+    /// 100 ms/tuple on 1-cycle/ms hosts (cost expressed in cycles), source
+    /// rates Low = 4 t/s (p = 0.8) and High = 8 t/s (p = 0.2).
+    fn fig1_app() -> Application {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("src");
+        let p1 = b.add_pe("pe1");
+        let p2 = b.add_pe("pe2");
+        let k = b.add_sink("sink");
+        // 100 ms per tuple on a host with capacity 1000 cycles/s -> 100 cycles.
+        b.connect(s, p1, 1.0, 100.0).unwrap();
+        b.connect(p1, p2, 1.0, 100.0).unwrap();
+        b.connect_sink(p2, k).unwrap();
+        let g = b.build().unwrap();
+        let cs = ConfigSpace::new(&g, vec![vec![4.0, 8.0]], vec![0.8, 0.2]).unwrap();
+        Application::new("fig1", g, cs, 300.0).unwrap()
+    }
+
+    #[test]
+    fn fig1_rates_propagate() {
+        let app = fig1_app();
+        let rt = RateTable::compute(&app);
+        let g = app.graph();
+        let low = ConfigId(0);
+        let high = ConfigId(1);
+        assert_eq!(rt.delta(g.sources()[0], low), 4.0);
+        assert_eq!(rt.delta(g.pes()[0], low), 4.0);
+        assert_eq!(rt.delta(g.pes()[1], low), 4.0);
+        assert_eq!(rt.delta(g.pes()[1], high), 8.0);
+        assert_eq!(rt.delta(g.sinks()[0], high), 8.0);
+    }
+
+    #[test]
+    fn fig1_loads_match_paper() {
+        // In Fig. 1: at Low each PE needs 4 t/s * 100 ms = 0.4 s CPU per
+        // second = 400 cycles/s of our 1000-cycle/s host (i.e. 40%; 80% per
+        // host with two replicas of different PEs). At High: 800 cycles/s.
+        let app = fig1_app();
+        let rt = RateTable::compute(&app);
+        assert_eq!(rt.pe_input_load(0, ConfigId(0)), 400.0);
+        assert_eq!(rt.pe_input_load(0, ConfigId(1)), 800.0);
+        assert_eq!(rt.pe_input_rate(1, ConfigId(1)), 8.0);
+    }
+
+    #[test]
+    fn selectivity_scales_downstream() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("s");
+        let p1 = b.add_pe("p1");
+        let p2 = b.add_pe("p2");
+        let k = b.add_sink("k");
+        b.connect(s, p1, 0.5, 10.0).unwrap();
+        b.connect(p1, p2, 2.0, 20.0).unwrap();
+        b.connect_sink(p2, k).unwrap();
+        let g = b.build().unwrap();
+        let cs = ConfigSpace::new(&g, vec![vec![10.0]], vec![1.0]).unwrap();
+        let app = Application::new("sel", g, cs, 1.0).unwrap();
+        let rt = RateTable::compute(&app);
+        let g = app.graph();
+        let c = ConfigId(0);
+        assert_eq!(rt.delta(g.pes()[0], c), 5.0); // 10 * 0.5
+        assert_eq!(rt.delta(g.pes()[1], c), 10.0); // 5 * 2.0
+        assert_eq!(rt.pe_input_load(1, c), 100.0); // 5 t/s * 20 cycles
+    }
+
+    #[test]
+    fn fanin_sums_contributions() {
+        let mut b = GraphBuilder::new();
+        let s1 = b.add_source("s1");
+        let s2 = b.add_source("s2");
+        let p = b.add_pe("p");
+        let k = b.add_sink("k");
+        b.connect(s1, p, 1.0, 5.0).unwrap();
+        b.connect(s2, p, 0.5, 7.0).unwrap();
+        b.connect_sink(p, k).unwrap();
+        let g = b.build().unwrap();
+        let cs = ConfigSpace::new(&g, vec![vec![2.0], vec![4.0]], vec![1.0]).unwrap();
+        let app = Application::new("fanin", g, cs, 1.0).unwrap();
+        let rt = RateTable::compute(&app);
+        let c = ConfigId(0);
+        let p = app.graph().pes()[0];
+        assert_eq!(rt.delta(p, c), 2.0 * 1.0 + 4.0 * 0.5);
+        assert_eq!(rt.pe_input_rate(0, c), 6.0);
+        assert_eq!(rt.pe_input_load(0, c), 2.0 * 5.0 + 4.0 * 7.0);
+    }
+
+    #[test]
+    fn rates_are_linear_in_source_rate() {
+        // Doubling the source rate doubles every Δ (linear load model).
+        let build = |rate: f64| {
+            let mut b = GraphBuilder::new();
+            let s = b.add_source("s");
+            let p1 = b.add_pe("p1");
+            let p2 = b.add_pe("p2");
+            let k = b.add_sink("k");
+            b.connect(s, p1, 0.7, 3.0).unwrap();
+            b.connect(p1, p2, 1.3, 11.0).unwrap();
+            b.connect_sink(p2, k).unwrap();
+            let g = b.build().unwrap();
+            let cs = ConfigSpace::new(&g, vec![vec![rate]], vec![1.0]).unwrap();
+            Application::new("lin", g, cs, 1.0).unwrap()
+        };
+        let a1 = build(3.0);
+        let a2 = build(6.0);
+        let r1 = RateTable::compute(&a1);
+        let r2 = RateTable::compute(&a2);
+        let c = ConfigId(0);
+        for pe in 0..2 {
+            let p = a1.graph().pes()[pe];
+            assert!((r2.delta(p, c) - 2.0 * r1.delta(p, c)).abs() < 1e-9);
+            assert!((r2.pe_input_load(pe, c) - 2.0 * r1.pe_input_load(pe, c)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Replica activation strategies (§4.2, eq. 4).
+//!
+//! A strategy is the function `s : P̃ × C → {0, 1}` mapping every
+//! (PE replica, input configuration) pair to an active/inactive state. The
+//! paper's runtime loads strategies from a JSON file into the HAController;
+//! [`ActivationStrategy`] serializes to/from that format.
+
+use crate::config::ConfigId;
+use crate::error::ModelError;
+use crate::graph::ApplicationGraph;
+use serde::{Deserialize, Serialize};
+
+/// A dense activation table `s(x̃ᵢ,ⱼ, c)`.
+///
+/// Bits are laid out as `[pe_dense][config][replica]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivationStrategy {
+    num_pes: usize,
+    num_configs: usize,
+    k: usize,
+    bits: Vec<bool>,
+}
+
+impl ActivationStrategy {
+    /// A strategy with every replica active in every configuration — the
+    /// *static replication* (SR) baseline.
+    pub fn all_active(num_pes: usize, num_configs: usize, k: usize) -> Self {
+        Self {
+            num_pes,
+            num_configs,
+            k,
+            bits: vec![true; num_pes * num_configs * k],
+        }
+    }
+
+    /// A strategy with every replica inactive (must be filled before it
+    /// validates — eq. 12 requires at least one active replica everywhere).
+    pub fn all_inactive(num_pes: usize, num_configs: usize, k: usize) -> Self {
+        Self {
+            num_pes,
+            num_configs,
+            k,
+            bits: vec![false; num_pes * num_configs * k],
+        }
+    }
+
+    /// Number of PEs.
+    #[inline]
+    pub fn num_pes(&self) -> usize {
+        self.num_pes
+    }
+
+    /// Number of input configurations.
+    #[inline]
+    pub fn num_configs(&self) -> usize {
+        self.num_configs
+    }
+
+    /// Replication factor.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    #[inline]
+    fn offset(&self, pe_dense: usize, config: ConfigId, replica: usize) -> usize {
+        debug_assert!(pe_dense < self.num_pes);
+        debug_assert!(config.index() < self.num_configs);
+        debug_assert!(replica < self.k);
+        (pe_dense * self.num_configs + config.index()) * self.k + replica
+    }
+
+    /// `s(x̃, c)`: is replica `replica` of the PE with dense index `pe_dense`
+    /// active in configuration `config`?
+    #[inline]
+    pub fn is_active(&self, pe_dense: usize, config: ConfigId, replica: usize) -> bool {
+        self.bits[self.offset(pe_dense, config, replica)]
+    }
+
+    /// Set the activation state of one replica in one configuration.
+    #[inline]
+    pub fn set_active(&mut self, pe_dense: usize, config: ConfigId, replica: usize, active: bool) {
+        let o = self.offset(pe_dense, config, replica);
+        self.bits[o] = active;
+    }
+
+    /// Number of active replicas of a PE in a configuration
+    /// (`Σₕ s(x̃ᵢ,ₕ, c)`).
+    pub fn active_count(&self, pe_dense: usize, config: ConfigId) -> usize {
+        (0..self.k)
+            .filter(|&r| self.is_active(pe_dense, config, r))
+            .count()
+    }
+
+    /// `true` when *all* `k` replicas of the PE are active in `config` — the
+    /// condition under which the pessimistic failure model (eq. 14) counts
+    /// the PE as surviving.
+    #[inline]
+    pub fn fully_replicated(&self, pe_dense: usize, config: ConfigId) -> bool {
+        self.active_count(pe_dense, config) == self.k
+    }
+
+    /// Total number of active replica slots across the whole table (a cheap
+    /// proxy for strategy "weight", used by tests and reports).
+    pub fn total_active(&self) -> usize {
+        self.bits.iter().filter(|b| **b).count()
+    }
+
+    /// Validate the strategy against an application graph and configuration
+    /// count: shape must match and eq. 12 must hold (at least one active
+    /// replica of every PE in every configuration).
+    pub fn validate(
+        &self,
+        graph: &ApplicationGraph,
+        num_configs: usize,
+        k: usize,
+    ) -> Result<(), ModelError> {
+        if self.num_pes != graph.num_pes() || self.num_configs != num_configs || self.k != k {
+            return Err(ModelError::StrategyShape {
+                expected_pes: graph.num_pes(),
+                expected_configs: num_configs,
+                expected_k: k,
+            });
+        }
+        for (dense, &pe) in graph.pes().iter().enumerate() {
+            for c in 0..num_configs {
+                if self.active_count(dense, ConfigId(c as u32)) == 0 {
+                    return Err(ModelError::NoActiveReplica {
+                        pe: pe.0,
+                        config: c as u32,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render one PE/configuration cell as a bit-string like `"11"` or `"10"`
+    /// (replica 0 first) — the format used in human-readable strategy dumps.
+    pub fn cell_string(&self, pe_dense: usize, config: ConfigId) -> String {
+        (0..self.k)
+            .map(|r| {
+                if self.is_active(pe_dense, config, r) {
+                    '1'
+                } else {
+                    '0'
+                }
+            })
+            .collect()
+    }
+
+    /// Serialize to the JSON document the HAController consumes (§5.1): a map
+    /// from PE name to the per-configuration bit-strings.
+    pub fn to_controller_json(&self, graph: &ApplicationGraph) -> serde_json::Value {
+        let mut map = serde_json::Map::new();
+        for (dense, &pe) in graph.pes().iter().enumerate() {
+            let cells: Vec<String> = (0..self.num_configs)
+                .map(|c| self.cell_string(dense, ConfigId(c as u32)))
+                .collect();
+            map.insert(graph.component(pe).name.clone(), serde_json::json!(cells));
+        }
+        serde_json::json!({
+            "k": self.k,
+            "num_configs": self.num_configs,
+            "activations": serde_json::Value::Object(map),
+        })
+    }
+
+    /// Parse the HAController JSON document back into a strategy; PE order is
+    /// resolved through the graph's PE names.
+    pub fn from_controller_json(
+        graph: &ApplicationGraph,
+        doc: &serde_json::Value,
+    ) -> Result<Self, ModelError> {
+        let k = doc["k"].as_u64().ok_or(ModelError::StrategyShape {
+            expected_pes: graph.num_pes(),
+            expected_configs: 0,
+            expected_k: 0,
+        })? as usize;
+        let num_configs = doc["num_configs"].as_u64().ok_or(ModelError::StrategyShape {
+            expected_pes: graph.num_pes(),
+            expected_configs: 0,
+            expected_k: k,
+        })? as usize;
+        let mut s = Self::all_inactive(graph.num_pes(), num_configs, k);
+        let activations = doc["activations"]
+            .as_object()
+            .ok_or(ModelError::StrategyShape {
+                expected_pes: graph.num_pes(),
+                expected_configs: num_configs,
+                expected_k: k,
+            })?;
+        for (dense, &pe) in graph.pes().iter().enumerate() {
+            let name = &graph.component(pe).name;
+            let cells = activations
+                .get(name)
+                .and_then(|v| v.as_array())
+                .ok_or(ModelError::StrategyShape {
+                    expected_pes: graph.num_pes(),
+                    expected_configs: num_configs,
+                    expected_k: k,
+                })?;
+            if cells.len() != num_configs {
+                return Err(ModelError::StrategyShape {
+                    expected_pes: graph.num_pes(),
+                    expected_configs: num_configs,
+                    expected_k: k,
+                });
+            }
+            for (c, cell) in cells.iter().enumerate() {
+                let bits = cell.as_str().unwrap_or("");
+                if bits.len() != k {
+                    return Err(ModelError::StrategyShape {
+                        expected_pes: graph.num_pes(),
+                        expected_configs: num_configs,
+                        expected_k: k,
+                    });
+                }
+                for (r, ch) in bits.chars().enumerate() {
+                    s.set_active(dense, ConfigId(c as u32), r, ch == '1');
+                }
+            }
+        }
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn graph() -> ApplicationGraph {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("s");
+        let p1 = b.add_pe("p1");
+        let p2 = b.add_pe("p2");
+        let k = b.add_sink("k");
+        b.connect(s, p1, 1.0, 1.0).unwrap();
+        b.connect(p1, p2, 1.0, 1.0).unwrap();
+        b.connect_sink(p2, k).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn all_active_validates() {
+        let g = graph();
+        let s = ActivationStrategy::all_active(2, 2, 2);
+        s.validate(&g, 2, 2).unwrap();
+        assert_eq!(s.total_active(), 8);
+        assert!(s.fully_replicated(0, ConfigId(0)));
+    }
+
+    #[test]
+    fn all_inactive_fails_eq12() {
+        let g = graph();
+        let s = ActivationStrategy::all_inactive(2, 2, 2);
+        assert!(matches!(
+            s.validate(&g, 2, 2),
+            Err(ModelError::NoActiveReplica { .. })
+        ));
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut s = ActivationStrategy::all_active(3, 2, 2);
+        s.set_active(1, ConfigId(1), 0, false);
+        assert!(!s.is_active(1, ConfigId(1), 0));
+        assert!(s.is_active(1, ConfigId(1), 1));
+        assert_eq!(s.active_count(1, ConfigId(1)), 1);
+        assert!(!s.fully_replicated(1, ConfigId(1)));
+        assert_eq!(s.cell_string(1, ConfigId(1)), "01");
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let g = graph();
+        let s = ActivationStrategy::all_active(5, 2, 2);
+        assert!(matches!(
+            s.validate(&g, 2, 2),
+            Err(ModelError::StrategyShape { .. })
+        ));
+    }
+
+    #[test]
+    fn controller_json_round_trip() {
+        let g = graph();
+        let mut s = ActivationStrategy::all_active(2, 2, 2);
+        s.set_active(0, ConfigId(1), 1, false);
+        s.set_active(1, ConfigId(0), 0, false);
+        let doc = s.to_controller_json(&g);
+        let s2 = ActivationStrategy::from_controller_json(&g, &doc).unwrap();
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn controller_json_has_pe_names() {
+        let g = graph();
+        let s = ActivationStrategy::all_active(2, 2, 2);
+        let doc = s.to_controller_json(&g);
+        assert!(doc["activations"].get("p1").is_some());
+        assert!(doc["activations"].get("p2").is_some());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = ActivationStrategy::all_active(2, 3, 2);
+        let j = serde_json::to_string(&s).unwrap();
+        let s2: ActivationStrategy = serde_json::from_str(&j).unwrap();
+        assert_eq!(s, s2);
+    }
+}

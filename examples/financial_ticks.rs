@@ -1,0 +1,146 @@
+//! Financial tick analytics under a market-open burst.
+//!
+//! A feed of trade ticks drives a VWAP/alerting pipeline. At market open
+//! the tick rate triples for a short burst. The example compares all the
+//! paper's replication variants — NR, SR, GRD, and LAAR at IC 0.5/0.6/0.7 —
+//! on the same deployment, reproducing the cost/reliability trade-off of
+//! Figs. 9–12 on a concrete application instead of the synthetic corpus.
+//!
+//! Run with: `cargo run --release --example financial_ticks`
+
+use laar::prelude::*;
+use laar_core::variants::peak_config;
+use std::time::Duration;
+
+fn build_app() -> Application {
+    let mut b = GraphBuilder::new();
+    let feed = b.add_source("tick-feed");
+    let normalize = b.add_pe("normalize");
+    let dedupe = b.add_pe("dedupe");
+    let vwap = b.add_pe("vwap");
+    let volatility = b.add_pe("volatility");
+    let alerts = b.add_pe("alert-rules");
+    let sink = b.add_sink("dashboards");
+
+    b.connect(feed, normalize, 1.0, 35.0).unwrap();
+    b.connect(normalize, dedupe, 0.8, 25.0).unwrap();
+    b.connect(dedupe, vwap, 1.0, 80.0).unwrap();
+    b.connect(dedupe, volatility, 1.0, 110.0).unwrap();
+    b.connect(vwap, alerts, 0.6, 45.0).unwrap();
+    b.connect(volatility, alerts, 0.6, 45.0).unwrap();
+    b.connect_sink(alerts, sink).unwrap();
+    let graph = b.build().unwrap();
+
+    // Quiet market: 10 t/s (p = 0.75); open burst: 22 t/s (p = 0.25).
+    let configs = ConfigSpace::new(&graph, vec![vec![10.0, 22.0]], vec![0.75, 0.25]).unwrap();
+    Application::new("financial-ticks", graph, configs, 400.0).unwrap()
+}
+
+fn main() {
+    let app = build_app();
+    // 4400 cycles/s per host: ~50 % utilization all-active in the quiet
+    // market, ~110 % (overloaded) during the open burst.
+    let hosts = Placement::uniform_hosts(3, 4400.0);
+    let assignment = vec![
+        HostId(0), HostId(1), // normalize
+        HostId(1), HostId(2), // dedupe
+        HostId(2), HostId(0), // vwap
+        HostId(0), HostId(1), // volatility
+        HostId(1), HostId(2), // alert-rules
+    ];
+    let placement = Placement::new(app.graph(), 2, hosts, assignment).unwrap();
+
+    // Solve LAAR strategies strictest-first so the looser problems are
+    // warm-started (cost monotonicity is then guaranteed).
+    let mut warm: Option<ActivationStrategy> = None;
+    let mut strategies: Vec<(String, ActivationStrategy, f64)> = Vec::new();
+    for ic_req in [0.7, 0.6, 0.5] {
+        let problem = Problem::new(app.clone(), placement.clone(), ic_req).unwrap();
+        let report = ftsearch::solve_with_warm_start(
+            &problem,
+            &FtSearchConfig::with_time_limit(Duration::from_secs(15)),
+            warm.as_ref(),
+        )
+        .unwrap();
+        let sol = report.outcome.solution().expect("feasible");
+        warm = Some(sol.strategy.clone());
+        strategies.push((format!("L.{}", (ic_req * 10.0) as u32), sol.strategy.clone(), sol.ic));
+    }
+    strategies.reverse();
+
+    // Baselines on the same deployment.
+    let problem = Problem::new(app.clone(), placement.clone(), 0.0).unwrap();
+    let ev = problem.ic_evaluator();
+    let l5 = strategies[0].1.clone();
+    let nr = non_replicated(&problem, &l5);
+    let sr = static_replication(&problem);
+    let grd = greedy(&problem).strategy;
+    let mut variants: Vec<(String, ActivationStrategy, f64)> = vec![
+        ("NR".into(), nr.clone(), ev.ic(&nr, &PessimisticFailure)),
+        ("SR".into(), sr.clone(), ev.ic(&sr, &PessimisticFailure)),
+        ("GRD".into(), grd.clone(), ev.ic(&grd, &PessimisticFailure)),
+    ];
+    variants.extend(strategies);
+
+    // Market session: quiet, one burst at open, quiet again.
+    let trace = InputTrace {
+        schedules: vec![RateSchedule::from_segments(vec![
+            (0.0, 10.0),
+            (150.0, 22.0),
+            (250.0, 10.0),
+        ])],
+        duration: 400.0,
+    };
+    println!("high (peak) configuration: {:?}\n", peak_config(&problem));
+    println!(
+        "{:<5} {:>8} {:>10} {:>9} {:>12} {:>12}",
+        "var", "IC bound", "CPU (s)", "drops", "peak out t/s", "worst-case IC"
+    );
+
+    // Failure-free NR reference for measured IC.
+    let nr_clean = Simulation::new(
+        &app,
+        &placement,
+        nr,
+        &trace,
+        FailurePlan::None,
+        SimConfig::default(),
+    )
+    .run();
+    let reference = nr_clean.total_processed() as f64;
+
+    for (name, strategy, bound) in &variants {
+        let best = Simulation::new(
+            &app,
+            &placement,
+            strategy.clone(),
+            &trace,
+            FailurePlan::None,
+            SimConfig::default(),
+        )
+        .run();
+        let worst_plan = FailurePlan::worst_case(&app, strategy);
+        let worst = Simulation::new(
+            &app,
+            &placement,
+            strategy.clone(),
+            &trace,
+            worst_plan,
+            SimConfig::default(),
+        )
+        .run();
+        println!(
+            "{:<5} {:>8.3} {:>10.1} {:>9} {:>12.2} {:>12.3}",
+            name,
+            bound,
+            best.total_cpu_seconds(),
+            best.queue_drops,
+            best.output_rate.mean_over(170.0, 250.0),
+            worst.total_processed() as f64 / reference.max(1.0),
+        );
+    }
+    println!(
+        "\nSR burns the most CPU and stalls at market open; LAAR's cost climbs\n\
+         with the IC guarantee and every variant honors its worst-case bound."
+    );
+}

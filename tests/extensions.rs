@@ -1,0 +1,155 @@
+//! Cross-crate integration tests for the features built beyond the paper:
+//! alternative failure models, the soft (penalty) solver, placement search,
+//! descriptor profiling, latency measurement, and Poisson arrivals.
+
+use laar::prelude::*;
+use laar_core::ftsearch::{solve_decomposed, solve_soft};
+use laar_core::ic::{exact_single_host_ic, HostDown, IndependentFailure};
+use laar_core::{optimize_placement, PlacementSearchConfig};
+use laar_dsps::profiler::profile_application;
+use laar_dsps::ArrivalProcess;
+use std::time::Duration;
+
+fn gen(seed: u64) -> GeneratedApp {
+    laar_gen::generator::generate_app(
+        &GenParams {
+            num_pes: 6,
+            num_hosts: 3,
+            duration: 40.0,
+            ..GenParams::default()
+        },
+        seed,
+    )
+}
+
+#[test]
+fn failure_model_hierarchy_on_generated_apps() {
+    for seed in [1u64, 2] {
+        let g = gen(seed);
+        let problem = Problem::new(g.app.clone(), g.placement.clone(), 0.5).unwrap();
+        let report = ftsearch::solve(
+            &problem,
+            &FtSearchConfig::with_time_limit(Duration::from_secs(10)),
+        )
+        .unwrap();
+        let Some(sol) = report.outcome.solution() else {
+            continue;
+        };
+        let ev = problem.ic_evaluator();
+        let pess = ev.ic(&sol.strategy, &PessimisticFailure);
+        // Realistic availabilities sit far above the worst-case bound.
+        let ind = ev.ic(&sol.strategy, &IndependentFailure::new(0.02));
+        assert!(ind >= pess, "independent {ind} < pessimistic {pess}");
+        // A single host crash can never be worse than losing a replica of
+        // every PE (with replicas spread across hosts).
+        let single = exact_single_host_ic(&ev, &problem.placement, &sol.strategy);
+        assert!(single >= pess - 1e-9, "single-host {single} < {pess}");
+        // The crash of any specific host keeps IC between those bounds.
+        for h in 0..problem.placement.num_hosts() {
+            let ic = ev.ic(&sol.strategy, &HostDown::new(&problem.placement, h));
+            assert!((0.0..=1.0 + 1e-9).contains(&ic));
+        }
+    }
+}
+
+#[test]
+fn soft_solver_sweeps_the_cost_ic_frontier() {
+    let g = gen(3);
+    let problem = Problem::new(g.app.clone(), g.placement.clone(), 0.7).unwrap();
+    let mut last_ic = -1.0;
+    let mut last_cost = -1.0;
+    for lambda in [0.0, 10.0, 1e3, 1e8] {
+        let Some(soft) = solve_soft(&problem, lambda, Duration::from_secs(15)).unwrap() else {
+            panic!("soft solve should not time out on 6 PEs");
+        };
+        // Raising the penalty never lowers the achieved IC or the cost.
+        assert!(soft.solution.ic >= last_ic - 1e-9);
+        assert!(soft.solution.cost_cycles >= last_cost - 1e-9);
+        last_ic = soft.solution.ic;
+        last_cost = soft.solution.cost_cycles;
+        // The strategy always satisfies the hard constraints (eqs. 11–12).
+        let zero_goal = Problem::new(g.app.clone(), g.placement.clone(), 0.0).unwrap();
+        assert!(zero_goal.is_feasible(&soft.solution.strategy));
+    }
+    // At an overwhelming penalty the soft optimum meets the hard optimum
+    // whenever the hard problem is feasible.
+    if let Some(hard) = solve_decomposed(&problem, Duration::from_secs(15))
+        .unwrap()
+        .outcome
+        .solution()
+    {
+        assert!((last_cost - hard.cost_cycles).abs() < 1e-6 * hard.cost_cycles.max(1.0));
+    }
+}
+
+#[test]
+fn placement_search_never_regresses_on_generated_apps() {
+    let g = gen(4);
+    let result = optimize_placement(
+        &g.app,
+        &g.placement,
+        0.5,
+        &PlacementSearchConfig {
+            max_sweeps: 2,
+            ..PlacementSearchConfig::default()
+        },
+    )
+    .unwrap();
+    match (result.initial_cost_rate, result.final_cost_rate) {
+        (Some(a), Some(b)) => assert!(b <= a + 1e-9, "regressed {a} -> {b}"),
+        (None, _) => {} // initial infeasible: any outcome is fine
+        (Some(_), None) => panic!("search lost feasibility"),
+    }
+}
+
+#[test]
+fn profiler_validates_generated_contracts() {
+    let g = gen(5);
+    let estimates = profile_application(&g.app, &g.placement, 3, 40.0);
+    assert_eq!(estimates.len(), 6);
+    for e in estimates {
+        if e.identifiable {
+            let err = laar_dsps::profiler::descriptor_error(&g.app, &e);
+            assert!(err < 0.15, "pe {}: err {err}", e.pe_dense);
+        } else {
+            // Effective values must still be finite and positive.
+            assert!(e.selectivity.iter().all(|x| x.is_finite() && *x >= 0.0));
+            assert!(e.cpu_cost.iter().all(|x| x.is_finite() && *x >= 0.0));
+        }
+    }
+}
+
+#[test]
+fn latency_grows_under_poisson_burstiness() {
+    // Same mean rates; Poisson arrivals create queueing bursts, so latency
+    // quantiles must not shrink relative to deterministic spacing.
+    let g = gen(6);
+    let trace = InputTrace::constant(&[g.low_rate], 40.0);
+    let np = g.app.graph().num_pes();
+    let run = |arrivals: ArrivalProcess| {
+        Simulation::new(
+            &g.app,
+            &g.placement,
+            ActivationStrategy::all_active(np, 2, 2),
+            &trace,
+            FailurePlan::None,
+            SimConfig {
+                arrivals,
+                ..SimConfig::default()
+            },
+        )
+        .run()
+    };
+    let det = run(ArrivalProcess::Deterministic);
+    let poi = run(ArrivalProcess::Poisson { seed: 11 });
+    assert!(det.latency.count > 0 && poi.latency.count > 0);
+    assert!(
+        poi.latency.quantile(0.99) >= det.latency.quantile(0.99) * 0.8,
+        "poisson p99 {} vs deterministic {}",
+        poi.latency.quantile(0.99),
+        det.latency.quantile(0.99)
+    );
+    // Total volume is comparable (same mean rate).
+    let ratio = poi.source_emitted[0] as f64 / det.source_emitted[0] as f64;
+    assert!((0.8..1.2).contains(&ratio), "volume ratio {ratio}");
+}

@@ -1,0 +1,177 @@
+//! Property-based tests of the optimizer layer: IC bounds and
+//! monotonicity, cost monotonicity, solver-solution validity, greedy
+//! invariants, and R-tree query correctness against brute force.
+
+use laar::prelude::*;
+use laar_core::rtree::RTree;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// A small random problem: 3–7 PEs in a random layered DAG over 2–3 hosts,
+/// with loads calibrated to overload at High (like the paper's generator,
+/// but built inline so shrinking works on all the knobs).
+fn arb_problem() -> impl Strategy<Value = (u64, usize, usize, f64)> {
+    (any::<u64>(), 3usize..8, 2usize..4, 0.0f64..0.8)
+}
+
+fn make_problem(seed: u64, num_pes: usize, num_hosts: usize, ic: f64) -> Problem {
+    let gen = laar_gen::generator::generate_app(
+        &GenParams {
+            num_pes,
+            num_hosts,
+            duration: 30.0,
+            ..GenParams::default()
+        },
+        seed,
+    );
+    Problem::new(gen.app, gen.placement, ic).unwrap()
+}
+
+/// A random valid strategy for a problem (every PE keeps >= 1 replica).
+fn random_strategy(problem: &Problem, seed: u64) -> ActivationStrategy {
+    let mut s = ActivationStrategy::all_inactive(problem.num_pes(), problem.num_configs(), 2);
+    let mut x = seed | 1;
+    for pe in 0..problem.num_pes() {
+        for c in 0..problem.num_configs() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let cfg = ConfigId(c as u32);
+            match (x >> 61) % 3 {
+                0 => s.set_active(pe, cfg, 0, true),
+                1 => s.set_active(pe, cfg, 1, true),
+                _ => {
+                    s.set_active(pe, cfg, 0, true);
+                    s.set_active(pe, cfg, 1, true);
+                }
+            }
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ic_is_bounded_and_sr_is_one((seed, np, nh, _ic) in arb_problem(), sseed in any::<u64>()) {
+        let p = make_problem(seed, np, nh, 0.0);
+        let ev = p.ic_evaluator();
+        let s = random_strategy(&p, sseed);
+        let ic = ev.ic(&s, &PessimisticFailure);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&ic), "ic = {ic}");
+        let sr = ActivationStrategy::all_active(np, p.num_configs(), 2);
+        prop_assert!((ev.ic(&sr, &PessimisticFailure) - 1.0).abs() < 1e-9);
+        prop_assert!((ev.ic(&s, &NoFailure) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activation_monotonicity((seed, np, nh, _ic) in arb_problem(), sseed in any::<u64>(), pe_pick in any::<u32>(), c_pick in any::<u32>()) {
+        let p = make_problem(seed, np, nh, 0.0);
+        let ev = p.ic_evaluator();
+        let cm = p.cost_model();
+        let mut s = random_strategy(&p, sseed);
+        let pe = (pe_pick as usize) % p.num_pes();
+        let c = ConfigId(c_pick % p.num_configs() as u32);
+        let ic_before = ev.ic(&s, &PessimisticFailure);
+        let cost_before = cm.cost_cycles(&s);
+        // Activate everything for one (pe, config) cell.
+        s.set_active(pe, c, 0, true);
+        s.set_active(pe, c, 1, true);
+        let ic_after = ev.ic(&s, &PessimisticFailure);
+        let cost_after = cm.cost_cycles(&s);
+        prop_assert!(ic_after >= ic_before - 1e-12);
+        prop_assert!(cost_after >= cost_before - 1e-12);
+    }
+
+    #[test]
+    fn solver_solutions_are_feasible_and_beat_greedy((seed, np, nh, ic) in arb_problem()) {
+        let p = make_problem(seed, np, nh, ic);
+        let report = ftsearch::solve(
+            &p,
+            &FtSearchConfig::with_time_limit(Duration::from_secs(10)),
+        ).unwrap();
+        if let Some(sol) = report.outcome.solution() {
+            prop_assert!(p.is_feasible(&sol.strategy), "{:?}", p.check(&sol.strategy));
+            // If greedy is feasible for this IC too, the proved optimum
+            // cannot cost more.
+            if report.stats.proved {
+                let g = greedy(&p);
+                if p.is_feasible(&g.strategy) {
+                    let cm = p.cost_model();
+                    prop_assert!(
+                        sol.cost_cycles <= cm.cost_cycles(&g.strategy) + 1e-6,
+                        "optimal {} vs greedy {}",
+                        sol.cost_cycles,
+                        cm.cost_cycles(&g.strategy)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_never_breaks_eq12_and_never_costs_more_than_sr((seed, np, nh, _ic) in arb_problem()) {
+        let p = make_problem(seed, np, nh, 0.0);
+        let g = greedy(&p);
+        g.strategy.validate(p.app.graph(), p.num_configs(), 2).unwrap();
+        let cm = p.cost_model();
+        let sr = static_replication(&p);
+        prop_assert!(cm.cost_cycles(&g.strategy) <= cm.cost_cycles(&sr) + 1e-9);
+    }
+
+    #[test]
+    fn nr_is_single_replica_and_never_overloaded((seed, np, nh, _ic) in arb_problem()) {
+        let p = make_problem(seed, np, nh, 0.5);
+        let report = ftsearch::solve(
+            &p,
+            &FtSearchConfig::with_time_limit(Duration::from_secs(10)),
+        ).unwrap();
+        if let Some(sol) = report.outcome.solution() {
+            let nr = non_replicated(&p, &sol.strategy);
+            for pe in 0..p.num_pes() {
+                for c in 0..p.num_configs() {
+                    prop_assert_eq!(nr.active_count(pe, ConfigId(c as u32)), 1);
+                }
+            }
+            prop_assert!(p.cost_model().check_no_overload(&nr).is_ok());
+        }
+    }
+
+    #[test]
+    fn rtree_matches_brute_force(
+        points in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..100.0, 2), 1..60),
+        query in proptest::collection::vec(0.0f64..110.0, 2),
+    ) {
+        let entries: Vec<(Vec<f64>, ConfigId)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), ConfigId(i as u32)))
+            .collect();
+        let tree = RTree::bulk_load(entries.clone());
+        let got = tree.dominating_min_slack(&query).map(|(_, s)| s);
+        let want = entries
+            .iter()
+            .filter(|(p, _)| p.iter().zip(&query).all(|(a, b)| a >= b))
+            .map(|(p, _)| p.iter().zip(&query).map(|(a, b)| a - b).sum::<f64>())
+            .min_by(|a, b| a.partial_cmp(b).unwrap());
+        match (got, want) {
+            (Some(g), Some(w)) => prop_assert!((g - w).abs() < 1e-9),
+            (None, None) => {}
+            (g, w) => prop_assert!(false, "mismatch {g:?} vs {w:?}"),
+        }
+    }
+
+    #[test]
+    fn controller_selection_never_underestimates((seed, np, nh, _ic) in arb_problem(), q in 0.0f64..40.0) {
+        let p = make_problem(seed, np, nh, 0.0);
+        let cs = p.app.configs();
+        let ctl = laar_core::ConfigIndex::new(cs);
+        let chosen = ctl.select(&[q]);
+        let rate = cs.source_rate(0, chosen);
+        // Either the chosen configuration dominates the measurement, or the
+        // measurement exceeds every declared rate and the max config is
+        // returned.
+        let max_rate = cs.source_rate(0, cs.max_config());
+        prop_assert!(rate >= q.min(max_rate) - 1e-9);
+    }
+}

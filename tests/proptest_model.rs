@@ -1,0 +1,172 @@
+//! Property-based tests of the model layer: DAG invariants, configuration
+//! spaces, rate propagation linearity, and strategy serialization.
+
+use laar::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy for random layered DAG descriptions: per PE, the index of one
+/// mandatory predecessor plus optional extra edges, with selectivities and
+/// costs in the paper's ranges.
+fn arb_pipelineish() -> impl Strategy<Value = (usize, Vec<(f64, f64)>, u64)> {
+    (2usize..10).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0.5f64..1.5, 1.0f64..100.0), n),
+            any::<u64>(),
+        )
+    })
+}
+
+fn build_graph(n: usize, params: &[(f64, f64)], extra_seed: u64) -> ApplicationGraph {
+    let mut b = GraphBuilder::new();
+    let src = b.add_source("src");
+    let mut pes = Vec::new();
+    for i in 0..n {
+        pes.push(b.add_pe(&format!("pe{i}")));
+    }
+    let sink = b.add_sink("sink");
+    let mut state = extra_seed | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for (i, &pe) in pes.iter().enumerate() {
+        let (sel, cost) = params[i];
+        let from = if i == 0 {
+            src
+        } else {
+            let k = (next() as usize) % (i + 1);
+            if k == 0 {
+                src
+            } else {
+                pes[k - 1]
+            }
+        };
+        b.connect(from, pe, sel, cost).unwrap();
+    }
+    // Funnel every earlier PE into the last one (duplicate edges are
+    // rejected harmlessly), then let the last PE feed the sink: all PEs
+    // stay connected and the graph always validates.
+    for &pe in pes.iter().take(n - 1) {
+        let _ = b.connect(pe, pes[n - 1], 1.0, 1.0);
+    }
+    b.connect_sink(pes[n - 1], sink).unwrap();
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn topological_order_is_consistent((n, params, seed) in arb_pipelineish()) {
+        let g = build_graph(n, &params, seed);
+        let pos: std::collections::HashMap<ComponentId, usize> = g
+            .topological_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i))
+            .collect();
+        for e in g.edges() {
+            prop_assert!(pos[&e.from] < pos[&e.to]);
+        }
+        // Every component appears exactly once.
+        prop_assert_eq!(pos.len(), g.num_components());
+    }
+
+    #[test]
+    fn pe_dense_indices_are_a_bijection((n, params, seed) in arb_pipelineish()) {
+        let g = build_graph(n, &params, seed);
+        let mut seen = vec![false; g.num_pes()];
+        for &pe in g.pes() {
+            let d = g.pe_dense_index(pe).unwrap();
+            prop_assert!(!seen[d]);
+            seen[d] = true;
+        }
+        prop_assert!(seen.into_iter().all(|x| x));
+    }
+
+    #[test]
+    fn rates_scale_linearly((n, params, seed) in arb_pipelineish(), rate in 1.0f64..20.0, factor in 1.1f64..4.0) {
+        let g = build_graph(n, &params, seed);
+        let mk = |r: f64| {
+            let cs = ConfigSpace::new(&g, vec![vec![r]], vec![1.0]).unwrap();
+            let app = Application::new("x", g.clone(), cs, 10.0).unwrap();
+            RateTable::compute(&app)
+        };
+        let r1 = mk(rate);
+        let r2 = mk(rate * factor);
+        for &pe in g.pes() {
+            let a = r1.delta(pe, ConfigId(0));
+            let b = r2.delta(pe, ConfigId(0));
+            prop_assert!((b - factor * a).abs() <= 1e-9 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn pe_input_rate_is_sum_of_pred_deltas((n, params, seed) in arb_pipelineish()) {
+        let g = build_graph(n, &params, seed);
+        let cs = ConfigSpace::new(&g, vec![vec![5.0, 9.0]], vec![0.5, 0.5]).unwrap();
+        let app = Application::new("x", g.clone(), cs, 10.0).unwrap();
+        let rt = RateTable::compute(&app);
+        for (dense, &pe) in g.pes().iter().enumerate() {
+            for c in [ConfigId(0), ConfigId(1)] {
+                let expect: f64 = g.predecessors(pe).map(|p| rt.delta(p, c)).sum();
+                prop_assert!((rt.pe_input_rate(dense, c) - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_json_round_trip(num_pes in 1usize..12, num_configs in 1usize..5, bits in any::<u64>()) {
+        let mut s = ActivationStrategy::all_inactive(num_pes, num_configs, 2);
+        let mut x = bits | 1;
+        for pe in 0..num_pes {
+            for c in 0..num_configs {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                let v = (x >> 60) % 3;
+                let cfg = ConfigId(c as u32);
+                match v {
+                    0 => s.set_active(pe, cfg, 0, true),
+                    1 => s.set_active(pe, cfg, 1, true),
+                    _ => {
+                        s.set_active(pe, cfg, 0, true);
+                        s.set_active(pe, cfg, 1, true);
+                    }
+                }
+            }
+        }
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ActivationStrategy = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(s, back);
+    }
+
+    #[test]
+    fn config_space_rate_vectors_cover_product(
+        r1 in proptest::collection::vec(1.0f64..30.0, 1..4),
+        r2 in proptest::collection::vec(1.0f64..30.0, 1..4),
+    ) {
+        let mut b = GraphBuilder::new();
+        let s1 = b.add_source("s1");
+        let s2 = b.add_source("s2");
+        let p = b.add_pe("p");
+        let k = b.add_sink("k");
+        b.connect(s1, p, 1.0, 1.0).unwrap();
+        b.connect(s2, p, 1.0, 1.0).unwrap();
+        b.connect_sink(p, k).unwrap();
+        let g = b.build().unwrap();
+        let total = r1.len() * r2.len();
+        let cs = ConfigSpace::new(&g, vec![r1.clone(), r2.clone()], vec![1.0 / total as f64; total]).unwrap();
+        prop_assert_eq!(cs.num_configs(), total);
+        let mut seen = std::collections::HashSet::new();
+        for c in cs.configs() {
+            let v = cs.rate_vector(c);
+            prop_assert!(r1.contains(&v[0]));
+            prop_assert!(r2.contains(&v[1]));
+            seen.insert((v[0].to_bits(), v[1].to_bits()));
+        }
+        // All combinations distinct unless rates repeat in the input.
+        let distinct1: std::collections::HashSet<u64> = r1.iter().map(|x| x.to_bits()).collect();
+        let distinct2: std::collections::HashSet<u64> = r2.iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(seen.len(), distinct1.len() * distinct2.len());
+    }
+}

@@ -1,0 +1,110 @@
+//! JSON round-trip tests for every serializable artifact a deployment
+//! pipeline would persist: the application contract, placements, activation
+//! strategies (both serde and the HAController document of §5.1), traces,
+//! failure plans, and simulation metrics.
+
+use laar::prelude::*;
+
+fn gen() -> GeneratedApp {
+    laar_gen::generator::generate_app(
+        &GenParams {
+            num_pes: 6,
+            num_hosts: 3,
+            duration: 30.0,
+            ..GenParams::default()
+        },
+        99,
+    )
+}
+
+#[test]
+fn application_contract_round_trip() {
+    let g = gen();
+    let json = g.app.to_json_pretty();
+    let back = Application::from_json(&json).unwrap();
+    assert_eq!(g.app, back);
+}
+
+#[test]
+fn placement_round_trip() {
+    let g = gen();
+    let json = serde_json::to_string(&g.placement).unwrap();
+    let back: Placement = serde_json::from_str(&json).unwrap();
+    assert_eq!(g.placement, back);
+}
+
+#[test]
+fn strategy_round_trips_both_formats() {
+    let g = gen();
+    let mut s = ActivationStrategy::all_active(6, 2, 2);
+    s.set_active(2, ConfigId(1), 0, false);
+    s.set_active(4, ConfigId(0), 1, false);
+
+    let json = serde_json::to_string(&s).unwrap();
+    let back: ActivationStrategy = serde_json::from_str(&json).unwrap();
+    assert_eq!(s, back);
+
+    let doc = s.to_controller_json(g.app.graph());
+    let back = ActivationStrategy::from_controller_json(g.app.graph(), &doc).unwrap();
+    assert_eq!(s, back);
+}
+
+#[test]
+fn controller_document_is_humane() {
+    // The §5.1 document must key activations by PE name with "10"-style
+    // cells — the format operators read and diff.
+    let g = gen();
+    let s = ActivationStrategy::all_active(6, 2, 2);
+    let doc = s.to_controller_json(g.app.graph());
+    let obj = doc["activations"].as_object().unwrap();
+    assert_eq!(obj.len(), 6);
+    for (_, cells) in obj {
+        let arr = cells.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].as_str().unwrap(), "11");
+    }
+}
+
+#[test]
+fn trace_round_trip() {
+    let t = InputTrace::low_high_bursts(3.0, 12.0, 120.0, 0.25, 3);
+    let json = serde_json::to_string(&t).unwrap();
+    let back: InputTrace = serde_json::from_str(&json).unwrap();
+    assert_eq!(t, back);
+}
+
+#[test]
+fn failure_plan_round_trip() {
+    for plan in [
+        FailurePlan::None,
+        FailurePlan::WorstCase {
+            crashed: vec![0, 1, 0],
+        },
+        FailurePlan::host_crash(HostId(2), 120.0),
+    ] {
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FailurePlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}
+
+#[test]
+fn sim_metrics_round_trip() {
+    let g = gen();
+    let trace = InputTrace::low_high_centered(g.low_rate, g.high_rate, 20.0, g.p_high());
+    let m = Simulation::new(
+        &g.app,
+        &g.placement,
+        ActivationStrategy::all_active(6, 2, 2),
+        &trace,
+        FailurePlan::None,
+        SimConfig::default(),
+    )
+    .run();
+    let json = serde_json::to_string(&m).unwrap();
+    let back: SimMetrics = serde_json::from_str(&json).unwrap();
+    assert_eq!(m.total_processed(), back.total_processed());
+    assert_eq!(m.queue_drops, back.queue_drops);
+    assert_eq!(m.host_cpu_seconds, back.host_cpu_seconds);
+    assert_eq!(m.output_rate, back.output_rate);
+}
