@@ -18,9 +18,13 @@ fn bench_ic_sweep(c: &mut Criterion) {
     let mut g = c.benchmark_group("ftsearch/ic_sweep_fig2");
     for ic in [0.0, 0.5, 2.0 / 3.0, 0.9] {
         let p = fig2_problem(ic);
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{ic:.2}")), &p, |b, p| {
-            b.iter(|| black_box(solve(p, &opts()).unwrap().outcome.label()));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ic:.2}")),
+            &p,
+            |b, p| {
+                b.iter(|| black_box(solve(p, &opts()).unwrap().outcome.label()));
+            },
+        );
     }
     g.finish();
 }

@@ -50,8 +50,7 @@ fn bench_rtree_query(c: &mut Criterion) {
 
 fn bench_rtree_bulk_load(c: &mut Criterion) {
     let cs = space(3, 8);
-    let points: Vec<(Vec<f64>, ConfigId)> =
-        cs.configs().map(|c| (cs.rate_vector(c), c)).collect();
+    let points: Vec<(Vec<f64>, ConfigId)> = cs.configs().map(|c| (cs.rate_vector(c), c)).collect();
     c.bench_function("rtree/bulk_load_512", |b| {
         b.iter(|| black_box(RTree::bulk_load(points.clone()).len()));
     });
@@ -65,7 +64,7 @@ fn bench_rate_monitor(c: &mut Criterion) {
             t += 0.01;
             m.record(0, t);
             m.record(1, t);
-            if (t * 100.0) as u64 % 100 == 0 {
+            if ((t * 100.0) as u64).is_multiple_of(100) {
                 black_box(m.rates(t));
             }
         });
@@ -80,7 +79,11 @@ fn bench_controller_switch(c: &mut Criterion) {
         let mut flip = false;
         b.iter(|| {
             flip = !flip;
-            let rates = if flip { vec![3.0, 9.0] } else { vec![17.0, 29.0] };
+            let rates = if flip {
+                vec![3.0, 9.0]
+            } else {
+                vec![17.0, 29.0]
+            };
             black_box(ctl.on_measured_rates(&rates).len())
         });
     });

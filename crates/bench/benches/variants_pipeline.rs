@@ -60,5 +60,10 @@ fn bench_baselines(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_build_variants, bench_evaluators, bench_baselines);
+criterion_group!(
+    benches,
+    bench_build_variants,
+    bench_evaluators,
+    bench_baselines
+);
 criterion_main!(benches);

@@ -8,6 +8,7 @@
 //! laar solve     → strategy.json (the HAController document of §5.1)
 //! laar profile   → re-estimated descriptor (validates the contract)
 //! laar simulate  → metrics.json (one run on the simulated cluster)
+//! laar run-live  → metrics.json (same run on the live threaded engine)
 //! laar variants  → NR/SR/GRD/L.5/L.6/L.7 comparison table
 //! ```
 //!
@@ -23,6 +24,7 @@ use laar_dsps::profiler::{descriptor_error, profile_application};
 use laar_dsps::{FailurePlan, InputTrace, SimConfig, SimMetrics, Simulation};
 use laar_gen::{generator::generate_app, GenParams};
 use laar_model::{ActivationStrategy, Application, HostId, Placement};
+use laar_runtime::{LiveReport, LiveRuntime, RuntimeConfig};
 use std::time::Duration;
 
 /// Errors surfaced to the CLI user.
@@ -111,15 +113,13 @@ pub fn cmd_solve(
     time_limit: Duration,
     soft_penalty: Option<f64>,
 ) -> Result<SolveOutput, CliError> {
-    let problem =
-        Problem::new(app.clone(), placement.clone(), ic_requirement).map_err(message)?;
+    let problem = Problem::new(app.clone(), placement.clone(), ic_requirement).map_err(message)?;
     if let Some(lambda) = soft_penalty {
         let soft = ftsearch::solve_soft(&problem, lambda, time_limit)
             .map_err(message)?
             .ok_or_else(|| {
                 CliError::Message(
-                    "soft solve timed out or the deployment cannot fit the application"
-                        .to_owned(),
+                    "soft solve timed out or the deployment cannot fit the application".to_owned(),
                 )
             })?;
         return Ok(SolveOutput {
@@ -130,8 +130,8 @@ pub fn cmd_solve(
             strategy: soft.solution.strategy,
         });
     }
-    let report = ftsearch::solve(&problem, &FtSearchConfig::with_time_limit(time_limit))
-        .map_err(message)?;
+    let report =
+        ftsearch::solve(&problem, &FtSearchConfig::with_time_limit(time_limit)).map_err(message)?;
     match report.outcome {
         Outcome::Optimal(s) | Outcome::Feasible(s) => Ok(SolveOutput {
             label: if report.stats.proved { "BST" } else { "SOL" }.to_owned(),
@@ -152,7 +152,11 @@ pub fn cmd_solve(
 }
 
 /// Failure plan specification accepted by `simulate`.
-pub fn parse_failure(spec: &str, app: &Application, strategy: &ActivationStrategy) -> Result<FailurePlan, CliError> {
+pub fn parse_failure(
+    spec: &str,
+    app: &Application,
+    strategy: &ActivationStrategy,
+) -> Result<FailurePlan, CliError> {
     match spec {
         "none" => Ok(FailurePlan::None),
         "worst" => Ok(FailurePlan::worst_case(app, strategy)),
@@ -185,6 +189,33 @@ pub fn cmd_simulate(
         .validate(app.graph(), app.configs().num_configs(), placement.k())
         .map_err(message)?;
     Ok(Simulation::new(app, placement, strategy, trace, plan, SimConfig::default()).run())
+}
+
+/// The `run-live` command: execute the deployment on the live threaded
+/// engine at `speed`× real time. Same inputs as [`cmd_simulate`]; returns
+/// the metrics plus the engine's conservation ledger.
+pub fn cmd_run_live(
+    app: &Application,
+    placement: &Placement,
+    strategy: ActivationStrategy,
+    trace: &InputTrace,
+    plan: FailurePlan,
+    speed: f64,
+) -> Result<LiveReport, CliError> {
+    strategy
+        .validate(app.graph(), app.configs().num_configs(), placement.k())
+        .map_err(message)?;
+    if !speed.is_finite() || speed <= 0.0 {
+        return Err(CliError::Message(format!(
+            "bad --speed {speed}: must be a positive number"
+        )));
+    }
+    let cfg = if speed == 1.0 {
+        RuntimeConfig::default()
+    } else {
+        RuntimeConfig::accelerated(speed)
+    };
+    Ok(LiveRuntime::new(app, placement, strategy, trace, plan, cfg).run())
 }
 
 /// One row of the `variants` comparison.
@@ -241,7 +272,10 @@ pub fn cmd_variants(
             VariantKind::StaticReplication.label().to_owned(),
             static_replication(&problem),
         ),
-        (VariantKind::Greedy.label().to_owned(), greedy(&problem).strategy),
+        (
+            VariantKind::Greedy.label().to_owned(),
+            greedy(&problem).strategy,
+        ),
     ];
     all.extend(laar);
 
@@ -330,6 +364,20 @@ mod tests {
     }
 
     #[test]
+    fn run_live_executes_generated_app() {
+        let (app, placement, trace) = artifacts();
+        let np = app.graph().num_pes();
+        let strategy = ActivationStrategy::all_active(np, placement.k(), 2);
+        let report =
+            cmd_run_live(&app, &placement, strategy, &trace, FailurePlan::None, 60.0).unwrap();
+        assert!(report.metrics.total_processed() > 0);
+        assert!(report.conservation.is_balanced());
+        // Rejects nonsense speeds.
+        let s2 = ActivationStrategy::all_active(np, placement.k(), 2);
+        assert!(cmd_run_live(&app, &placement, s2, &trace, FailurePlan::None, 0.0).is_err());
+    }
+
+    #[test]
     fn solve_reports_infeasible_clearly() {
         let (app, placement, _) = artifacts();
         let err = cmd_solve(&app, &placement, 0.999, Duration::from_secs(5), None).unwrap_err();
@@ -339,8 +387,7 @@ mod tests {
     #[test]
     fn soft_solve_always_returns() {
         let (app, placement, _) = artifacts();
-        let soft =
-            cmd_solve(&app, &placement, 0.999, Duration::from_secs(10), Some(1e6)).unwrap();
+        let soft = cmd_solve(&app, &placement, 0.999, Duration::from_secs(10), Some(1e6)).unwrap();
         assert_eq!(soft.label, "SOFT");
         assert!(soft.ic_shortfall.unwrap() >= 0.0);
     }

@@ -2,7 +2,8 @@
 //! Fig. 7 as JSON-file plumbing. Run `laar help` for usage.
 
 use laar_cli::{
-    cmd_generate, cmd_profile, cmd_simulate, cmd_solve, cmd_variants, parse_failure, CliError,
+    cmd_generate, cmd_profile, cmd_run_live, cmd_simulate, cmd_solve, cmd_variants, parse_failure,
+    CliError,
 };
 use laar_dsps::InputTrace;
 use laar_model::{ActivationStrategy, Application, Placement};
@@ -16,6 +17,7 @@ USAGE:
   laar generate --pes N --hosts N [--seed N] --contract OUT --placement OUT --trace OUT
   laar solve    --contract F --placement F --ic X [--time-limit SECS] [--soft LAMBDA] --strategy OUT
   laar simulate --contract F --placement F --strategy F --trace F [--failure none|worst|host:<id>@<secs>] [--metrics OUT]
+  laar run-live --contract F --placement F --strategy F --trace F [--failure ...] [--speed X] [--metrics OUT]
   laar variants --contract F --placement F --trace F [--time-limit SECS]
   laar profile  --contract F --placement F [--probes N]
 
@@ -145,6 +147,45 @@ fn run() -> Result<(), CliError> {
                 println!("metrics written to {path}");
             }
         }
+        "run-live" => {
+            let app: Application = read_json(need(&flags, "contract")?)?;
+            let placement: Placement = read_json(need(&flags, "placement")?)?;
+            let trace: InputTrace = read_json(need(&flags, "trace")?)?;
+            let doc: serde_json::Value = read_json(need(&flags, "strategy")?)?;
+            let strategy = ActivationStrategy::from_controller_json(app.graph(), &doc)
+                .map_err(|e| CliError::Message(e.to_string()))?;
+            let failure = flags.get("failure").map(String::as_str).unwrap_or("none");
+            let plan = parse_failure(failure, &app, &strategy)?;
+            let speed: f64 = flags
+                .get("speed")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|e| CliError::Message(format!("bad --speed: {e}")))?
+                .unwrap_or(1.0);
+            let report = cmd_run_live(&app, &placement, strategy, &trace, plan, speed)?;
+            let metrics = &report.metrics;
+            println!(
+                "live run at {speed}x: processed {} tuples, {} sink outputs, {} drops, \
+                 {:.1} CPU-s, mean latency {:.0} ms (p99 {:.0} ms), {} fail-overs, \
+                 conservation {}",
+                metrics.total_processed(),
+                metrics.total_sink_output(),
+                metrics.queue_drops,
+                metrics.total_cpu_seconds(),
+                1e3 * metrics.latency.mean(),
+                1e3 * metrics.latency.quantile(0.99),
+                metrics.failovers,
+                if report.conservation.is_balanced() {
+                    "balanced"
+                } else {
+                    "UNBALANCED"
+                },
+            );
+            if let Some(path) = flags.get("metrics") {
+                write_json(path, metrics)?;
+                println!("metrics written to {path}");
+            }
+        }
         "variants" => {
             let app: Application = read_json(need(&flags, "contract")?)?;
             let placement: Placement = read_json(need(&flags, "placement")?)?;
@@ -171,7 +212,10 @@ fn run() -> Result<(), CliError> {
                 .map_err(|e| CliError::Message(format!("bad --probes: {e}")))?
                 .unwrap_or(3);
             let rows = cmd_profile(&app, &placement, probes)?;
-            println!("{:<12} {:>32} {:>32} {:>8}", "pe", "selectivity", "cost", "err");
+            println!(
+                "{:<12} {:>32} {:>32} {:>8}",
+                "pe", "selectivity", "cost", "err"
+            );
             for (name, sel, cost, err) in rows {
                 println!(
                     "{name:<12} {:>32} {:>32} {:>7.1}%",

@@ -51,10 +51,8 @@ pub struct ConfigIndex {
 impl ConfigIndex {
     /// Index every configuration of `space`.
     pub fn new(space: &ConfigSpace) -> Self {
-        let points: Vec<(Vec<f64>, ConfigId)> = space
-            .configs()
-            .map(|c| (space.rate_vector(c), c))
-            .collect();
+        let points: Vec<(Vec<f64>, ConfigId)> =
+            space.configs().map(|c| (space.rate_vector(c), c)).collect();
         Self {
             tree: RTree::bulk_load(points),
             max_config: space.max_config(),

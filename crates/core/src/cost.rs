@@ -268,12 +268,9 @@ mod tests {
         let mut s = ActivationStrategy::all_active(2, 2, 2);
         s.set_active(1, ConfigId(0), 1, false);
         let m = cm.host_load_matrix(&s);
-        for h in 0..2 {
-            for c in 0..2 {
-                assert_eq!(
-                    m[h][c],
-                    cm.host_load(&s, HostId(h as u32), ConfigId(c as u32))
-                );
+        for (h, row) in m.iter().enumerate() {
+            for (c, &load) in row.iter().enumerate() {
+                assert_eq!(load, cm.host_load(&s, HostId(h as u32), ConfigId(c as u32)));
             }
         }
     }

@@ -79,7 +79,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::UnsupportedReplication { k } => {
-                write!(f, "unsupported replication factor k = {k} (FT-Search requires k = 2)")
+                write!(
+                    f,
+                    "unsupported replication factor k = {k} (FT-Search requires k = 2)"
+                )
             }
             CoreError::PlacementMismatch => {
                 write!(f, "placement and application disagree on the number of PEs")

@@ -261,7 +261,7 @@ pub fn solve_decomposed(
     for (v, var) in prep.vars.iter().enumerate() {
         max_fic[var.cfg.index()] += prep.w_ic[v];
     }
-    
+
     let total_max: f64 = max_fic.iter().sum();
 
     // Per-configuration frontiers.
@@ -521,8 +521,11 @@ mod tests {
     use crate::testutil::{chain_problem, diamond_problem, fig2_problem};
 
     fn agree(problem: &Problem) {
-        let mono = solve(problem, &FtSearchConfig::with_time_limit(Duration::from_secs(30)))
-            .unwrap();
+        let mono = solve(
+            problem,
+            &FtSearchConfig::with_time_limit(Duration::from_secs(30)),
+        )
+        .unwrap();
         let deco = solve_decomposed(problem, Duration::from_secs(30)).unwrap();
         match (&mono.outcome, &deco.outcome) {
             (Outcome::Optimal(a), Outcome::Optimal(b)) => {
@@ -597,7 +600,10 @@ mod tests {
             let s = solve_soft(&p, lambda, Duration::from_secs(10))
                 .unwrap()
                 .expect("solved");
-            assert!(s.objective_rate >= last_obj - 1e-9, "objective must grow with λ");
+            assert!(
+                s.objective_rate >= last_obj - 1e-9,
+                "objective must grow with λ"
+            );
             last_obj = s.objective_rate;
         }
     }
@@ -623,7 +629,10 @@ mod tests {
         let p = chain_problem(16, 4, 0.5);
         let r = solve_best_effort(&p, Duration::from_secs(20)).unwrap();
         assert!(
-            matches!(r.outcome, Outcome::Optimal(_) | Outcome::Feasible(_) | Outcome::Infeasible),
+            matches!(
+                r.outcome,
+                Outcome::Optimal(_) | Outcome::Feasible(_) | Outcome::Infeasible
+            ),
             "got {}",
             r.outcome.label()
         );

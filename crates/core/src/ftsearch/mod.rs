@@ -260,9 +260,7 @@ fn greedy_seed_with(prep: &Prep, heuristic: SeedHeuristic) -> Option<RawSolution
                     }
                     let better = match heuristic {
                         // Highest dense index = most downstream.
-                        SeedHeuristic::DownstreamFirst => {
-                            cand.is_none_or(|(p, _, _)| pe > p)
-                        }
+                        SeedHeuristic::DownstreamFirst => cand.is_none_or(|(p, _, _)| pe > p),
                         SeedHeuristic::CheapestIcPerLoad => {
                             let l = prep.replica_load[pe * nq + c].max(1e-12);
                             let score = prep.w_ic[v] / l;
@@ -339,12 +337,7 @@ pub(crate) fn raw_to_solution_parts(problem: &Problem, prep: &Prep, assign: &[u8
     }
 }
 
-fn classify(
-    problem: &Problem,
-    prep: &Prep,
-    best: Option<RawSolution>,
-    timed_out: bool,
-) -> Outcome {
+fn classify(problem: &Problem, prep: &Prep, best: Option<RawSolution>, timed_out: bool) -> Outcome {
     match (best, timed_out) {
         (Some(raw), false) => Outcome::Optimal(raw_to_solution(problem, prep, &raw)),
         (Some(raw), true) => Outcome::Feasible(raw_to_solution(problem, prep, &raw)),
@@ -710,7 +703,11 @@ mod tests {
     #[test]
     fn chain_instance_solves_quickly_with_pruning() {
         let p = chain_problem(16, 4, 0.5);
-        let report = solve(&p, &FtSearchConfig::with_time_limit(Duration::from_secs(30))).unwrap();
+        let report = solve(
+            &p,
+            &FtSearchConfig::with_time_limit(Duration::from_secs(30)),
+        )
+        .unwrap();
         assert!(
             matches!(report.outcome, Outcome::Optimal(_) | Outcome::Infeasible),
             "expected proved outcome, got {}",

@@ -86,9 +86,8 @@ impl Prep {
 
         // Sort configurations by all-active total load, descending.
         let mut cfg_order: Vec<ConfigId> = cs.configs().collect();
-        let total_load = |c: ConfigId| -> f64 {
-            (0..np).map(|pe| rates.pe_input_load(pe, c)).sum()
-        };
+        let total_load =
+            |c: ConfigId| -> f64 { (0..np).map(|pe| rates.pe_input_load(pe, c)).sum() };
         cfg_order.sort_by(|a, b| {
             total_load(*b)
                 .partial_cmp(&total_load(*a))
@@ -128,7 +127,12 @@ impl Prep {
                 ]
             })
             .collect();
-        let cap: Vec<f64> = problem.placement.hosts().iter().map(|h| h.capacity).collect();
+        let cap: Vec<f64> = problem
+            .placement
+            .hosts()
+            .iter()
+            .map(|h| h.capacity)
+            .collect();
 
         let mut pe_in = vec![Vec::new(); np];
         let mut pe_succ = vec![Vec::new(); np];
@@ -201,7 +205,7 @@ mod tests {
         let p = fig2_problem(0.6);
         let prep = Prep::build(&p);
         assert_eq!(prep.num_vars, 4); // 2 PEs x 2 configs
-        // High (config 1) is more resource hungry, so it is explored first.
+                                      // High (config 1) is more resource hungry, so it is explored first.
         assert_eq!(prep.vars[0].cfg, ConfigId(1));
         assert_eq!(prep.vars[1].cfg, ConfigId(1));
         assert_eq!(prep.vars[2].cfg, ConfigId(0));

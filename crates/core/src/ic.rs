@@ -12,7 +12,7 @@
 //! IC(s)  = FIC(s) / BIC                                                    (eq. 8)
 //! ```
 
-use laar_model::{Application, ActivationStrategy, ComponentKind, ConfigId, RateTable};
+use laar_model::{ActivationStrategy, Application, ComponentKind, ConfigId, RateTable};
 
 /// A failure model: the probability `φ(xᵢ, c, s)` that at least one replica
 /// of PE `xᵢ` is alive *and active* when the input configuration is `c` and
@@ -277,8 +277,7 @@ impl<'a> IcEvaluator<'a> {
                         let phi = model.phi(dense, c, s);
                         // Tuples expected to be *received and processed* by x:
                         // φ(x) · Σ_{j ∈ pred} Δ̂(j)  (eq. 6 inner term).
-                        let received: f64 =
-                            g.in_edges(x).map(|e| dhat[e.from.index()]).sum();
+                        let received: f64 = g.in_edges(x).map(|e| dhat[e.from.index()]).sum();
                         fic += pc * phi * received;
                         // Expected output (eq. 7).
                         let weighted: f64 = g
@@ -288,8 +287,7 @@ impl<'a> IcEvaluator<'a> {
                         dhat[x.index()] = phi * weighted;
                     }
                     ComponentKind::Sink => {
-                        dhat[x.index()] =
-                            g.in_edges(x).map(|e| dhat[e.from.index()]).sum();
+                        dhat[x.index()] = g.in_edges(x).map(|e| dhat[e.from.index()]).sum();
                     }
                 }
             }
@@ -476,9 +474,13 @@ mod tests {
                 capacity: 1000.0,
             },
         ];
-        let placement =
-            Placement::new(g, 2, hosts, vec![HostId(0), HostId(1), HostId(0), HostId(1)])
-                .unwrap();
+        let placement = Placement::new(
+            g,
+            2,
+            hosts,
+            vec![HostId(0), HostId(1), HostId(0), HostId(1)],
+        )
+        .unwrap();
         let sr = ActivationStrategy::all_active(2, 2, 2);
         // Full replication survives any single host crash completely.
         for h in 0..2 {

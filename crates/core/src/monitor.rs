@@ -117,7 +117,7 @@ mod tests {
     #[test]
     fn constant_rate_estimation() {
         let mut m = RateMonitor::new(1, 0.1, 20); // 2 s window
-        // 10 tuples per second for 4 seconds.
+                                                  // 10 tuples per second for 4 seconds.
         let mut t = 0.0;
         while t < 4.0 {
             m.record(0, t);
@@ -130,7 +130,7 @@ mod tests {
     #[test]
     fn rate_change_tracks_within_window() {
         let mut m = RateMonitor::new(1, 0.1, 10); // 1 s window
-        // 4 t/s for 5 s, then 8 t/s for 2 s.
+                                                  // 4 t/s for 5 s, then 8 t/s for 2 s.
         let mut t: f64 = 0.0;
         while t < 5.0 {
             m.record(0, t);

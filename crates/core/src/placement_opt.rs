@@ -56,12 +56,14 @@ pub struct PlacementSearchResult {
     pub report: SearchReport,
 }
 
-fn rebuild(
-    app: &Application,
-    template: &Placement,
-    assignment: Vec<HostId>,
-) -> Option<Placement> {
-    Placement::new(app.graph(), template.k(), template.hosts().to_vec(), assignment).ok()
+fn rebuild(app: &Application, template: &Placement, assignment: Vec<HostId>) -> Option<Placement> {
+    Placement::new(
+        app.graph(),
+        template.k(),
+        template.hosts().to_vec(),
+        assignment,
+    )
+    .ok()
 }
 
 fn evaluate(
@@ -194,12 +196,9 @@ mod tests {
         // above the Low share ~0.51 are unreachable on any placement of
         // this instance: no host can take a second activation at High.)
         let result =
-            optimize_placement(&app, &placement, 0.45, &PlacementSearchConfig::default())
-                .unwrap();
+            optimize_placement(&app, &placement, 0.45, &PlacementSearchConfig::default()).unwrap();
         // The improved placement must put something on host 2.
-        let uses_h2 = (0..3).any(|pe| {
-            (0..2).any(|r| result.placement.host_of(pe, r) == HostId(2))
-        });
+        let uses_h2 = (0..3).any(|pe| (0..2).any(|r| result.placement.host_of(pe, r) == HostId(2)));
         assert!(uses_h2, "search should spread onto the idle host");
         assert!(result.moves > 0);
         match (&result.initial_cost_rate, &result.final_cost_rate) {
@@ -220,9 +219,8 @@ mod tests {
         let gen = laar_gen_stub();
         let result =
             optimize_placement(&gen.0, &gen.1, 0.45, &PlacementSearchConfig::default()).unwrap();
-        match (result.initial_cost_rate, result.final_cost_rate) {
-            (Some(a), Some(b)) => assert!(b <= a + 1e-9),
-            _ => {}
+        if let (Some(a), Some(b)) = (result.initial_cost_rate, result.final_cost_rate) {
+            assert!(b <= a + 1e-9);
         }
     }
 

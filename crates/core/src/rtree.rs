@@ -67,11 +67,7 @@ impl Mbr {
     /// Lower bound on the L1 slack `Σ (pᵢ - qᵢ)` of any dominating point in
     /// this MBR.
     fn slack_lower_bound(&self, q: &[f64]) -> f64 {
-        self.lo
-            .iter()
-            .zip(q)
-            .map(|(l, x)| (l - x).max(0.0))
-            .sum()
+        self.lo.iter().zip(q).map(|(l, x)| (l - x).max(0.0)).sum()
     }
 }
 
@@ -251,12 +247,8 @@ impl RTree {
 
     fn range_rec(node: &Node, lo: &[f64], hi: &[f64], out: &mut Vec<ConfigId>) {
         let m = node.mbr();
-        let disjoint = m
-            .lo
-            .iter()
-            .zip(hi)
-            .any(|(a, b)| a > b)
-            || m.hi.iter().zip(lo).any(|(a, b)| a < b);
+        let disjoint =
+            m.lo.iter().zip(hi).any(|(a, b)| a > b) || m.hi.iter().zip(lo).any(|(a, b)| a < b);
         if disjoint {
             return;
         }
@@ -324,10 +316,7 @@ mod tests {
     #[test]
     fn low_high_like_paper() {
         // Low = 4 t/s, High = 8 t/s.
-        let t = RTree::bulk_load(vec![
-            (vec![4.0], ConfigId(0)),
-            (vec![8.0], ConfigId(1)),
-        ]);
+        let t = RTree::bulk_load(vec![(vec![4.0], ConfigId(0)), (vec![8.0], ConfigId(1))]);
         assert_eq!(t.dominating_min_slack(&[2.0]).unwrap().0, ConfigId(0));
         assert_eq!(t.dominating_min_slack(&[4.0]).unwrap().0, ConfigId(0));
         assert_eq!(t.dominating_min_slack(&[4.1]).unwrap().0, ConfigId(1));
@@ -361,10 +350,7 @@ mod tests {
         for i in 0..5 {
             for j in 0..5 {
                 for k in 0..5 {
-                    points.push((
-                        vec![i as f64, j as f64 * 1.5, k as f64 * 2.5],
-                        ConfigId(id),
-                    ));
+                    points.push((vec![i as f64, j as f64 * 1.5, k as f64 * 2.5], ConfigId(id)));
                     id += 1;
                 }
             }

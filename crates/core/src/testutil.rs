@@ -6,9 +6,7 @@
 #![allow(missing_docs)]
 
 use crate::problem::Problem;
-use laar_model::{
-    Application, ConfigSpace, GraphBuilder, Host, HostId, Placement,
-};
+use laar_model::{Application, ConfigSpace, GraphBuilder, Host, HostId, Placement};
 
 /// The paper's Fig. 1/2 scenario: `src -> pe1 -> pe2 -> sink`, selectivity 1,
 /// per-tuple cost 100 cycles, hosts of 1000 cycles/s, Low = 4 t/s (p = 0.8),
@@ -99,7 +97,8 @@ pub fn chain_problem(n_pes: usize, n_hosts: usize, ic_req: f64) -> Problem {
     b.connect_sink(pes[n_pes - 1], k).unwrap();
     let g = b.build().unwrap();
     let cs = ConfigSpace::new(&g, vec![vec![4.0, 9.0]], vec![0.75, 0.25]).unwrap();
-    let hosts = Placement::uniform_hosts(n_hosts, 1000.0 * (n_pes as f64 / n_hosts as f64).max(1.0));
+    let hosts =
+        Placement::uniform_hosts(n_hosts, 1000.0 * (n_pes as f64 / n_hosts as f64).max(1.0));
     let mut assignment = Vec::new();
     for i in 0..n_pes {
         assignment.push(HostId((i % n_hosts) as u32));

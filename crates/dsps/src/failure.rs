@@ -55,8 +55,8 @@ impl FailurePlan {
                 let score: f64 = cs
                     .configs()
                     .map(|c| {
-                        let solo = strategy.is_active(pe, c, r)
-                            && strategy.active_count(pe, c) == 1;
+                        let solo =
+                            strategy.is_active(pe, c, r) && strategy.active_count(pe, c) == 1;
                         if solo {
                             cs.prob(c)
                         } else {
@@ -84,13 +84,7 @@ impl FailurePlan {
     }
 
     /// Is the given replica dead at time `t` under this plan?
-    pub fn is_dead(
-        &self,
-        placement: &Placement,
-        pe_dense: usize,
-        replica: usize,
-        t: f64,
-    ) -> bool {
+    pub fn is_dead(&self, placement: &Placement, pe_dense: usize, replica: usize, t: f64) -> bool {
         match self {
             FailurePlan::None => false,
             FailurePlan::WorstCase { crashed } => crashed[pe_dense] == replica,
@@ -193,12 +187,7 @@ mod tests {
         // active_count >= 1 criterion:
         struct AnyActive;
         impl laar_core::FailureModel for AnyActive {
-            fn phi(
-                &self,
-                pe: usize,
-                c: ConfigId,
-                s: &laar_model::ActivationStrategy,
-            ) -> f64 {
+            fn phi(&self, pe: usize, c: ConfigId, s: &laar_model::ActivationStrategy) -> f64 {
                 if s.active_count(pe, c) >= 1 {
                     1.0
                 } else {

@@ -30,7 +30,7 @@ pub mod trace;
 
 pub use failure::FailurePlan;
 pub use metrics::{LatencyStats, SimMetrics, TimeSeries};
+pub use profiler::{profile_application, EstimatedDescriptor};
 pub use replica::{InPort, Replica, ReplicaStatus};
 pub use sim::{SimConfig, Simulation};
-pub use profiler::{profile_application, EstimatedDescriptor};
 pub use trace::{ArrivalProcess, InputTrace, RateSchedule, SourceEmitter};

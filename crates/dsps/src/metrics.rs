@@ -30,6 +30,30 @@ impl TimeSeries {
     pub fn max(&self) -> f64 {
         self.samples.iter().copied().fold(0.0, f64::max)
     }
+
+    /// Add another series sample-by-sample (used to merge per-thread series
+    /// collected by the live runtime). The result has the longer length.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        if other.samples.len() > self.samples.len() {
+            self.samples.resize(other.samples.len(), 0.0);
+        }
+        for (a, b) in self.samples.iter_mut().zip(&other.samples) {
+            *a += *b;
+        }
+    }
+
+    /// The `p`-th percentile of the samples (`p` in `[0, 100]`), by nearest-
+    /// rank on a sorted copy: `p = 0` is the minimum, `p = 100` the maximum.
+    /// Returns 0 for an empty series.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let frac = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+        sorted[frac.round() as usize]
+    }
 }
 
 /// Streaming end-to-end latency statistics: fixed 10 ms histogram buckets
@@ -79,6 +103,27 @@ impl LatencyStats {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Merge another histogram into this one. Both must share the same
+    /// bucket layout (the live runtime merges per-host-thread histograms
+    /// built from the same `Default` layout).
+    pub fn merge(&mut self, other: &LatencyStats) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "bucket width mismatch"
+        );
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "bucket count mismatch"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 
     /// Approximate `q`-quantile (`0 < q <= 1`) from the histogram: the upper
@@ -205,6 +250,85 @@ mod tests {
         assert_eq!(l.count, 1);
         assert_eq!(l.max, 42.0);
         assert_eq!(*l.buckets.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn time_series_percentiles() {
+        let ts = TimeSeries {
+            samples: vec![4.0, 1.0, 3.0, 2.0, 5.0],
+        };
+        assert_eq!(ts.percentile(0.0), 1.0);
+        assert_eq!(ts.percentile(50.0), 3.0);
+        assert_eq!(ts.percentile(100.0), 5.0);
+        // Out-of-range p clamps rather than panicking.
+        assert_eq!(ts.percentile(-10.0), 1.0);
+        assert_eq!(ts.percentile(250.0), 5.0);
+        // Empty series yields 0 (matches mean()/max() conventions).
+        assert_eq!(TimeSeries::default().percentile(50.0), 0.0);
+        // Single sample: every percentile is that sample.
+        let one = TimeSeries { samples: vec![7.0] };
+        assert_eq!(one.percentile(0.0), 7.0);
+        assert_eq!(one.percentile(99.0), 7.0);
+    }
+
+    #[test]
+    fn latency_quantile_lands_in_overflow_bucket() {
+        // All mass beyond the histogram range: quantiles must still answer
+        // (the overflow bucket's upper edge), never scan past the end.
+        let mut l = LatencyStats::default();
+        for _ in 0..10 {
+            l.record(99.0);
+        }
+        let p50 = l.quantile(0.5);
+        let histogram_span = l.bucket_width * l.buckets.len() as f64;
+        assert!(p50 >= histogram_span - 1e-9, "p50 = {p50}");
+        assert_eq!(l.max, 99.0);
+    }
+
+    #[test]
+    fn latency_empty_stats_are_all_zero() {
+        let l = LatencyStats::default();
+        assert_eq!(l.count, 0);
+        assert_eq!(l.mean(), 0.0);
+        assert_eq!(l.max, 0.0);
+        assert_eq!(l.quantile(0.0), 0.0);
+        assert_eq!(l.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn latency_negative_samples_clamp_to_zero_bucket() {
+        let mut l = LatencyStats::default();
+        l.record(-1.0);
+        assert_eq!(l.count, 1);
+        assert_eq!(l.buckets[0], 1);
+        assert_eq!(l.sum, 0.0);
+    }
+
+    #[test]
+    fn time_series_merge_pads_shorter_series() {
+        let mut a = TimeSeries {
+            samples: vec![1.0, 2.0],
+        };
+        a.merge(&TimeSeries {
+            samples: vec![10.0, 10.0, 10.0],
+        });
+        assert_eq!(a.samples, vec![11.0, 12.0, 10.0]);
+    }
+
+    #[test]
+    fn latency_merge_combines_histograms() {
+        let mut a = LatencyStats::default();
+        let mut b = LatencyStats::default();
+        a.record(0.1);
+        b.record(0.3);
+        b.record(42.0); // overflow bucket
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.max, 42.0);
+        assert!((a.sum - 42.4).abs() < 1e-9);
+        assert_eq!(*a.buckets.last().unwrap(), 1);
+        // Quantiles answer over the combined mass.
+        assert!(a.quantile(0.3) <= 0.2);
     }
 
     #[test]

@@ -75,9 +75,8 @@ fn least_squares(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
     // tiny pivots and garbage coefficients despite perfect residuals —
     // treat them as unidentifiable instead.
     for col in 0..cols {
-        let pivot = (col..cols).max_by(|&x, &y| {
-            m[x][col].abs().partial_cmp(&m[y][col].abs()).unwrap()
-        })?;
+        let pivot =
+            (col..cols).max_by(|&x, &y| m[x][col].abs().partial_cmp(&m[y][col].abs()).unwrap())?;
         if m[pivot][col].abs() < 1e-4 * scale {
             return None;
         }
@@ -206,8 +205,16 @@ pub fn descriptor_error(app: &Application, est: &EstimatedDescriptor) -> f64 {
     for (port, e) in g.in_edges(est.pe).enumerate() {
         let sel_err = (est.selectivity[port] - e.selectivity).abs() / e.selectivity.max(1e-12);
         let cost_err = (est.cpu_cost[port] - e.cpu_cost).abs() / e.cpu_cost.max(1e-12);
-        worst = worst.max(if sel_err.is_nan() { f64::INFINITY } else { sel_err });
-        worst = worst.max(if cost_err.is_nan() { f64::INFINITY } else { cost_err });
+        worst = worst.max(if sel_err.is_nan() {
+            f64::INFINITY
+        } else {
+            sel_err
+        });
+        worst = worst.max(if cost_err.is_nan() {
+            f64::INFINITY
+        } else {
+            cost_err
+        });
     }
     worst
 }
@@ -221,11 +228,7 @@ mod tests {
     #[test]
     fn least_squares_recovers_exact_solutions() {
         // 2 unknowns, 3 equations: y = 2 x0 + 3 x1.
-        let a = vec![
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-        ];
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]];
         let b = vec![2.0, 3.0, 5.0];
         let x = least_squares(&a, &b).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-9);
@@ -270,12 +273,8 @@ mod tests {
         b.connect(s2, pe, 1.25, 90.0).unwrap();
         b.connect_sink(pe, k).unwrap();
         let g = b.build().unwrap();
-        let cs = ConfigSpace::new(
-            &g,
-            vec![vec![4.0, 12.0], vec![2.0, 9.0]],
-            vec![0.25; 4],
-        )
-        .unwrap();
+        let cs =
+            ConfigSpace::new(&g, vec![vec![4.0, 12.0], vec![2.0, 9.0]], vec![0.25; 4]).unwrap();
         let app = Application::new("fanin", g, cs, 60.0).unwrap();
         let placement = Placement::new(
             app.graph(),
@@ -287,7 +286,11 @@ mod tests {
         let est = profile_application(&app, &placement, 4, 60.0);
         let e = &est[0];
         assert!((e.selectivity[0] - 0.5).abs() < 0.12, "{:?}", e.selectivity);
-        assert!((e.selectivity[1] - 1.25).abs() < 0.12, "{:?}", e.selectivity);
+        assert!(
+            (e.selectivity[1] - 1.25).abs() < 0.12,
+            "{:?}",
+            e.selectivity
+        );
         assert!((e.cpu_cost[0] - 40.0).abs() < 8.0, "{:?}", e.cpu_cost);
         assert!((e.cpu_cost[1] - 90.0).abs() < 8.0, "{:?}", e.cpu_cost);
     }

@@ -182,7 +182,9 @@ impl Simulation {
                 let process = match cfg.arrivals {
                     ArrivalProcess::Deterministic => ArrivalProcess::Deterministic,
                     ArrivalProcess::Poisson { seed } => ArrivalProcess::Poisson {
-                        seed: seed.wrapping_add(si as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                        seed: seed
+                            .wrapping_add(si as u64)
+                            .wrapping_mul(0x9E3779B97F4A7C15),
                     },
                 };
                 SourceEmitter::with_process(s.clone(), process)
@@ -630,8 +632,7 @@ mod tests {
             SimConfig::default(),
         )
         .run();
-        let measured_ic =
-            failure_run.total_processed() as f64 / clean_run.total_processed() as f64;
+        let measured_ic = failure_run.total_processed() as f64 / clean_run.total_processed() as f64;
         // Analytic pessimistic IC of this strategy is 2/3 under the paper's
         // P_C; the trace spends 2/3 of the time at Low, so the run-time IC
         // should be around 2/3 as well (allow sim noise).

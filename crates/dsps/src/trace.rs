@@ -43,12 +43,7 @@ impl RateSchedule {
 
     /// The rate at time `t`.
     pub fn rate_at(&self, t: f64) -> f64 {
-        match self
-            .segments
-            .iter()
-            .rev()
-            .find(|&&(start, _)| start <= t)
-        {
+        match self.segments.iter().rev().find(|&&(start, _)| start <= t) {
             Some(&(_, r)) => r,
             None => self.segments[0].1,
         }
@@ -225,8 +220,8 @@ impl SourceEmitter {
                 self.rng ^= self.rng << 13;
                 self.rng ^= self.rng >> 7;
                 self.rng ^= self.rng << 17;
-                let u = (self.rng.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64
-                    / (1u64 << 53) as f64;
+                let u =
+                    (self.rng.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64;
                 -(1.0 - u).ln() / rate
             }
         }

@@ -5,8 +5,8 @@
 //! stays within 9 % of NR; GRD lands in between but is inconsistent across
 //! applications (2–38 % slower).
 
-use laar_experiments::cli::CommonArgs;
 use laar_experiments::cache::load_or_evaluate;
+use laar_experiments::cli::CommonArgs;
 use laar_experiments::evaluation::EvalConfig;
 use laar_experiments::figures::fig10_peak_output_rate;
 use laar_experiments::report::variant_table;
@@ -37,7 +37,13 @@ fn main() {
         variant_table(
             "Fig. 10 — output rate during the load peak, normalized vs NR",
             &fig10_peak_output_rate(&eval),
-            Some(&[("NR", 1.0), ("SR", 0.67), ("L.5", 0.93), ("L.6", 0.93), ("L.7", 0.92)]),
+            Some(&[
+                ("NR", 1.0),
+                ("SR", 0.67),
+                ("L.5", 0.93),
+                ("L.6", 0.93),
+                ("L.7", 0.92)
+            ]),
         )
     );
     println!(

@@ -27,9 +27,7 @@ fn main() {
     };
     // The paper re-executes a randomly sampled subset of 40 applications.
     let subset = if args.paper { 40 } else { cfg.num_apps.min(12) };
-    eprintln!(
-        "Fig. 11 (bottom) — host crash (16 s, during High) on a {subset}-app subset..."
-    );
+    eprintln!("Fig. 11 (bottom) — host crash (16 s, during High) on a {subset}-app subset...");
     let rows = evaluate_host_crash(&cfg, subset);
     eprintln!("evaluated {} apps", rows.len());
 
@@ -58,9 +56,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
-        "Fig. 11 (bottom) — single host crash: samples processed / failure-free NR\n"
-    );
+    println!("Fig. 11 (bottom) — single host crash: samples processed / failure-free NR\n");
     println!("{}", table(&headers, &body));
     println!(
         "paper: measured IC much higher than the pessimistic guarantees (the\n\

@@ -7,12 +7,12 @@
 //! IC except in a few cases with violations never above 4.7 %; GRD is
 //! erratic (measured IC from 0.35 up to 0.95); SR stays near 1.
 
+use laar_core::variants::VariantKind;
 use laar_experiments::cache::load_or_evaluate;
 use laar_experiments::cli::CommonArgs;
 use laar_experiments::evaluation::EvalConfig;
 use laar_experiments::figures::fig11_worst_case;
 use laar_experiments::report::variant_table;
-use laar_core::variants::VariantKind;
 use std::time::Duration;
 
 fn main() {
@@ -47,7 +47,11 @@ fn main() {
     );
 
     // Per-app IC-violation accounting for the LAAR variants.
-    for kind in [VariantKind::Laar05, VariantKind::Laar06, VariantKind::Laar07] {
+    for kind in [
+        VariantKind::Laar05,
+        VariantKind::Laar06,
+        VariantKind::Laar07,
+    ] {
         let bound = kind.ic_requirement().unwrap();
         let values = &rows
             .iter()

@@ -11,7 +11,10 @@ use laar_experiments::report::table;
 
 fn main() {
     let r = run_fig3();
-    println!("Fig. 3 — two-host pipeline (Low 4 t/s, High 8 t/s at {}..{} s)\n", r.high_start, r.high_end);
+    println!(
+        "Fig. 3 — two-host pipeline (Low 4 t/s, High 8 t/s at {}..{} s)\n",
+        r.high_start, r.high_end
+    );
 
     let series = |m: &laar_dsps::SimMetrics| -> Vec<Vec<String>> {
         (0..m.input_rate.samples.len())

@@ -30,7 +30,10 @@ fn main() {
     );
     let runs = evaluate_solver_corpus(&cfg);
 
-    println!("Fig. 4 — solution types per IC constraint ({} instances)\n", cfg.num_instances);
+    println!(
+        "Fig. 4 — solution types per IC constraint ({} instances)\n",
+        cfg.num_instances
+    );
     let rows: Vec<Vec<String>> = cfg
         .ic_constraints
         .iter()

@@ -40,7 +40,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        table(&["strategy", "share of prune events", "avg pruned height"], &rows)
+        table(
+            &["strategy", "share of prune events", "avg pruned height"],
+            &rows
+        )
     );
     println!(
         "paper: COMPL (IC bound) fires most, then DOM; CPU cuts the tallest\n\

@@ -7,8 +7,8 @@
 //! variants are the cheapest with cost proportional to the IC requirement.
 //! SR drops up to 33.6× more tuples than NR; the dynamic variants drop few.
 
-use laar_experiments::cli::CommonArgs;
 use laar_experiments::cache::load_or_evaluate;
+use laar_experiments::cli::CommonArgs;
 use laar_experiments::evaluation::EvalConfig;
 use laar_experiments::figures::{fig9_cpu_time, fig9_drop_fraction, fig9_drops};
 use laar_experiments::report::variant_table;
@@ -32,7 +32,10 @@ fn main() {
         "evaluated {} apps ({} skipped: {:?})",
         eval.apps.len(),
         eval.skipped.len(),
-        eval.skipped.iter().map(|(s, r)| format!("{s}:{r}")).collect::<Vec<_>>()
+        eval.skipped
+            .iter()
+            .map(|(s, r)| format!("{s}:{r}"))
+            .collect::<Vec<_>>()
     );
 
     println!(

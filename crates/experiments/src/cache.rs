@@ -63,16 +63,7 @@ impl From<CachedCorpus> for CorpusEvaluation {
                     runs: a
                         .runs
                         .into_iter()
-                        .map(|(k, entry, best, worst)| {
-                            (
-                                k,
-                                VariantEval {
-                                    entry,
-                                    best,
-                                    worst,
-                                },
-                            )
-                        })
+                        .map(|(k, entry, best, worst)| (k, VariantEval { entry, best, worst }))
                         .collect::<BTreeMap<_, _>>(),
                 })
                 .collect(),

@@ -87,7 +87,8 @@ impl CommonArgs {
 
     /// Resolve the FT-Search limit similarly.
     pub fn time_limit_or(&self, quick: Duration, paper: Duration) -> Duration {
-        self.time_limit.unwrap_or(if self.paper { paper } else { quick })
+        self.time_limit
+            .unwrap_or(if self.paper { paper } else { quick })
     }
 }
 

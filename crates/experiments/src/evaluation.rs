@@ -160,10 +160,7 @@ pub fn evaluate_corpus(cfg: &EvalConfig) -> CorpusEvaluation {
 /// High window* (the paper disfavors LAAR deliberately), and return, per
 /// app, the per-variant total samples processed plus the NR best-case
 /// reference.
-pub fn evaluate_host_crash(
-    cfg: &EvalConfig,
-    n: usize,
-) -> Vec<(u64, BTreeMap<VariantKind, f64>)> {
+pub fn evaluate_host_crash(cfg: &EvalConfig, n: usize) -> Vec<(u64, BTreeMap<VariantKind, f64>)> {
     let corpus = runtime_corpus(cfg.num_apps, &cfg.gen, cfg.seed);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC0FF_EE00);
     // Random subset of n apps.
@@ -253,7 +250,11 @@ mod tests {
         let out = evaluate_corpus(&cfg);
         for app in &out.apps {
             let nr_best = app.runs[&VariantKind::NonReplicated].best.total_processed() as f64;
-            for kind in [VariantKind::Laar05, VariantKind::Laar06, VariantKind::Laar07] {
+            for kind in [
+                VariantKind::Laar05,
+                VariantKind::Laar06,
+                VariantKind::Laar07,
+            ] {
                 let run = &app.runs[&kind];
                 let measured =
                     run.worst.as_ref().unwrap().total_processed() as f64 / nr_best.max(1.0);
@@ -278,7 +279,7 @@ mod tests {
         for (_, per_variant) in &rows {
             // With a crash + recovery, LAAR should beat its pessimistic
             // floor; values are normalized so they sit in [0, ~1.1].
-            for (_, &v) in per_variant {
+            for &v in per_variant.values() {
                 assert!((0.0..=1.3).contains(&v), "ratio {v}");
             }
         }

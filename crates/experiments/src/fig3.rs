@@ -75,7 +75,10 @@ mod tests {
     fn panel_a_saturates_panel_b_follows() {
         let r = run_fig3();
         let window = (60.0, 110.0);
-        let input = r.static_replication.input_rate.mean_over(window.0, window.1);
+        let input = r
+            .static_replication
+            .input_rate
+            .mean_over(window.0, window.1);
         let sr_out = r
             .static_replication
             .output_rate

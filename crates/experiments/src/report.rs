@@ -43,7 +43,15 @@ pub fn variant_table(
 ) -> String {
     let mut out = format!("== {title} ==\n");
     let headers = vec![
-        "variant", "n", "mean", "min", "q1", "median", "q3", "max", "paper-mean",
+        "variant",
+        "n",
+        "mean",
+        "min",
+        "q1",
+        "median",
+        "q3",
+        "max",
+        "paper-mean",
     ];
     let body: Vec<Vec<String>> = rows
         .iter()
@@ -82,7 +90,10 @@ mod tests {
     fn table_is_aligned() {
         let t = table(
             &["a", "bbb"],
-            &[vec!["1".into(), "2".into()], vec!["10".into(), "200".into()]],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["10".into(), "200".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -80,12 +80,8 @@ pub fn evaluate_solver_corpus(cfg: &SolverEvalConfig) -> Vec<SolverRun> {
         .flat_map_iter(|(i, inst)| {
             let mut rows = Vec::with_capacity(cfg.ic_constraints.len());
             for &ic in &cfg.ic_constraints {
-                let problem = Problem::new(
-                    inst.gen.app.clone(),
-                    inst.gen.placement.clone(),
-                    ic,
-                )
-                .expect("valid problem");
+                let problem = Problem::new(inst.gen.app.clone(), inst.gen.placement.clone(), ic)
+                    .expect("valid problem");
                 let opts = FtSearchConfig {
                     // Figs. 4–6 characterize the paper's cold-start search:
                     // first-solution timings must come from the search, not

@@ -13,7 +13,13 @@ use rand::{Rng, SeedableRng};
 /// parameters, seeds derived from `seed`.
 pub fn runtime_corpus(n: usize, params: &GenParams, seed: u64) -> Vec<GeneratedApp> {
     (0..n)
-        .map(|i| generate_app(params, seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64)))
+        .map(|i| {
+            generate_app(
+                params,
+                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64),
+            )
+        })
         .collect()
 }
 
@@ -48,7 +54,11 @@ pub fn solver_corpus(n: usize, seed: u64) -> Vec<SolverInstance> {
             min_rate_ratio: 0.0,
             ..GenParams::default()
         };
-        let gen = generate_app(&params, seed.wrapping_add(0x5851_F42D_4C95_7F2D).wrapping_add(i as u64));
+        let gen = generate_app(
+            &params,
+            seed.wrapping_add(0x5851_F42D_4C95_7F2D)
+                .wrapping_add(i as u64),
+        );
         out.push(SolverInstance {
             gen,
             num_hosts,

@@ -1,8 +1,8 @@
 //! The synthetic application generator (§5.2).
 
 use laar_model::{
-    Application, ApplicationGraph, ComponentId, ConfigSpace, GraphBuilder, Host, HostId,
-    Placement, RateTable,
+    Application, ApplicationGraph, ComponentId, ConfigSpace, GraphBuilder, Host, HostId, Placement,
+    RateTable,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -104,11 +104,11 @@ fn generate_topology(
         costs_sels.clear();
         let mut edges: Vec<(ComponentId, ComponentId)> = Vec::new();
         let connect = |b: &mut GraphBuilder,
-                           edges: &mut Vec<(ComponentId, ComponentId)>,
-                           costs_sels: &mut Vec<(f64, f64)>,
-                           rng: &mut StdRng,
-                           from: ComponentId,
-                           to: ComponentId|
+                       edges: &mut Vec<(ComponentId, ComponentId)>,
+                       costs_sels: &mut Vec<(f64, f64)>,
+                       rng: &mut StdRng,
+                       from: ComponentId,
+                       to: ComponentId|
          -> bool {
             if edges.contains(&(from, to)) {
                 return false;
@@ -307,8 +307,8 @@ pub fn generate_app(params: &GenParams, seed: u64) -> GeneratedApp {
         vec![1.0 - params.p_high, params.p_high],
     )
     .expect("config space");
-    let app = Application::new(&format!("gen-{seed}"), graph, cs, params.duration)
-        .expect("application");
+    let app =
+        Application::new(&format!("gen-{seed}"), graph, cs, params.duration).expect("application");
     let rates = RateTable::compute(&app);
     let placement = balanced_placement(
         app.graph(),
@@ -328,10 +328,7 @@ pub fn generate_app(params: &GenParams, seed: u64) -> GeneratedApp {
 }
 
 /// Utilization of the hottest host with all replicas active in `config`.
-pub fn max_host_utilization(
-    gen: &GeneratedApp,
-    config: laar_model::ConfigId,
-) -> f64 {
+pub fn max_host_utilization(gen: &GeneratedApp, config: laar_model::ConfigId) -> f64 {
     let rates = RateTable::compute(&gen.app);
     gen.placement
         .hosts()

@@ -103,8 +103,11 @@ impl ConfigSpace {
         for (flat, p) in probs.iter_mut().enumerate() {
             let mut rem = flat;
             for (i, s) in per_source.iter().enumerate() {
-                let stride: usize =
-                    per_source[i + 1..].iter().map(Vec::len).product::<usize>().max(1);
+                let stride: usize = per_source[i + 1..]
+                    .iter()
+                    .map(Vec::len)
+                    .product::<usize>()
+                    .max(1);
                 let idx = rem / stride;
                 rem %= stride;
                 *p *= s[idx].1;
@@ -171,11 +174,7 @@ impl ConfigSpace {
     /// The configuration id for a vector of per-source rate indices.
     pub fn config_from_indices(&self, indices: &[usize]) -> ConfigId {
         debug_assert_eq!(indices.len(), self.num_sources());
-        let flat: usize = indices
-            .iter()
-            .zip(&self.strides)
-            .map(|(i, s)| i * s)
-            .sum();
+        let flat: usize = indices.iter().zip(&self.strides).map(|(i, s)| i * s).sum();
         ConfigId(flat as u32)
     }
 
@@ -280,10 +279,7 @@ mod tests {
         let g = graph_two_sources();
         let cs = ConfigSpace::independent(
             &g,
-            vec![
-                vec![(1.0, 0.8), (2.0, 0.2)],
-                vec![(10.0, 0.5), (20.0, 0.5)],
-            ],
+            vec![vec![(1.0, 0.8), (2.0, 0.2)], vec![(10.0, 0.5), (20.0, 0.5)]],
         )
         .unwrap();
         assert_eq!(cs.num_configs(), 4);

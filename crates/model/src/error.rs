@@ -80,7 +80,10 @@ impl fmt::Display for ModelError {
                 write!(f, "invalid selectivity {value} on edge {from} -> {to}")
             }
             ModelError::InvalidCpuCost { from, to, value } => {
-                write!(f, "invalid per-tuple CPU cost {value} on edge {from} -> {to}")
+                write!(
+                    f,
+                    "invalid per-tuple CPU cost {value} on edge {from} -> {to}"
+                )
             }
             ModelError::InvalidRateSet(id) => {
                 write!(f, "source {id} declares an empty or invalid rate set")
@@ -89,19 +92,17 @@ impl fmt::Display for ModelError {
                 f,
                 "configuration probability table has length {actual}, expected {expected}"
             ),
-            ModelError::ProbabilityMass(sum) => write!(
-                f,
-                "configuration probabilities sum to {sum}, expected 1.0"
-            ),
+            ModelError::ProbabilityMass(sum) => {
+                write!(f, "configuration probabilities sum to {sum}, expected 1.0")
+            }
             ModelError::InvalidProbability(p) => write!(f, "invalid probability value {p}"),
             ModelError::IncompletePlacement => {
                 write!(f, "placement does not cover every PE replica")
             }
             ModelError::UnknownHost(id) => write!(f, "unknown host id {id}"),
-            ModelError::CoLocatedReplicas { pe, host } => write!(
-                f,
-                "two replicas of PE {pe} are co-located on host {host}"
-            ),
+            ModelError::CoLocatedReplicas { pe, host } => {
+                write!(f, "two replicas of PE {pe} are co-located on host {host}")
+            }
             ModelError::InvalidCapacity { host, value } => {
                 write!(f, "host {host} has invalid CPU capacity {value}")
             }

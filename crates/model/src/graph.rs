@@ -353,7 +353,11 @@ impl GraphBuilder {
     }
 
     /// Connect a PE to a data sink (no selectivity/cost semantics).
-    pub fn connect_sink(&mut self, from: ComponentId, to: ComponentId) -> Result<EdgeId, ModelError> {
+    pub fn connect_sink(
+        &mut self,
+        from: ComponentId,
+        to: ComponentId,
+    ) -> Result<EdgeId, ModelError> {
         self.connect(from, to, 1.0, 0.0)
     }
 
@@ -371,11 +375,7 @@ impl GraphBuilder {
         if self.components[from.index()].kind == ComponentKind::Sink {
             return Err(ModelError::EdgeFromSink(from.0));
         }
-        if self
-            .edges
-            .iter()
-            .any(|e| e.from == from && e.to == to)
-        {
+        if self.edges.iter().any(|e| e.from == from && e.to == to) {
             return Err(ModelError::DuplicateEdge {
                 from: from.0,
                 to: to.0,
@@ -612,7 +612,11 @@ mod tests {
     #[test]
     fn pe_dense_indices_are_dense_and_topological() {
         let g = pipeline();
-        let idx: Vec<usize> = g.pes().iter().map(|&p| g.pe_dense_index(p).unwrap()).collect();
+        let idx: Vec<usize> = g
+            .pes()
+            .iter()
+            .map(|&p| g.pe_dense_index(p).unwrap())
+            .collect();
         assert_eq!(idx, vec![0, 1]);
         assert_eq!(g.pe_dense_index(g.sources()[0]), None);
     }

@@ -37,7 +37,9 @@ pub mod strategy;
 pub use app::Application;
 pub use config::{ConfigId, ConfigSpace};
 pub use error::ModelError;
-pub use graph::{ApplicationGraph, Component, ComponentId, ComponentKind, Edge, EdgeId, GraphBuilder};
+pub use graph::{
+    ApplicationGraph, Component, ComponentId, ComponentKind, Edge, EdgeId, GraphBuilder,
+};
 pub use placement::{Host, HostId, Placement, ReplicaId};
 pub use rates::RateTable;
 pub use strategy::ActivationStrategy;

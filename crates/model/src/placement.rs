@@ -286,7 +286,10 @@ mod tests {
             Some(HostId(1))
         );
         // Sources have no dense PE index.
-        assert_eq!(p.host_of_replica(&g, ReplicaId::new(g.sources()[0], 0)), None);
+        assert_eq!(
+            p.host_of_replica(&g, ReplicaId::new(g.sources()[0], 0)),
+            None
+        );
     }
 
     #[test]

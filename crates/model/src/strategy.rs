@@ -177,11 +177,13 @@ impl ActivationStrategy {
             expected_configs: 0,
             expected_k: 0,
         })? as usize;
-        let num_configs = doc["num_configs"].as_u64().ok_or(ModelError::StrategyShape {
-            expected_pes: graph.num_pes(),
-            expected_configs: 0,
-            expected_k: k,
-        })? as usize;
+        let num_configs = doc["num_configs"]
+            .as_u64()
+            .ok_or(ModelError::StrategyShape {
+                expected_pes: graph.num_pes(),
+                expected_configs: 0,
+                expected_k: k,
+            })? as usize;
         let mut s = Self::all_inactive(graph.num_pes(), num_configs, k);
         let activations = doc["activations"]
             .as_object()
@@ -192,14 +194,13 @@ impl ActivationStrategy {
             })?;
         for (dense, &pe) in graph.pes().iter().enumerate() {
             let name = &graph.component(pe).name;
-            let cells = activations
-                .get(name)
-                .and_then(|v| v.as_array())
-                .ok_or(ModelError::StrategyShape {
+            let cells = activations.get(name).and_then(|v| v.as_array()).ok_or(
+                ModelError::StrategyShape {
                     expected_pes: graph.num_pes(),
                     expected_configs: num_configs,
                     expected_k: k,
-                })?;
+                },
+            )?;
             if cells.len() != num_configs {
                 return Err(ModelError::StrategyShape {
                     expected_pes: graph.num_pes(),

@@ -1,0 +1,70 @@
+//! The shared scaled wall clock: every thread in the live engine derives
+//! "simulation time" from one `Instant` origin, so a run over a 60-second
+//! trace can execute in a couple of wall seconds (`time_scale` > 1) while
+//! keeping every schedule, queue bound, and control-loop period expressed
+//! in the same time unit the simulator uses.
+
+use std::time::Instant;
+
+/// A monotonically increasing clock mapping wall time to trace time.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaledClock {
+    origin: Instant,
+    scale: f64,
+}
+
+impl ScaledClock {
+    /// Start the clock now; `scale` trace-seconds elapse per wall second.
+    pub fn start(scale: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "time scale must be positive"
+        );
+        ScaledClock {
+            origin: Instant::now(),
+            scale,
+        }
+    }
+
+    /// Current trace time in seconds.
+    pub fn now(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64() * self.scale
+    }
+
+    /// Sleep the calling thread for about `trace_secs` of trace time
+    /// (converted to wall time; precision is the OS timer's).
+    pub fn sleep(&self, trace_secs: f64) {
+        let wall = (trace_secs / self.scale).max(0.0);
+        if wall > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(wall));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_time_advances_faster_than_wall_time() {
+        let clock = ScaledClock::start(100.0);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let t = clock.now();
+        assert!(
+            t >= 1.0,
+            "100x clock after 20ms wall should pass 1s, got {t}"
+        );
+        assert!(t < 60.0, "sanity upper bound, got {t}");
+    }
+
+    #[test]
+    fn monotonic() {
+        let clock = ScaledClock::start(50.0);
+        let mut prev = clock.now();
+        for _ in 0..100 {
+            let t = clock.now();
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,1012 @@
+//! The live execution engine.
+//!
+//! [`LiveRuntime`] takes the exact inputs [`laar_dsps::Simulation`] takes —
+//! an [`Application`], a [`Placement`], an [`ActivationStrategy`], an
+//! [`InputTrace`], and a [`FailurePlan`] — and executes them on real OS
+//! threads instead of a discrete event loop:
+//!
+//! * **one worker thread per host**; every replica placed on that host is
+//!   multiplexed onto the thread with the same water-filling generalized
+//!   processor sharing the simulator uses, paced against a [`ScaledClock`]
+//!   (cycle budget = host capacity × elapsed trace time);
+//! * **bounded SPSC rings** ([`crate::spsc`]) carry tuple birth timestamps
+//!   between threads — one ring per (producer replica or source, consumer
+//!   replica input port), drop-on-overflow like the simulator's ports;
+//! * the calling thread becomes the **coordinator**: it paces the
+//!   wall-clock [`SourceEmitter`]s, feeds the [`RateMonitor`], runs the
+//!   [`HaController`] every `monitor_interval`, delivers commands after
+//!   `command_latency` through per-host command rings, injects
+//!   [`FailurePlan`] outages, and performs heartbeat-based failure
+//!   detection and primary election — the same proxy state machine the
+//!   simulator implements, driven by real (scaled) time;
+//! * host threads publish **heartbeats** (their current trace-time) through
+//!   atomics; a heartbeat older than `detection_delay` marks the host dead
+//!   in the coordinator's shadow state and triggers fail-over, exactly like
+//!   the simulator's delayed detection.
+//!
+//! The run produces the same [`SimMetrics`] the simulator produces, plus a
+//! [`Conservation`] ledger proving that every tuple pushed into the data
+//! plane is accounted for (processed, dropped, discarded, or still queued
+//! at shutdown).
+//!
+//! ## Divergence from the simulator (the documented tolerance)
+//!
+//! The simulator is deterministic; the live engine is subject to OS
+//! scheduling. Three effects cause bounded divergence: (i) ticks are not
+//! exactly `tick` seconds long, so CPU budgets and queue drains quantize
+//! differently; (ii) the control plane (election, commands, detection)
+//! observes the data plane through atomics with real latency; (iii) work is
+//! attributed to the primary at worker-tick granularity, so a fail-over can
+//! mis-attribute up to one tick of processing. Source emission, in
+//! contrast, is *exact*: emitters integrate the schedule, so
+//! `source_emitted` matches the simulator tuple-for-tuple. Parity tests
+//! compare processed/dropped volumes within a relative tolerance rather
+//! than exactly.
+
+use crate::clock::ScaledClock;
+use crate::spsc::{self, Consumer, Producer};
+use laar_core::controller::{Command, HaController};
+use laar_core::monitor::RateMonitor;
+use laar_dsps::metrics::{LatencyStats, SimMetrics, TimeSeries};
+use laar_dsps::replica::{InPort, Replica};
+use laar_dsps::trace::{ArrivalProcess, InputTrace, SourceEmitter};
+use laar_dsps::FailurePlan;
+use laar_model::{ActivationStrategy, Application, ComponentKind, Placement, RateTable};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tunables of the live engine. The control-loop and queue parameters
+/// mirror [`laar_dsps::SimConfig`] so a run can be compared against the
+/// simulator under identical settings; `time_scale` and `tick` are specific
+/// to live execution.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Trace seconds per wall-clock second (1.0 = real time). Tests run
+    /// accelerated; see [`RuntimeConfig::accelerated`].
+    pub time_scale: f64,
+    /// Target worker/coordinator loop period in trace seconds. Budgets are
+    /// computed from *measured* elapsed time, so oversleeping coarsens
+    /// granularity without losing CPU budget.
+    pub tick: f64,
+    /// Period of the Rate Monitor → HAController control loop (seconds).
+    pub monitor_interval: f64,
+    /// Latency from HAController decision to command taking effect.
+    pub command_latency: f64,
+    /// Time a newly (re)activated replica spends re-synchronizing state.
+    pub sync_delay: f64,
+    /// Heartbeats older than this mark a host dead (fail-over trigger).
+    pub detection_delay: f64,
+    /// Queue capacity per input port in seconds of peak arrival rate.
+    pub queue_capacity_secs: f64,
+    /// Rate Monitor bucket width (seconds).
+    pub monitor_bucket: f64,
+    /// Rate Monitor bucket count (window = width × count).
+    pub monitor_buckets: usize,
+    /// Run the HAController loop (disable to freeze activations).
+    pub controller_enabled: bool,
+    /// Arrival process of the sources.
+    pub arrivals: ArrivalProcess,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            time_scale: 1.0,
+            tick: 0.01,
+            monitor_interval: 1.0,
+            command_latency: 0.05,
+            sync_delay: 0.25,
+            detection_delay: 0.5,
+            queue_capacity_secs: 2.0,
+            monitor_bucket: 0.25,
+            monitor_buckets: 8,
+            controller_enabled: true,
+            arrivals: ArrivalProcess::Deterministic,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// A configuration for accelerated runs (tests, demos): `time_scale`×
+    /// faster than real time with a coarser tick so wall-clock sleep
+    /// granularity stays above the OS timer resolution.
+    pub fn accelerated(time_scale: f64) -> Self {
+        Self {
+            time_scale,
+            tick: 0.02,
+            ..Self::default()
+        }
+    }
+
+    /// The simulator configuration with the same control-loop, queue, and
+    /// arrival parameters — hand this to [`laar_dsps::Simulation`] to use
+    /// the simulator as the oracle for a live run.
+    pub fn sim_config(&self) -> laar_dsps::SimConfig {
+        laar_dsps::SimConfig {
+            quantum: self.tick,
+            monitor_interval: self.monitor_interval,
+            command_latency: self.command_latency,
+            sync_delay: self.sync_delay,
+            detection_delay: self.detection_delay,
+            queue_capacity_secs: self.queue_capacity_secs,
+            monitor_bucket: self.monitor_bucket,
+            monitor_buckets: self.monitor_buckets,
+            controller_enabled: self.controller_enabled,
+            arrivals: self.arrivals,
+        }
+    }
+}
+
+/// End-to-end tuple accounting for one live run: every tuple pushed into a
+/// transport ring terminates in exactly one of the right-hand-side buckets,
+/// so [`Conservation::is_balanced`] must hold for every run regardless of
+/// thread interleaving.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Conservation {
+    /// Tuples successfully enqueued into transport rings (source emission
+    /// plus primary forwarding; one count per receiving replica copy).
+    pub pushed: u64,
+    /// Tuples rejected by a full transport ring.
+    pub transport_dropped: u64,
+    /// Tuples still sitting in transport rings at shutdown.
+    pub ring_residual: u64,
+    /// Tuples dropped by a full input-port queue.
+    pub queue_drops: u64,
+    /// Tuples discarded by idle/dead/syncing replicas (at offer time or
+    /// when deactivation/failure cleared a queue).
+    pub idle_discards: u64,
+    /// Tuples fully processed by replicas (all replicas, not just
+    /// primaries).
+    pub processed: u64,
+    /// Tuples still queued in input ports at shutdown.
+    pub port_residual: u64,
+}
+
+impl Conservation {
+    /// `pushed == ring_residual + queue_drops + idle_discards + processed +
+    /// port_residual` — no tuple is lost or double-counted.
+    pub fn is_balanced(&self) -> bool {
+        self.pushed
+            == self.ring_residual
+                + self.queue_drops
+                + self.idle_discards
+                + self.processed
+                + self.port_residual
+    }
+}
+
+/// The result of a live run: the simulator-shaped metrics plus the
+/// conservation ledger.
+#[derive(Debug, Clone)]
+pub struct LiveReport {
+    /// Same metric set the simulator produces.
+    pub metrics: SimMetrics,
+    /// Tuple-accounting ledger across the whole data plane.
+    pub conservation: Conservation,
+}
+
+/// Control-plane command delivered to a host worker thread.
+#[derive(Debug, Clone, Copy)]
+enum HostCommand {
+    Activate { pe_dense: usize, replica: usize },
+    Deactivate { pe_dense: usize, replica: usize },
+}
+
+/// State shared between the coordinator and all host workers.
+struct Shared {
+    /// Set once by the coordinator when the trace ends.
+    stop: AtomicBool,
+    /// Fault injection: while `true`, the host's worker acts crashed.
+    host_dead: Vec<AtomicBool>,
+    /// Per host: bits of the trace-time of its last heartbeat.
+    heartbeat: Vec<AtomicU64>,
+    /// Per PE: current primary replica index, or -1 while none is elected.
+    primary: Vec<AtomicI64>,
+}
+
+/// The coordinator's view of one replica's proxy state. It shadows what the
+/// worker-side [`Replica`] state machine does in response to the commands
+/// and failures the coordinator itself issues/detects; primaries are
+/// elected from this view (the control plane never inspects data-plane
+/// structures directly).
+#[derive(Debug, Clone, Copy)]
+struct ShadowSlot {
+    alive: bool,
+    active: bool,
+    sync_until: f64,
+}
+
+impl ShadowSlot {
+    fn eligible(&self, now: f64) -> bool {
+        self.alive && self.active && now >= self.sync_until
+    }
+}
+
+/// Everything one host worker thread owns.
+struct Worker {
+    host: usize,
+    capacity: f64,
+    duration: f64,
+    seconds: usize,
+    tick: f64,
+    sync_delay: f64,
+    k: usize,
+    num_pes: usize,
+    num_sinks: usize,
+    shared: Arc<Shared>,
+    /// Replicas placed on this host.
+    replicas: Vec<Replica>,
+    /// Global slot (`pe * k + r`) → local index into `replicas`.
+    local_of: Vec<Option<usize>>,
+    /// Per local replica, per port: ring consumers (one per producer).
+    inbound: Vec<Vec<Vec<Consumer<f64>>>>,
+    /// Per local replica: producers toward every downstream replica port.
+    out_pe: Vec<Vec<Producer<f64>>>,
+    /// Per local replica: dense sink indices it feeds.
+    out_sinks: Vec<Vec<usize>>,
+    /// Command ring from the coordinator.
+    commands: Consumer<HostCommand>,
+}
+
+/// What a worker hands back after its thread exits.
+struct WorkerReport {
+    host: usize,
+    replicas: Vec<Replica>,
+    /// Returned so residual ring contents can be counted after *all*
+    /// producers have stopped (counting inside the worker would race with
+    /// other workers' final forwarding passes).
+    inbound: Vec<Vec<Vec<Consumer<f64>>>>,
+    pe_processed: Vec<u64>,
+    sink_received: Vec<u64>,
+    output_rate: Vec<f64>,
+    utilization: Vec<f64>,
+    latency: LatencyStats,
+    pushed: u64,
+    transport_dropped: u64,
+}
+
+impl Worker {
+    fn run(mut self, clock: ScaledClock) -> WorkerReport {
+        let mut pe_processed = vec![0u64; self.num_pes];
+        let mut sink_received = vec![0u64; self.num_sinks];
+        let mut output_rate = vec![0.0f64; self.seconds];
+        let mut utilization = vec![0.0f64; self.seconds];
+        let mut latency = LatencyStats::default();
+        let mut pushed = 0u64;
+        let mut transport_dropped = 0u64;
+
+        let mut dead = false;
+        let mut last = 0.0f64;
+        let mut batch: Vec<f64> = Vec::new();
+
+        loop {
+            // Read the stop flag first: after it is set, exactly one more
+            // full pass runs, draining whatever the coordinator flushed.
+            let stopping = self.shared.stop.load(Ordering::Acquire);
+            let now = clock.now().min(self.duration);
+            let sec = (now.floor() as usize).min(self.seconds - 1);
+
+            // Fault injection transitions (the "process supervisor" view:
+            // the worker learns its own crash/restart immediately; remote
+            // detection happens through heartbeat staleness).
+            let want_dead = self.shared.host_dead[self.host].load(Ordering::Acquire);
+            if want_dead && !dead {
+                dead = true;
+                for rep in &mut self.replicas {
+                    rep.kill();
+                }
+            } else if !want_dead && dead {
+                dead = false;
+                for rep in &mut self.replicas {
+                    rep.recover(now, self.sync_delay);
+                }
+            }
+            if !dead {
+                self.shared.heartbeat[self.host].store(now.to_bits(), Ordering::Release);
+            }
+
+            // Control-plane commands (HAProxy protocol).
+            while let Some(cmd) = self.commands.pop() {
+                match cmd {
+                    HostCommand::Activate { pe_dense, replica } => {
+                        if let Some(li) = self.local_of[pe_dense * self.k + replica] {
+                            if self.replicas[li].alive {
+                                self.replicas[li].activate(now, self.sync_delay);
+                            }
+                        }
+                    }
+                    HostCommand::Deactivate { pe_dense, replica } => {
+                        if let Some(li) = self.local_of[pe_dense * self.k + replica] {
+                            self.replicas[li].deactivate();
+                        }
+                    }
+                }
+            }
+
+            // Ingest: drain every inbound ring into its port. Ineligible
+            // replicas discard (the proxy answers for a dead process), so
+            // counters line up with the simulator's.
+            for li in 0..self.replicas.len() {
+                for port in 0..self.inbound[li].len() {
+                    batch.clear();
+                    for ring in &mut self.inbound[li][port] {
+                        while let Some(b) = ring.pop() {
+                            batch.push(b);
+                        }
+                    }
+                    if !batch.is_empty() {
+                        self.replicas[li].offer(port, &batch, now);
+                    }
+                }
+            }
+
+            // CPU: water-filling GPS over the trace time actually elapsed.
+            let dt = (now - last).max(0.0);
+            if dt > 0.0 {
+                let budget = self.capacity * dt;
+                let mut remaining = budget;
+                loop {
+                    let busy: Vec<usize> = (0..self.replicas.len())
+                        .filter(|&i| self.replicas[i].eligible(now) && self.replicas[i].has_work())
+                        .collect();
+                    if busy.is_empty() || remaining <= budget * 1e-12 {
+                        break;
+                    }
+                    let share = remaining / busy.len() as f64;
+                    let mut progressed = false;
+                    for &i in &busy {
+                        let used = self.replicas[i].process(share);
+                        remaining -= used;
+                        if used > 0.0 {
+                            progressed = true;
+                        }
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+                utilization[sec] += (budget - remaining) / self.capacity;
+            }
+
+            // Forward primary outputs; secondaries' outputs are suppressed.
+            for li in 0..self.replicas.len() {
+                if self.replicas[li].out_births.is_empty() {
+                    continue;
+                }
+                let births = std::mem::take(&mut self.replicas[li].out_births);
+                let pe = self.replicas[li].pe_dense;
+                let r = self.replicas[li].replica;
+                if self.shared.primary[pe].load(Ordering::Acquire) == r as i64 {
+                    for ring in &mut self.out_pe[li] {
+                        for &b in &births {
+                            match ring.push(b) {
+                                Ok(()) => pushed += 1,
+                                Err(_) => transport_dropped += 1,
+                            }
+                        }
+                    }
+                    for &snk in &self.out_sinks[li] {
+                        sink_received[snk] += births.len() as u64;
+                        output_rate[sec] += births.len() as f64;
+                        for &b in &births {
+                            latency.record(now - b);
+                        }
+                    }
+                }
+                let mut buf = births;
+                buf.clear();
+                self.replicas[li].out_births = buf;
+            }
+
+            // Attribute logical work done this tick to the current primary.
+            for li in 0..self.replicas.len() {
+                let rep = &self.replicas[li];
+                if self.shared.primary[rep.pe_dense].load(Ordering::Acquire) == rep.replica as i64 {
+                    pe_processed[rep.pe_dense] += rep.processed - rep.processed_snapshot;
+                }
+            }
+            for rep in &mut self.replicas {
+                rep.processed_snapshot = rep.processed;
+            }
+
+            if stopping {
+                break;
+            }
+            last = now;
+            clock.sleep(self.tick);
+        }
+
+        WorkerReport {
+            host: self.host,
+            replicas: self.replicas,
+            inbound: self.inbound,
+            pe_processed,
+            sink_received,
+            output_rate,
+            utilization,
+            latency,
+            pushed,
+            transport_dropped,
+        }
+    }
+}
+
+/// A fully wired live deployment, ready to [`run`](LiveRuntime::run).
+pub struct LiveRuntime {
+    cfg: RuntimeConfig,
+    duration: f64,
+    seconds: usize,
+    k: usize,
+    num_pes: usize,
+    num_hosts: usize,
+    capacities: Vec<f64>,
+    slot_host: Vec<usize>,
+    perma_dead: Vec<bool>,
+
+    workers: Vec<Worker>,
+    shared: Arc<Shared>,
+
+    emitters: Vec<SourceEmitter>,
+    src_producers: Vec<Vec<Producer<f64>>>,
+    monitor: RateMonitor,
+    controller: HaController,
+    plan: FailurePlan,
+    cmd_txs: Vec<Producer<HostCommand>>,
+    shadow: Vec<ShadowSlot>,
+    pending_failover: Vec<bool>,
+    commands_applied: u64,
+    failovers: u64,
+}
+
+impl LiveRuntime {
+    /// Wire up a live deployment of `app` per `placement`, controlled by
+    /// `strategy`, fed by `trace`, under `plan`. Takes exactly the inputs
+    /// [`laar_dsps::Simulation::new`] takes.
+    pub fn new(
+        app: &Application,
+        placement: &Placement,
+        strategy: ActivationStrategy,
+        trace: &InputTrace,
+        plan: FailurePlan,
+        cfg: RuntimeConfig,
+    ) -> Self {
+        let g = app.graph();
+        let k = placement.k();
+        let np = g.num_pes();
+        let num_hosts = placement.num_hosts();
+        let rates = RateTable::compute(app);
+        let max_cfg = app.configs().max_config();
+        let duration = trace.duration;
+        let seconds = (duration.ceil() as usize).max(1);
+
+        // Replicas with the simulator's port-capacity formula, plus the
+        // ring capacity each port's transport uses.
+        let mut replicas = Vec::with_capacity(np * k);
+        let mut port_caps: Vec<Vec<usize>> = Vec::with_capacity(np);
+        for (dense, &pe) in g.pes().iter().enumerate() {
+            let mut caps = Vec::new();
+            let ports: Vec<InPort> = g
+                .in_edges(pe)
+                .map(|e| {
+                    let peak = rates.delta(e.from, max_cfg);
+                    let cap = ((cfg.queue_capacity_secs * peak).ceil() as usize).max(8);
+                    caps.push(cap);
+                    InPort::new(e.cpu_cost, e.selectivity, cap)
+                })
+                .collect();
+            port_caps.push(caps);
+            for r in 0..k {
+                replicas.push(Replica::new(
+                    dense,
+                    r,
+                    placement.host_of(dense, r).index(),
+                    ports.clone(),
+                ));
+            }
+        }
+
+        // Routing tables (same construction as the simulator).
+        let port_index = |target: laar_model::ComponentId, edge_id: laar_model::EdgeId| {
+            g.in_edges(target)
+                .position(|e| e.id == edge_id)
+                .expect("edge is an in-edge of its target")
+        };
+        let mut source_out = vec![Vec::new(); g.num_sources()];
+        for (si, &s) in g.sources().iter().enumerate() {
+            for e in g.out_edges(s) {
+                if g.is_pe(e.to) {
+                    source_out[si].push((g.pe_dense_index(e.to).unwrap(), port_index(e.to, e.id)));
+                }
+            }
+        }
+        let mut pe_out = vec![Vec::new(); np];
+        let mut pe_sink_out = vec![Vec::new(); np];
+        let mut sink_index = std::collections::HashMap::new();
+        for (i, &snk) in g.sinks().iter().enumerate() {
+            sink_index.insert(snk, i);
+        }
+        for (dense, &pe) in g.pes().iter().enumerate() {
+            for e in g.out_edges(pe) {
+                match g.component(e.to).kind {
+                    ComponentKind::Pe => pe_out[dense]
+                        .push((g.pe_dense_index(e.to).unwrap(), port_index(e.to, e.id))),
+                    ComponentKind::Sink => pe_sink_out[dense].push(sink_index[&e.to]),
+                    ComponentKind::Source => unreachable!(),
+                }
+            }
+        }
+
+        // Transport rings. Consumers are grouped per (slot, port); the
+        // producer ends go to the source emitters (coordinator) or to the
+        // upstream replica's worker. Each ring has exactly one producer
+        // thread and one consumer thread for its whole lifetime, so the
+        // SPSC contract holds across fail-overs (a new primary means a
+        // *different* producer's rings carry traffic, not a new producer on
+        // the same ring).
+        let mut consumers: Vec<Vec<Vec<Consumer<f64>>>> = (0..np * k)
+            .map(|slot| {
+                (0..replicas[slot].ports.len())
+                    .map(|_| Vec::new())
+                    .collect()
+            })
+            .collect();
+        let mut src_producers: Vec<Vec<Producer<f64>>> =
+            (0..g.num_sources()).map(|_| Vec::new()).collect();
+        for (si, outs) in source_out.iter().enumerate() {
+            for &(pe, port) in outs {
+                for r in 0..k {
+                    let (tx, rx) = spsc::channel(port_caps[pe][port]);
+                    src_producers[si].push(tx);
+                    consumers[pe * k + r][port].push(rx);
+                }
+            }
+        }
+        let mut up_producers: Vec<Vec<Producer<f64>>> = (0..np * k).map(|_| Vec::new()).collect();
+        for (pe, outs) in pe_out.iter().enumerate() {
+            for &(succ, port) in outs {
+                for r_up in 0..k {
+                    for r_down in 0..k {
+                        let (tx, rx) = spsc::channel(port_caps[succ][port]);
+                        up_producers[pe * k + r_up].push(tx);
+                        consumers[succ * k + r_down][port].push(rx);
+                    }
+                }
+            }
+        }
+
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            host_dead: (0..num_hosts).map(|_| AtomicBool::new(false)).collect(),
+            heartbeat: (0..num_hosts)
+                .map(|_| AtomicU64::new(0.0f64.to_bits()))
+                .collect(),
+            primary: (0..np).map(|_| AtomicI64::new(-1)).collect(),
+        });
+
+        let monitor = RateMonitor::new(g.num_sources(), cfg.monitor_bucket, cfg.monitor_buckets);
+        let controller = HaController::new(app.configs(), strategy);
+        let emitters: Vec<SourceEmitter> = trace
+            .schedules
+            .iter()
+            .enumerate()
+            .map(|(si, s)| {
+                let process = match cfg.arrivals {
+                    ArrivalProcess::Deterministic => ArrivalProcess::Deterministic,
+                    ArrivalProcess::Poisson { seed } => ArrivalProcess::Poisson {
+                        seed: seed
+                            .wrapping_add(si as u64)
+                            .wrapping_mul(0x9E3779B97F4A7C15),
+                    },
+                };
+                SourceEmitter::with_process(s.clone(), process)
+            })
+            .collect();
+        assert_eq!(emitters.len(), g.num_sources(), "trace/source mismatch");
+
+        let mut rt = Self {
+            duration,
+            seconds,
+            k,
+            num_pes: np,
+            num_hosts,
+            capacities: placement.hosts().iter().map(|h| h.capacity).collect(),
+            slot_host: replicas.iter().map(|r| r.host).collect(),
+            perma_dead: vec![false; np * k],
+            workers: Vec::new(),
+            shared,
+            emitters,
+            src_producers,
+            monitor,
+            controller,
+            plan,
+            cmd_txs: Vec::new(),
+            shadow: vec![
+                ShadowSlot {
+                    alive: true,
+                    active: true,
+                    sync_until: f64::NEG_INFINITY,
+                };
+                np * k
+            ],
+            pending_failover: vec![false; np],
+            commands_applied: 0,
+            failovers: 0,
+            cfg,
+        };
+
+        // Pre-spawn setup, all at t = 0 (mirrors Simulation::new):
+        // permanent worst-case crashes, the controller's initial commands,
+        // and the first primary election.
+        if let FailurePlan::WorstCase { crashed } = &rt.plan {
+            for (pe, &r) in crashed.iter().enumerate() {
+                let slot = pe * k + r;
+                replicas[slot].kill();
+                rt.shadow[slot].alive = false;
+                rt.perma_dead[slot] = true;
+            }
+        }
+        if rt.cfg.controller_enabled {
+            for cmd in rt.controller.initial_commands() {
+                rt.commands_applied += 1;
+                let slot = cmd.slot();
+                let idx = slot.pe_dense * k + slot.replica;
+                match cmd {
+                    Command::Deactivate(_) => {
+                        replicas[idx].deactivate();
+                        rt.shadow[idx].active = false;
+                    }
+                    Command::Activate(_) => {
+                        if replicas[idx].alive {
+                            replicas[idx].activate(0.0, rt.cfg.sync_delay);
+                            rt.shadow[idx].active = true;
+                            rt.shadow[idx].sync_until = rt.cfg.sync_delay;
+                        }
+                    }
+                }
+            }
+        }
+        rt.elect_primaries(0.0);
+
+        // Partition replicas (with their ring ends) into per-host workers.
+        let mut per_host: Vec<Vec<Replica>> = (0..num_hosts).map(|_| Vec::new()).collect();
+        let mut per_host_in: Vec<Vec<Vec<Vec<Consumer<f64>>>>> =
+            (0..num_hosts).map(|_| Vec::new()).collect();
+        let mut per_host_out: Vec<Vec<Vec<Producer<f64>>>> =
+            (0..num_hosts).map(|_| Vec::new()).collect();
+        let mut per_host_sinks: Vec<Vec<Vec<usize>>> = (0..num_hosts).map(|_| Vec::new()).collect();
+        let mut local_of: Vec<Vec<Option<usize>>> =
+            (0..num_hosts).map(|_| vec![None; np * k]).collect();
+        let mut cons_iter = consumers.into_iter();
+        let mut prod_iter = up_producers.into_iter();
+        for (slot, rep) in replicas.into_iter().enumerate() {
+            let h = rep.host;
+            let pe = rep.pe_dense;
+            local_of[h][slot] = Some(per_host[h].len());
+            per_host_in[h].push(cons_iter.next().expect("consumer per slot"));
+            per_host_out[h].push(prod_iter.next().expect("producer per slot"));
+            per_host_sinks[h].push(pe_sink_out[pe].clone());
+            per_host[h].push(rep);
+        }
+
+        for h in 0..num_hosts {
+            let (cmd_tx, cmd_rx) = spsc::channel(1024);
+            rt.cmd_txs.push(cmd_tx);
+            rt.workers.push(Worker {
+                host: h,
+                capacity: rt.capacities[h],
+                duration,
+                seconds,
+                tick: rt.cfg.tick,
+                sync_delay: rt.cfg.sync_delay,
+                k,
+                num_pes: np,
+                num_sinks: g.num_sinks(),
+                shared: rt.shared.clone(),
+                replicas: std::mem::take(&mut per_host[h]),
+                local_of: std::mem::take(&mut local_of[h]),
+                inbound: std::mem::take(&mut per_host_in[h]),
+                out_pe: std::mem::take(&mut per_host_out[h]),
+                out_sinks: std::mem::take(&mut per_host_sinks[h]),
+                commands: cmd_rx,
+            });
+        }
+        rt
+    }
+
+    /// The same election rule as `Simulation::elect_primaries`, over the
+    /// coordinator's shadow state. Publishes results through the shared
+    /// atomics the workers read at forwarding time.
+    fn elect_primaries(&mut self, now: f64) {
+        for pe in 0..self.num_pes {
+            let cur = self.shared.primary[pe].load(Ordering::Acquire);
+            if cur >= 0 {
+                if self.shadow[pe * self.k + cur as usize].eligible(now) {
+                    continue;
+                }
+                // Lost eligibility gracefully (deactivation or sync).
+                self.shared.primary[pe].store(-1, Ordering::Release);
+            }
+            let elected = (0..self.k).find(|&r| self.shadow[pe * self.k + r].eligible(now));
+            if let Some(r) = elected {
+                self.shared.primary[pe].store(r as i64, Ordering::Release);
+                if self.pending_failover[pe] {
+                    self.failovers += 1;
+                    self.pending_failover[pe] = false;
+                }
+            }
+        }
+    }
+
+    fn apply_shadow_command(&mut self, cmd: Command, now: f64) {
+        self.commands_applied += 1;
+        let slot = cmd.slot();
+        let idx = slot.pe_dense * self.k + slot.replica;
+        match cmd {
+            Command::Deactivate(_) => {
+                self.shadow[idx].active = false;
+                if self.shared.primary[slot.pe_dense].load(Ordering::Acquire) == slot.replica as i64
+                {
+                    // Graceful, controller-coordinated switch: immediate.
+                    self.shared.primary[slot.pe_dense].store(-1, Ordering::Release);
+                }
+            }
+            Command::Activate(_) => {
+                if self.shadow[idx].alive {
+                    self.shadow[idx].active = true;
+                    self.shadow[idx].sync_until = now + self.cfg.sync_delay;
+                }
+            }
+        }
+        let host = self.slot_host[idx];
+        let host_cmd = match cmd {
+            Command::Activate(_) => HostCommand::Activate {
+                pe_dense: slot.pe_dense,
+                replica: slot.replica,
+            },
+            Command::Deactivate(_) => HostCommand::Deactivate {
+                pe_dense: slot.pe_dense,
+                replica: slot.replica,
+            },
+        };
+        // The 1024-deep command ring never fills at control-loop rates; if
+        // it ever did, the command is lost like any real network message.
+        let _ = self.cmd_txs[host].push(host_cmd);
+    }
+
+    /// Execute the deployment on live threads until the trace ends; returns
+    /// the metrics and the conservation ledger.
+    pub fn run(mut self) -> LiveReport {
+        let clock = ScaledClock::start(self.cfg.time_scale);
+        let handles: Vec<std::thread::JoinHandle<WorkerReport>> = self
+            .workers
+            .drain(..)
+            .map(|w| {
+                let c = clock;
+                std::thread::Builder::new()
+                    .name(format!("laar-host-{}", w.host))
+                    .spawn(move || w.run(c))
+                    .expect("spawn host worker")
+            })
+            .collect();
+
+        let mut metrics = SimMetrics {
+            duration: self.duration,
+            source_emitted: vec![0; self.emitters.len()],
+            host_cpu_seconds: vec![0.0; self.num_hosts],
+            pe_processed: vec![0; self.num_pes],
+            input_rate: TimeSeries {
+                samples: vec![0.0; self.seconds],
+            },
+            output_rate: TimeSeries {
+                samples: vec![0.0; self.seconds],
+            },
+            host_utilization: vec![TimeSeries::default(); self.num_hosts],
+            ..Default::default()
+        };
+        let mut pushed = 0u64;
+        let mut transport_dropped = 0u64;
+
+        let mut host_down = vec![false; self.num_hosts];
+        let mut pending_cmds: Vec<(f64, Command)> = Vec::new();
+        let mut next_monitor = self.cfg.monitor_interval;
+
+        loop {
+            let now = clock.now();
+            if now >= self.duration {
+                break;
+            }
+
+            // 1. Fault injection: flip the per-host crash flags per plan.
+            if let FailurePlan::HostCrash { host, at, duration } = &self.plan {
+                let down = now >= *at && now < *at + *duration;
+                self.shared.host_dead[host.index()].store(down, Ordering::Release);
+            }
+
+            // 2. Failure detection from heartbeats: a host whose heartbeat
+            // is older than detection_delay is declared dead; its replicas
+            // leave the shadow state and primaries fail over. A fresh
+            // heartbeat from a down host marks recovery (re-sync window).
+            for (h, down) in host_down.iter_mut().enumerate() {
+                let hb = f64::from_bits(self.shared.heartbeat[h].load(Ordering::Acquire));
+                let stale = now - hb > self.cfg.detection_delay;
+                if stale && !*down {
+                    *down = true;
+                    for slot in 0..self.shadow.len() {
+                        if self.slot_host[slot] == h && !self.perma_dead[slot] {
+                            self.shadow[slot].alive = false;
+                            let pe = slot / self.k;
+                            let r = slot % self.k;
+                            if self.shared.primary[pe].load(Ordering::Acquire) == r as i64 {
+                                self.shared.primary[pe].store(-1, Ordering::Release);
+                                self.pending_failover[pe] = true;
+                            }
+                        }
+                    }
+                } else if !stale && *down {
+                    *down = false;
+                    for slot in 0..self.shadow.len() {
+                        if self.slot_host[slot] == h && !self.perma_dead[slot] {
+                            self.shadow[slot].alive = true;
+                            self.shadow[slot].sync_until = now + self.cfg.sync_delay;
+                        }
+                    }
+                }
+            }
+
+            // 3. Deliver commands whose latency has elapsed.
+            let mut due = Vec::new();
+            pending_cmds.retain(|&(at, cmd)| {
+                if at <= now {
+                    due.push(cmd);
+                    false
+                } else {
+                    true
+                }
+            });
+            for cmd in due {
+                self.apply_shadow_command(cmd, now);
+            }
+
+            // 4. Primary election over the shadow state.
+            self.elect_primaries(now);
+
+            // 5. The LAAR control loop: measured rates → HAController.
+            if self.cfg.controller_enabled && now >= next_monitor {
+                let rates = self.monitor.rates(now);
+                for cmd in self.controller.on_measured_rates(&rates) {
+                    pending_cmds.push((now + self.cfg.command_latency, cmd));
+                }
+                // Keep the cadence even if the coordinator overslept.
+                next_monitor =
+                    ((now / self.cfg.monitor_interval).floor() + 1.0) * self.cfg.monitor_interval;
+            }
+
+            // 6. Source emission, paced by the wall clock.
+            self.emit(now, &mut metrics, &mut pushed, &mut transport_dropped);
+
+            clock.sleep(self.cfg.tick);
+        }
+
+        // Flush emission exactly to the end of the trace, so the emitted
+        // volume matches the simulator tuple-for-tuple, then stop.
+        self.emit(
+            self.duration,
+            &mut metrics,
+            &mut pushed,
+            &mut transport_dropped,
+        );
+        self.shared.stop.store(true, Ordering::Release);
+
+        let reports: Vec<WorkerReport> = handles
+            .into_iter()
+            .map(|h| h.join().expect("host worker panicked"))
+            .collect();
+
+        // Merge worker-side metrics; count residuals only now, when every
+        // producer thread has exited.
+        let mut all_replicas: Vec<Option<Replica>> =
+            (0..self.num_pes * self.k).map(|_| None).collect();
+        let mut ring_residual = 0u64;
+        metrics.sink_received = Vec::new();
+        let mut sink_received: Vec<u64> = Vec::new();
+        for mut report in reports {
+            for (pe, &n) in report.pe_processed.iter().enumerate() {
+                metrics.pe_processed[pe] += n;
+            }
+            if sink_received.len() < report.sink_received.len() {
+                sink_received.resize(report.sink_received.len(), 0);
+            }
+            for (snk, &n) in report.sink_received.iter().enumerate() {
+                sink_received[snk] += n;
+            }
+            metrics.output_rate.merge(&TimeSeries {
+                samples: report.output_rate,
+            });
+            metrics.host_utilization[report.host] = TimeSeries {
+                samples: report.utilization,
+            };
+            metrics.latency.merge(&report.latency);
+            pushed += report.pushed;
+            transport_dropped += report.transport_dropped;
+            for ports in &mut report.inbound {
+                for rings in ports {
+                    for ring in rings {
+                        ring_residual += ring.len() as u64;
+                    }
+                }
+            }
+            for rep in report.replicas {
+                let slot = rep.pe_dense * self.k + rep.replica;
+                all_replicas[slot] = Some(rep);
+            }
+        }
+        metrics.sink_received = sink_received;
+
+        // Final per-replica accounting, identical to the simulator's.
+        let mut processed = 0u64;
+        let mut port_residual = 0u64;
+        for rep in all_replicas
+            .iter()
+            .map(|r| r.as_ref().expect("all slots reported"))
+        {
+            metrics.queue_drops += rep.total_drops();
+            metrics.idle_discards += rep.idle_discards;
+            metrics.host_cpu_seconds[rep.host] += rep.cycles_used / self.capacities[rep.host];
+            metrics
+                .replica_port_processed
+                .push(rep.ports.iter().map(|p| p.processed).collect());
+            metrics.replica_emitted.push(rep.emitted);
+            metrics.replica_cycles.push(rep.cycles_used);
+            processed += rep.processed;
+            port_residual += rep.ports.iter().map(|p| p.queued() as u64).sum::<u64>();
+        }
+        metrics.config_switches = self.controller.switches();
+        metrics.commands_applied = self.commands_applied;
+        metrics.failovers = self.failovers;
+
+        LiveReport {
+            conservation: Conservation {
+                pushed,
+                transport_dropped,
+                ring_residual,
+                queue_drops: metrics.queue_drops,
+                idle_discards: metrics.idle_discards,
+                processed,
+                port_residual,
+            },
+            metrics,
+        }
+    }
+
+    /// Emit every source up to trace time `now`: record rates for the
+    /// monitor and push birth timestamps to all replicas of all downstream
+    /// ports.
+    fn emit(
+        &mut self,
+        now: f64,
+        metrics: &mut SimMetrics,
+        pushed: &mut u64,
+        transport_dropped: &mut u64,
+    ) {
+        let sec = (now.floor() as usize).min(self.seconds - 1);
+        for si in 0..self.emitters.len() {
+            let times = self.emitters[si].emit_until(now.min(self.duration));
+            if times.is_empty() {
+                continue;
+            }
+            for &tt in &times {
+                self.monitor.record(si, tt);
+            }
+            metrics.source_emitted[si] += times.len() as u64;
+            metrics.input_rate.samples[sec] += times.len() as f64;
+            for ring in &mut self.src_producers[si] {
+                for &b in &times {
+                    match ring.push(b) {
+                        Ok(()) => *pushed += 1,
+                        Err(_) => *transport_dropped += 1,
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Bounded single-producer/single-consumer ring buffer — the transport
+//! between host worker threads (and from the coordinator's source emitters
+//! into the workers). Lock-free Lamport queue: the producer only writes
+//! `tail`, the consumer only writes `head`, so a release store on one side
+//! paired with an acquire load on the other is the whole protocol.
+//!
+//! Overflow never blocks: [`Producer::push`] returns the rejected value and
+//! the caller counts it as a transport drop, mirroring the drop-on-overflow
+//! semantics of the simulator's bounded ports.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Ring<T> {
+    mask: usize,
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot the consumer will read (only the consumer stores it).
+    head: AtomicUsize,
+    /// Next slot the producer will write (only the producer stores it).
+    tail: AtomicUsize,
+}
+
+// Safety: the Producer/Consumer split guarantees at most one thread touches
+// each end; the atomics order the slot accesses between the two threads.
+unsafe impl<T: Send> Sync for Ring<T> {}
+unsafe impl<T: Send> Send for Ring<T> {}
+
+impl<T> Ring<T> {
+    fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(2).next_power_of_two();
+        let buf = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Ring {
+            mask: cap - 1,
+            buf,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.load(Ordering::Acquire))
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // &mut self: both ends are gone, plain loads suffice.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in head..tail {
+            unsafe { (*self.buf[i & self.mask].get()).assume_init_drop() };
+        }
+    }
+}
+
+/// The write end of a bounded SPSC ring (exactly one per ring).
+pub struct Producer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// The read end of a bounded SPSC ring (exactly one per ring).
+pub struct Consumer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// Create a bounded SPSC channel with room for at least `cap` items
+/// (rounded up to a power of two).
+pub fn channel<T: Send>(cap: usize) -> (Producer<T>, Consumer<T>) {
+    let ring = Arc::new(Ring::with_capacity(cap));
+    (Producer { ring: ring.clone() }, Consumer { ring })
+}
+
+impl<T: Send> Producer<T> {
+    /// Append `v`; on a full ring the value comes back as `Err` and the
+    /// caller decides (the runtime counts it as a transport drop).
+    pub fn push(&mut self, v: T) -> Result<(), T> {
+        let tail = self.ring.tail.load(Ordering::Relaxed);
+        let head = self.ring.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > self.ring.mask {
+            return Err(v);
+        }
+        unsafe { (*self.ring.buf[tail & self.ring.mask].get()).write(v) };
+        self.ring
+            .tail
+            .store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Items currently queued (racy snapshot).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` when no items are queued (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Send> Consumer<T> {
+    /// Take the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        let head = self.ring.head.load(Ordering::Relaxed);
+        let tail = self.ring.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let v = unsafe { (*self.ring.buf[head & self.ring.mask].get()).assume_init_read() };
+        self.ring
+            .head
+            .store(head.wrapping_add(1), Ordering::Release);
+        Some(v)
+    }
+
+    /// Items currently queued (racy snapshot).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` when no items are queued (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_overflow() {
+        let (mut tx, mut rx) = channel::<u32>(4);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99));
+        assert_eq!(rx.pop(), Some(0));
+        tx.push(4).unwrap();
+        let rest: Vec<u32> = std::iter::from_fn(|| rx.pop()).collect();
+        assert_eq!(rest, vec![1, 2, 3, 4]);
+        assert!(rx.pop().is_none());
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (mut tx, rx) = channel::<u8>(5);
+        let mut accepted = 0;
+        while tx.push(0).is_ok() {
+            accepted += 1;
+        }
+        assert_eq!(accepted, 8);
+        assert_eq!(rx.len(), 8);
+    }
+
+    #[test]
+    fn cross_thread_transfer_preserves_every_item() {
+        let (mut tx, mut rx) = channel::<u64>(64);
+        let n = 100_000u64;
+        let producer = std::thread::spawn(move || {
+            let mut dropped = 0u64;
+            for i in 0..n {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            dropped += 1;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+            dropped
+        });
+        let mut got = 0u64;
+        let mut next = 0u64;
+        while got < n {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, next, "items must arrive in order");
+                next += 1;
+                got += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+        assert!(rx.pop().is_none());
+    }
+
+    #[test]
+    fn drop_releases_queued_items() {
+        let (mut tx, rx) = channel::<String>(8);
+        tx.push("a".to_owned()).unwrap();
+        tx.push("b".to_owned()).unwrap();
+        drop(tx);
+        drop(rx); // Ring::drop must free the two queued strings (miri-clean).
+    }
+}

@@ -69,23 +69,10 @@ fn main() {
     // Deliberately worsen the placement by stacking onto two hosts, then
     // let the local search repair it.
     let np = gen.app.graph().num_pes();
-    let stacked: Vec<HostId> = (0..np)
-        .flat_map(|_| [HostId(0), HostId(1)])
-        .collect();
-    let bad = Placement::new(
-        gen.app.graph(),
-        2,
-        gen.placement.hosts().to_vec(),
-        stacked,
-    )
-    .unwrap();
-    let result = optimize_placement(
-        &gen.app,
-        &bad,
-        0.5,
-        &PlacementSearchConfig::default(),
-    )
-    .unwrap();
+    let stacked: Vec<HostId> = (0..np).flat_map(|_| [HostId(0), HostId(1)]).collect();
+    let bad = Placement::new(gen.app.graph(), 2, gen.placement.hosts().to_vec(), stacked).unwrap();
+    let result =
+        optimize_placement(&gen.app, &bad, 0.5, &PlacementSearchConfig::default()).unwrap();
     println!(
         "\nplacement search: initial cost {:?}, final cost {:?} after {} moves ({})",
         result.initial_cost_rate,
@@ -104,12 +91,7 @@ fn main() {
     );
 
     // --- 5. Latency measurement. --------------------------------------------
-    let trace = InputTrace::low_high_centered(
-        gen.low_rate,
-        gen.high_rate,
-        120.0,
-        gen.p_high(),
-    );
+    let trace = InputTrace::low_high_centered(gen.low_rate, gen.high_rate, 120.0, gen.p_high());
     let metrics = Simulation::new(
         &gen.app,
         &gen.placement,

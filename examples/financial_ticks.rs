@@ -42,11 +42,16 @@ fn main() {
     // market, ~110 % (overloaded) during the open burst.
     let hosts = Placement::uniform_hosts(3, 4400.0);
     let assignment = vec![
-        HostId(0), HostId(1), // normalize
-        HostId(1), HostId(2), // dedupe
-        HostId(2), HostId(0), // vwap
-        HostId(0), HostId(1), // volatility
-        HostId(1), HostId(2), // alert-rules
+        HostId(0),
+        HostId(1), // normalize
+        HostId(1),
+        HostId(2), // dedupe
+        HostId(2),
+        HostId(0), // vwap
+        HostId(0),
+        HostId(1), // volatility
+        HostId(1),
+        HostId(2), // alert-rules
     ];
     let placement = Placement::new(app.graph(), 2, hosts, assignment).unwrap();
 
@@ -64,7 +69,11 @@ fn main() {
         .unwrap();
         let sol = report.outcome.solution().expect("feasible");
         warm = Some(sol.strategy.clone());
-        strategies.push((format!("L.{}", (ic_req * 10.0) as u32), sol.strategy.clone(), sol.ic));
+        strategies.push((
+            format!("L.{}", (ic_req * 10.0) as u32),
+            sol.strategy.clone(),
+            sol.ic,
+        ));
     }
     strategies.reverse();
 

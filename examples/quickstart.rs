@@ -77,7 +77,10 @@ fn main() {
         metrics
     };
     let np = app.graph().num_pes();
-    let sr = run(ActivationStrategy::all_active(np, 2, 2), "static replication");
+    let sr = run(
+        ActivationStrategy::all_active(np, 2, 2),
+        "static replication",
+    );
     let laar = run(solution.strategy.clone(), "LAAR");
 
     assert!(laar.total_cpu_seconds() < sr.total_cpu_seconds());

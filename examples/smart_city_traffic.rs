@@ -61,12 +61,18 @@ fn main() {
     // Three city servers; replicas spread so no host holds both copies.
     let hosts = Placement::uniform_hosts(3, 2400.0);
     let assignment = vec![
-        HostId(0), HostId(1), // parse-a
-        HostId(1), HostId(2), // parse-b
-        HostId(2), HostId(0), // map-match
-        HostId(0), HostId(1), // junction-occupancy
-        HostId(1), HostId(2), // flow-forecast
-        HostId(2), HostId(0), // signal-controller
+        HostId(0),
+        HostId(1), // parse-a
+        HostId(1),
+        HostId(2), // parse-b
+        HostId(2),
+        HostId(0), // map-match
+        HostId(0),
+        HostId(1), // junction-occupancy
+        HostId(1),
+        HostId(2), // flow-forecast
+        HostId(2),
+        HostId(0), // signal-controller
     ];
     let placement = Placement::new(app.graph(), 2, hosts, assignment).unwrap();
 

@@ -1,0 +1,182 @@
+//! Offline stand-in for `criterion`, covering the harness subset the
+//! workspace's benches use: `Criterion`, `benchmark_group` /
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `sample_size`,
+//! and the `criterion_group!` / `criterion_main!` macros. Each benchmark
+//! runs a warm-up iteration plus `sample_size` timed iterations and prints
+//! the mean wall-clock time per iteration — enough to compare runs by
+//! hand, with none of the real crate's statistics, outlier analysis, or
+//! reports. Vendored because the build environment has no network access
+//! to crates.io.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` (criterion's `black_box`).
+pub use std::hint::black_box;
+
+/// Benchmark identifier inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: u64,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.samples;
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    default_samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 20,
+        }
+    }
+}
+
+fn run_one(name: &str, samples: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+        iters: 1,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed / (b.iters.max(1) as u32);
+    println!(
+        "bench {name:<50} {per_iter:>12.2?}/iter ({} iters)",
+        b.iters
+    );
+}
+
+impl Criterion {
+    /// Run a single benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl std::fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.to_string(), self.default_samples, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            samples: 20,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n as u64;
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.samples, f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.label), self.samples, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a named runner (criterion_group!).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (criterion_main!).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_groups_and_functions() {
+        let mut c = Criterion::default();
+        c.bench_function("unit/one", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5);
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &x| b.iter(|| x * 2));
+        g.bench_function("plain", |b| b.iter(|| black_box(7)));
+        g.finish();
+    }
+}

@@ -1,0 +1,152 @@
+//! Offline stand-in for `rand`, covering the subset this workspace uses:
+//! `StdRng::seed_from_u64`, `Rng::random_range` over integer/float ranges,
+//! and `Rng::random_bool`. The generator is xoshiro256** seeded through
+//! SplitMix64 — deterministic for a given seed, which is all the seeded
+//! corpus/app generators need (the stream differs from the real crate's
+//! StdRng, so seed-dependent expectations may shift).
+
+use std::ops::{Bound, RangeBounds};
+
+/// Seedable random generators (`rand::SeedableRng` stand-in).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random value generation (`rand::Rng` stand-in).
+pub trait Rng {
+    /// The next raw 64 bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (supports `a..b` and `a..=b`).
+    fn random_range<T: SampleUniform, R: RangeBounds<T>>(&mut self, range: R) -> T {
+        let lo = match range.start_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(_) | Bound::Unbounded => {
+                panic!("rand shim: range must have an included start")
+            }
+        };
+        let (hi, inclusive) = match range.end_bound() {
+            Bound::Included(&x) => (x, true),
+            Bound::Excluded(&x) => (x, false),
+            Bound::Unbounded => panic!("rand shim: range must be bounded"),
+        };
+        T::sample(self.next_u64(), lo, hi, inclusive)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Types that can be drawn uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Map 64 random bits into `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample(bits: u64, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(bits: u64, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128 - lo as i128) + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "rand shim: empty range");
+                lo + (bits as i128).rem_euclid(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample(bits: u64, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        let unit = ((bits >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample(bits: u64, lo: Self, hi: Self, inclusive: bool) -> Self {
+        f64::sample(bits, lo as f64, hi as f64, inclusive) as f32
+    }
+}
+
+/// The standard seeded generator (`rand::rngs::StdRng` stand-in):
+/// xoshiro256** with SplitMix64 state expansion.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expands the 64-bit seed into the 256-bit state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256** (Blackman & Vigna).
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// `rand::rngs` module stand-in.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(1..=12usize);
+            assert!((1..=12).contains(&x));
+            let y = rng.random_range(0..5u32);
+            assert!(y < 5);
+            let f = rng.random_range(0.5..1.5f64);
+            assert!((0.5..1.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.15)).count();
+        assert!((1000..2000).contains(&hits), "{hits}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Offline stand-in for `rayon` that executes the same pipelines
+//! **sequentially**: `par_iter()` yields a plain `std` iterator, and the
+//! rayon-specific adapters (`flat_map_iter`) are provided as extension
+//! methods. Results are byte-identical to the parallel versions (all call
+//! sites collect order-preserving maps), only wall-clock differs. Vendored
+//! because the build environment has no network access to crates.io.
+
+/// Number of worker threads rayon would use (here: the machine's
+/// available parallelism, purely informational).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Builder for a [`ThreadPool`] (`rayon::ThreadPoolBuilder` stand-in).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error building a thread pool (never produced by the shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request a worker count (recorded but unused — execution is
+    /// sequential in the shim).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Always succeeds.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            _num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped execution context (`rayon::ThreadPool` stand-in).
+#[derive(Debug)]
+pub struct ThreadPool {
+    _num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` "inside the pool" — sequentially, on the calling thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+}
+
+/// `rayon::prelude` stand-in: `par_iter()` entry points plus the
+/// rayon-only iterator adapters this workspace calls.
+pub mod prelude {
+    /// `.par_iter()` on slices and vectors; yields a sequential iterator.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The (sequential) iterator type.
+        type Iter: Iterator;
+        /// Iterate by reference, as `rayon`'s `par_iter` would.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// Rayon-specific adapters, available on every iterator so pipelines
+    /// written against rayon compile unchanged.
+    pub trait ParallelIterator: Iterator + Sized {
+        /// Rayon's `flat_map_iter`: identical to `Iterator::flat_map` when
+        /// execution is sequential.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_pipelines_match_sequential() {
+        let xs = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let flat: Vec<i32> = xs
+            .par_iter()
+            .enumerate()
+            .flat_map_iter(|(i, &x)| vec![i as i32, x])
+            .collect();
+        assert_eq!(flat, vec![0, 1, 1, 2, 2, 3, 3, 4]);
+    }
+
+    #[test]
+    fn pool_installs_and_runs() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,342 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! shim. Implemented directly on `proc_macro` token trees (no syn/quote —
+//! the build environment has no crates.io access), supporting exactly the
+//! type shapes this workspace derives:
+//!
+//! * named-field structs,
+//! * tuple structs (arity 1 serializes transparently, like serde newtypes),
+//! * enums with unit, tuple, and struct variants (externally tagged),
+//! * no generic parameters, no `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derive `serde::Serialize` (shim) for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(\"{f}\", ::serde::Serialize::ser(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::ser(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::ser(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::ser(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::ser({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(\"{vn}\", {inner});\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(\"{f}\", ::serde::Serialize::ser({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(\"{vn}\", ::serde::Value::Object(fm));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn ser(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (shim) for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"{name} object\", v))?;\n"
+            );
+            s.push_str(&format!("Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deser(\
+                     obj.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::TupleStruct(1) => format!("Ok({name}(::serde::Deserialize::deser(v)?))"),
+        Shape::TupleStruct(n) => {
+            let mut s = format!(
+                "let arr = v.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"{name} array\", v))?;\n"
+            );
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::deser(\
+                         arr.get({i}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            s.push_str(&format!("Ok({name}({}))", items.join(", ")));
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut s = String::from("if let Some(s) = v.as_str() {\nmatch s {\n");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    s.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}),\n",
+                        vn = v.name
+                    ));
+                }
+            }
+            s.push_str("_ => {}\n}\n}\n");
+            s.push_str("if let Some(obj) = v.as_object() {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => s.push_str(&format!(
+                        "if obj.contains_key(\"{vn}\") {{ return Ok({name}::{vn}); }}\n"
+                    )),
+                    VariantKind::Tuple(1) => s.push_str(&format!(
+                        "if let Some(inner) = obj.get(\"{vn}\") {{\n\
+                         return Ok({name}::{vn}(::serde::Deserialize::deser(inner)?));\n}}\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::deser(\
+                                     arr.get({i}).unwrap_or(&::serde::Value::Null))?"
+                                )
+                            })
+                            .collect();
+                        s.push_str(&format!(
+                            "if let Some(inner) = obj.get(\"{vn}\") {{\n\
+                             let arr = inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"{vn} array\", inner))?;\n\
+                             return Ok({name}::{vn}({}));\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inner = String::new();
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: ::serde::Deserialize::deser(\
+                                 fobj.get(\"{f}\").unwrap_or(&::serde::Value::Null))?,\n"
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "if let Some(inner) = obj.get(\"{vn}\") {{\n\
+                             let fobj = inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"{vn} object\", inner))?;\n\
+                             return Ok({name}::{vn} {{\n{inner}}});\n}}\n"
+                        ));
+                    }
+                }
+            }
+            s.push_str("}\n");
+            s.push_str(&format!(
+                "Err(::serde::DeError::expected(\"{name} variant\", v))"
+            ));
+            s
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deser(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Token-tree parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (type {name})");
+    }
+    match keyword.as_str() {
+        "struct" => match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::NamedStruct(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                (name, Shape::TupleStruct(count_tuple_fields(g.stream())))
+            }
+            other => panic!("serde_derive shim: unsupported struct body {other:?}"),
+        },
+        "enum" => match &tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Enum(parse_variants(g.stream())))
+            }
+            other => panic!("serde_derive shim: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for {other}"),
+    }
+}
+
+/// Skip leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split tokens on commas that sit at angle-bracket depth zero (group
+/// nesting is already handled by the token tree itself).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle: i32 = 0;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().unwrap().push(t);
+    }
+    if chunks.last().is_some_and(Vec::is_empty) {
+        chunks.pop();
+    }
+    chunks
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive shim: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(&chunk, &mut i);
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+            };
+            i += 1;
+            let kind = match chunk.get(i) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(parse_named_fields(g.stream()))
+                }
+                other => panic!("serde_derive shim: unsupported variant body {other:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}

@@ -1,0 +1,116 @@
+//! Offline stand-in for `serde_json`, built on the `serde` shim's [`Value`]
+//! interchange tree. Supports the subset this workspace uses: `from_str` /
+//! `from_slice`, `to_string` / `to_string_pretty` / `to_vec`, the [`Value`] /
+//! [`Map`] types, and the [`json!`] macro. Floats print with Rust's
+//! shortest-roundtrip formatting, so `f64` values survive a text round-trip
+//! exactly (the guarantee the real crate's `float_roundtrip` feature gives).
+
+pub use serde::{Map, Value};
+
+/// JSON (de)serialization error.
+#[derive(Debug)]
+pub struct Error(serde::DeError);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e)
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Parse a value from JSON text.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T> {
+    let v = serde::parse_json(s)?;
+    Ok(T::deser(&v)?)
+}
+
+/// Parse a value from JSON bytes.
+pub fn from_slice<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes)
+        .map_err(|e| Error(serde::DeError(format!("invalid utf-8: {e}"))))?;
+    from_str(s)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.ser()
+}
+
+/// Render a value as compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(serde::ser_to_string(&value.ser(), false))
+}
+
+/// Render a value as pretty-printed JSON text (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String> {
+    Ok(serde::ser_to_string(&value.ser(), true))
+}
+
+/// Render a value as compact JSON bytes.
+pub fn to_vec<T: serde::Serialize>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Build a [`Value`] from JSON-like syntax: `json!(null)`, `json!(expr)`,
+/// `json!([a, b])`, `json!({"k": v, ...})`. Field and array values are
+/// Rust expressions (nest literals via an inner `json!(...)` call).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$item) ),* ])
+    };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert($key, $crate::to_value(&$val)); )*
+        $crate::Value::Object(m)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects_and_arrays() {
+        let v = json!({
+            "k": 2usize,
+            "items": json!(["a".to_string(), "b".to_string()]),
+            "nested": json!({ "x": 1.5f64 }),
+        });
+        assert_eq!(v["k"].as_u64(), Some(2));
+        assert_eq!(v["items"][1].as_str(), Some("b"));
+        assert_eq!(v["nested"]["x"].as_f64(), Some(1.5));
+    }
+
+    #[test]
+    #[allow(clippy::excessive_precision)] // the extra digits are the point
+    fn floats_roundtrip_exactly() {
+        let xs = vec![0.1f64, 1.0 / 3.0, 1e-300, 123456789.123456789];
+        let s = to_string(&xs).unwrap();
+        let back: Vec<f64> = from_str(&s).unwrap();
+        assert_eq!(xs, back);
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_structure() {
+        let v = json!({ "a": json!([1u32, 2u32]), "b": "hi\n\"quote\"".to_string() });
+        let s = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+}

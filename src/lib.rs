@@ -24,7 +24,10 @@
 //! * [`gen`] (`laar-gen`) — the synthetic application/corpus generator of
 //!   the paper's §5.2;
 //! * [`experiments`] (`laar-experiments`) — harnesses regenerating every
-//!   figure of the paper's evaluation.
+//!   figure of the paper's evaluation;
+//! * [`runtime`] (`laar-runtime`) — a live multi-threaded execution engine
+//!   running the same deployments on real OS threads, with the simulator
+//!   as its oracle.
 //!
 //! ## Quickstart
 //!
@@ -69,21 +72,20 @@ pub use laar_dsps as dsps;
 pub use laar_experiments as experiments;
 pub use laar_gen as gen;
 pub use laar_model as model;
+pub use laar_runtime as runtime;
 
 /// The most common imports for working with LAAR.
 pub mod prelude {
     pub use laar_core::ftsearch::{self, FtSearchConfig, Outcome, SearchReport, Solution};
     pub use laar_core::{
-        greedy, non_replicated, static_replication, Command, CostModel, FailureModel,
-        HaController, IcEvaluator, NoFailure, PessimisticFailure, Problem, RateMonitor,
-        VariantKind, Violation,
+        greedy, non_replicated, static_replication, Command, CostModel, FailureModel, HaController,
+        IcEvaluator, NoFailure, PessimisticFailure, Problem, RateMonitor, VariantKind, Violation,
     };
-    pub use laar_dsps::{
-        FailurePlan, InputTrace, RateSchedule, SimConfig, SimMetrics, Simulation,
-    };
+    pub use laar_dsps::{FailurePlan, InputTrace, RateSchedule, SimConfig, SimMetrics, Simulation};
     pub use laar_gen::{runtime_corpus, solver_corpus, GenParams, GeneratedApp};
     pub use laar_model::{
         ActivationStrategy, Application, ApplicationGraph, ComponentId, ConfigId, ConfigSpace,
         GraphBuilder, Host, HostId, Placement, RateTable, ReplicaId,
     };
+    pub use laar_runtime::{Conservation, LiveReport, LiveRuntime, RuntimeConfig};
 }

@@ -44,7 +44,8 @@ fn generated_apps_solve_and_satisfy_constraints() {
 
 #[test]
 fn variant_cost_ordering_holds_end_to_end() {
-    let gen = small_gen(4);
+    // Seed chosen so every variant (including the IC 0.7 SLA) is feasible.
+    let gen = small_gen(6);
     let set = build_variants(&gen, Duration::from_secs(10)).expect("solvable");
     let problem = Problem::new(gen.app.clone(), gen.placement.clone(), 0.0).unwrap();
     let cm = problem.cost_model();
@@ -58,7 +59,8 @@ fn variant_cost_ordering_holds_end_to_end() {
 
 #[test]
 fn simulated_worst_case_respects_analytic_bound() {
-    let gen = small_gen(5);
+    // Seed chosen so build_variants succeeds and the bound is exercised.
+    let gen = small_gen(9);
     let Ok(set) = build_variants(&gen, Duration::from_secs(10)) else {
         return; // genuinely infeasible seed: nothing to verify
     };
@@ -81,7 +83,11 @@ fn simulated_worst_case_respects_analytic_bound() {
     .total_processed() as f64;
     assert!(reference > 0.0);
 
-    for kind in [VariantKind::Laar05, VariantKind::Laar06, VariantKind::Laar07] {
+    for kind in [
+        VariantKind::Laar05,
+        VariantKind::Laar06,
+        VariantKind::Laar07,
+    ] {
         let entry = set.get(kind);
         let plan = FailurePlan::worst_case(&gen.app, &entry.strategy);
         let worst = Simulation::new(
@@ -108,12 +114,7 @@ fn static_replication_survives_worst_case_fully() {
     let gen = small_gen(6);
     let np = gen.app.graph().num_pes();
     let sr = ActivationStrategy::all_active(np, 2, 2);
-    let trace = InputTrace::low_high_centered(
-        gen.low_rate,
-        gen.high_rate,
-        60.0,
-        gen.p_high(),
-    );
+    let trace = InputTrace::low_high_centered(gen.low_rate, gen.high_rate, 60.0, gen.p_high());
     let plan = FailurePlan::worst_case(&gen.app, &sr);
     let worst = Simulation::new(
         &gen.app,
@@ -189,8 +190,7 @@ fn decomposed_and_monolithic_agree_on_generated_instances() {
                 &FtSearchConfig::with_time_limit(Duration::from_secs(20)),
             )
             .unwrap();
-            let deco =
-                ftsearch::solve_decomposed(&problem, Duration::from_secs(20)).unwrap();
+            let deco = ftsearch::solve_decomposed(&problem, Duration::from_secs(20)).unwrap();
             match (mono.outcome.solution(), deco.outcome.solution()) {
                 (Some(a), Some(b)) => assert!(
                     (a.cost_cycles - b.cost_cycles).abs() < 1e-6 * a.cost_cycles.max(1.0),

@@ -33,7 +33,9 @@ fn random_strategy(problem: &Problem, seed: u64) -> ActivationStrategy {
     let mut x = seed | 1;
     for pe in 0..problem.num_pes() {
         for c in 0..problem.num_configs() {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let cfg = ConfigId(c as u32);
             match (x >> 61) % 3 {
                 0 => s.set_active(pe, cfg, 0, true),

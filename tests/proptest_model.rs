@@ -27,7 +27,9 @@ fn build_graph(n: usize, params: &[(f64, f64)], extra_seed: u64) -> ApplicationG
     let sink = b.add_sink("sink");
     let mut state = extra_seed | 1;
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         state >> 33
     };
     for (i, &pe) in pes.iter().enumerate() {
