@@ -4,33 +4,35 @@
 //! processing cluster — the substrate standing in for the paper's IBM
 //! InfoSphere Streams® deployment on a 60-core BladeCenter® cluster.
 //!
-//! It models:
+//! The LAAR protocol itself (replica state machine, HAProxy primary
+//! election, control loop, failure plans, conservation ledger) lives in
+//! [`laar_exec`] and is shared verbatim with the live threaded engine;
+//! this crate owns only what makes it a *simulator*:
 //!
 //! * hosts with CPU capacity `K` cycles/s, shared across resident replicas
-//!   with generalized processor sharing evaluated in fixed quanta;
-//! * replicated PEs behind HAProxy-style proxies: bounded per-port input
-//!   queues (drop on overflow), per-tuple CPU costs, selectivity
-//!   accumulators, primary-only output forwarding, activation/deactivation
-//!   commands, heartbeat-delayed fail-over, and state re-synchronization on
-//!   (re)activation;
+//!   with generalized processor sharing evaluated in fixed virtual-time
+//!   quanta;
+//! * synchronous tuple delivery (an offer reaches the receiving replica in
+//!   the same quantum it is produced);
 //! * trace-driven data sources and measuring sinks;
-//! * the LAAR runtime loop (Rate Monitor → HAController → commands) running
-//!   in simulation time;
-//! * failure injection: none (best case), the pessimistic worst case of
-//!   eq. 14, and timed single-host crashes with recovery (§5.3).
+//! * deterministic replay: identical inputs produce identical metrics.
+//!
+//! The protocol types are re-exported here (`laar_dsps::FailurePlan`,
+//! `laar_dsps::replica::Replica`, …) so existing callers keep working.
 
 #![warn(missing_docs)]
 
-pub mod failure;
 pub mod metrics;
 pub mod profiler;
-pub mod replica;
 pub mod sim;
 pub mod trace;
 
-pub use failure::FailurePlan;
+pub use laar_exec::{failure, replica};
+
+pub use laar_exec::failure::{strategy_after_worst_case, FailurePlan};
+pub use laar_exec::replica::{InPort, Replica};
+pub use laar_exec::ReplicaStatus;
 pub use metrics::{LatencyStats, SimMetrics, TimeSeries};
 pub use profiler::{profile_application, EstimatedDescriptor};
-pub use replica::{InPort, Replica, ReplicaStatus};
 pub use sim::{SimConfig, Simulation};
 pub use trace::{ArrivalProcess, InputTrace, RateSchedule, SourceEmitter};

@@ -1,6 +1,7 @@
 //! Metrics collected by the simulator — the quantities the paper's
 //! evaluation reports (Figs. 3, 9–12).
 
+use laar_exec::Conservation;
 use serde::{Deserialize, Serialize};
 
 /// Per-second time series of a rate (tuples/s) or utilization.
@@ -186,6 +187,12 @@ pub struct SimMetrics {
     pub replica_emitted: Vec<u64>,
     /// Per replica: CPU cycles consumed.
     pub replica_cycles: Vec<f64>,
+    /// The full tuple-conservation ledger of the run. For the simulator the
+    /// transport terms (`transport_dropped`, `ring_residual`) are zero by
+    /// construction and the ledger balances exactly; the live runtime fills
+    /// them from its SPSC rings. `queue_drops`/`idle_discards` above are the
+    /// corresponding ledger entries, kept flat for convenience.
+    pub conservation: Conservation,
 }
 
 impl SimMetrics {

@@ -1,0 +1,173 @@
+//! The tuple-conservation ledger.
+//!
+//! LAAR's correctness argument leans on exact accounting: every tuple
+//! pushed toward a replica terminates in exactly one bucket — processed,
+//! dropped by a bounded queue, discarded by an ineligible replica, or
+//! still in flight at shutdown. [`Conservation::is_balanced`] states that
+//! identity once for every backend; the simulator checks it with zero
+//! transport terms (offers are synchronous), the live engine adds the ring
+//! terms its SPSC transport introduces.
+
+use crate::replica::Replica;
+use serde::{Deserialize, Serialize};
+
+/// End-to-end tuple accounting for one run: every tuple pushed into the
+/// data plane terminates in exactly one of the right-hand-side buckets of
+/// [`Conservation::is_balanced`], so the identity must hold for every run
+/// regardless of scheduling or thread interleaving.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conservation {
+    /// Tuples successfully handed toward a replica (source emission plus
+    /// primary forwarding; one count per receiving replica copy). In a
+    /// transported engine this counts successful ring pushes.
+    pub pushed: u64,
+    /// Tuples rejected by a full transport ring (zero in engines whose
+    /// offers are synchronous; excluded from `pushed`, kept for
+    /// diagnostics).
+    pub transport_dropped: u64,
+    /// Tuples still sitting in transport rings at shutdown.
+    pub ring_residual: u64,
+    /// Tuples dropped by a full input-port queue.
+    pub queue_drops: u64,
+    /// Tuples discarded by idle/dead/syncing replicas (at offer time or
+    /// when deactivation/failure cleared a queue).
+    pub idle_discards: u64,
+    /// Tuples fully processed by replicas (all replicas, not just
+    /// primaries).
+    pub processed: u64,
+    /// Tuples still queued in input ports at shutdown.
+    pub port_residual: u64,
+}
+
+impl Conservation {
+    /// `pushed == ring_residual + queue_drops + idle_discards + processed +
+    /// port_residual` — no tuple is lost or double-counted.
+    pub fn is_balanced(&self) -> bool {
+        self.pushed
+            == self.ring_residual
+                + self.queue_drops
+                + self.idle_discards
+                + self.processed
+                + self.port_residual
+    }
+
+    /// Fold one replica's terminal counters into the ledger: overflow
+    /// drops, discards, processed tuples, and whatever is still queued.
+    /// Both engines call this per replica at shutdown; the caller supplies
+    /// `pushed` (and any transport terms) from its own offer sites.
+    pub fn tally_replica(&mut self, rep: &Replica) {
+        self.queue_drops += rep.total_drops();
+        self.idle_discards += rep.idle_discards;
+        self.processed += rep.processed;
+        self.port_residual += rep.ports.iter().map(|p| p.queued() as u64).sum::<u64>();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proxy::HaSlot;
+    use crate::replica::InPort;
+
+    fn replica(cap: usize) -> Replica {
+        Replica::new(0, 0, 0, vec![InPort::new(10.0, 1.0, cap)])
+    }
+
+    /// Offer counting the ledger's pushed side.
+    fn offer(led: &mut Conservation, rep: &mut Replica, n: usize, now: f64) {
+        rep.offer_n(0, n, now, now);
+        led.pushed += n as u64;
+    }
+
+    #[test]
+    fn clean_processing_balances() {
+        let mut led = Conservation::default();
+        let mut rep = replica(100);
+        offer(&mut led, &mut rep, 10, 0.0);
+        rep.process(1e9);
+        led.tally_replica(&rep);
+        assert!(led.is_balanced(), "{led:?}");
+        assert_eq!(led.processed, 10);
+    }
+
+    #[test]
+    fn kill_mid_queue_moves_backlog_to_discards() {
+        // A replica dies with tuples queued and one partially processed:
+        // the unfinished head and the backlog must land in idle_discards,
+        // never vanish.
+        let mut led = Conservation::default();
+        let mut rep = replica(100);
+        offer(&mut led, &mut rep, 8, 0.0);
+        rep.process(35.0); // 3 done, head of #4 in progress
+        rep.kill();
+        led.tally_replica(&rep);
+        assert!(led.is_balanced(), "{led:?}");
+        assert_eq!(led.processed, 3);
+        assert_eq!(led.idle_discards, 5);
+        assert_eq!(led.port_residual, 0);
+    }
+
+    #[test]
+    fn deactivate_with_queued_tuples_discards_them() {
+        let mut led = Conservation::default();
+        let mut rep = replica(100);
+        offer(&mut led, &mut rep, 6, 0.0);
+        rep.process(20.0); // 2 done
+        rep.deactivate();
+        offer(&mut led, &mut rep, 3, 1.0); // refused while idle
+        led.tally_replica(&rep);
+        assert!(led.is_balanced(), "{led:?}");
+        assert_eq!(led.processed, 2);
+        assert_eq!(led.idle_discards, 4 + 3);
+    }
+
+    #[test]
+    fn overflow_and_residual_are_separate_buckets() {
+        let mut led = Conservation::default();
+        let mut rep = replica(4);
+        offer(&mut led, &mut rep, 10, 0.0); // 4 queued, 6 overflow
+        rep.process(15.0); // 1 done, head of #2 in progress
+        led.tally_replica(&rep);
+        assert!(led.is_balanced(), "{led:?}");
+        assert_eq!(led.queue_drops, 6);
+        assert_eq!(led.processed, 1);
+        assert_eq!(led.port_residual, 3);
+    }
+
+    #[test]
+    fn transport_terms_participate() {
+        // A transported engine: pushed counts only successful ring pushes,
+        // and undelivered ring contents balance as ring_residual.
+        let led = Conservation {
+            pushed: 100,
+            transport_dropped: 7, // excluded from pushed by definition
+            ring_residual: 10,
+            queue_drops: 20,
+            idle_discards: 30,
+            processed: 35,
+            port_residual: 5,
+        };
+        assert!(led.is_balanced(), "{led:?}");
+        let broken = Conservation {
+            processed: 34,
+            ..led
+        };
+        assert!(!broken.is_balanced());
+    }
+
+    #[test]
+    fn tally_accumulates_across_replicas() {
+        let mut led = Conservation::default();
+        let mut a = replica(100);
+        let mut b = replica(100);
+        offer(&mut led, &mut a, 5, 0.0);
+        offer(&mut led, &mut b, 5, 0.0);
+        a.process(1e9);
+        b.kill();
+        led.tally_replica(&a);
+        led.tally_replica(&b);
+        assert!(led.is_balanced(), "{led:?}");
+        assert_eq!(led.processed, 5);
+        assert_eq!(led.idle_discards, 5);
+    }
+}

@@ -1,0 +1,224 @@
+//! The LAAR monitor/controller decision loop (§4.6), backend-agnostic.
+//!
+//! [`ControlLoop`] packages the pieces every engine runs identically: the
+//! [`RateMonitor`] that buckets observed source arrivals, the
+//! [`HaController`] that maps measured rates to an input configuration and
+//! diffs activation states, and the command-latency queue that models the
+//! time between a controller decision and the command taking effect at the
+//! replica's proxy.
+//!
+//! The only backend-visible knob is the cadence policy
+//! ([`ControlConfig::catch_up`]): the discrete-event simulator advances
+//! `next_monitor` by exactly one interval per poll (virtual time cannot
+//! oversleep), while a live engine re-anchors to the wall clock so an
+//! overslept coordinator does not burst several polls back-to-back.
+
+use laar_core::controller::{Command, HaController};
+use laar_core::monitor::RateMonitor;
+
+/// Cadence and latency parameters of the control loop.
+#[derive(Debug, Clone)]
+pub struct ControlConfig {
+    /// Period of the Rate Monitor → HAController loop (seconds).
+    pub monitor_interval: f64,
+    /// Latency from HAController decision to command taking effect.
+    pub command_latency: f64,
+    /// Run the loop at all (disable to freeze the initial activation
+    /// state, e.g. for diagnostics).
+    pub enabled: bool,
+    /// After a poll, re-anchor `next_monitor` to the present (`true`, live
+    /// engines: one poll per elapsed interval even when the loop
+    /// oversleeps) or advance it by exactly one interval (`false`,
+    /// simulators: virtual time never oversleeps).
+    pub catch_up: bool,
+}
+
+/// The monitor → controller → delayed-commands pipeline, polled by the
+/// driving engine on its own clock.
+#[derive(Debug, Clone)]
+pub struct ControlLoop {
+    monitor: RateMonitor,
+    controller: HaController,
+    /// Commands issued but not yet in effect, as `(due_time, command)`.
+    /// Latencies are uniform, so scan order is delivery order.
+    pending: Vec<(f64, Command)>,
+    next_monitor: f64,
+    cfg: ControlConfig,
+}
+
+impl ControlLoop {
+    /// A control loop over the given monitor and controller. The first poll
+    /// fires one interval in.
+    pub fn new(monitor: RateMonitor, controller: HaController, cfg: ControlConfig) -> Self {
+        Self {
+            monitor,
+            controller,
+            pending: Vec::new(),
+            next_monitor: cfg.monitor_interval,
+            cfg,
+        }
+    }
+
+    /// Record one source arrival for rate measurement.
+    #[inline]
+    pub fn record(&mut self, source: usize, time: f64) {
+        self.monitor.record(source, time);
+    }
+
+    /// Commands bringing a fresh deployment (everything active, as
+    /// deployed) into the controller's initial configuration. Empty when
+    /// the loop is disabled.
+    pub fn initial_commands(&self) -> Vec<Command> {
+        if self.cfg.enabled {
+            self.controller.initial_commands()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Run one decision step if an interval has elapsed: measure rates,
+    /// let the controller pick a configuration, and queue any resulting
+    /// commands to take effect after `command_latency`.
+    pub fn poll(&mut self, now: f64) {
+        if !self.cfg.enabled || now < self.next_monitor {
+            return;
+        }
+        let rates = self.monitor.rates(now);
+        for cmd in self.controller.on_measured_rates(&rates) {
+            self.pending.push((now + self.cfg.command_latency, cmd));
+        }
+        self.next_monitor = if self.cfg.catch_up {
+            ((now / self.cfg.monitor_interval).floor() + 1.0) * self.cfg.monitor_interval
+        } else {
+            self.next_monitor + self.cfg.monitor_interval
+        };
+    }
+
+    /// Drain the commands whose latency has elapsed, in issue order.
+    pub fn take_due(&mut self, now: f64) -> Vec<Command> {
+        let mut due = Vec::new();
+        self.pending.retain(|&(at, cmd)| {
+            if at <= now {
+                due.push(cmd);
+                false
+            } else {
+                true
+            }
+        });
+        due
+    }
+
+    /// Configuration switches performed by the controller so far.
+    #[inline]
+    pub fn switches(&self) -> u64 {
+        self.controller.switches()
+    }
+
+    /// The wrapped controller (current configuration, strategy).
+    #[inline]
+    pub fn controller(&self) -> &HaController {
+        &self.controller
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laar_model::{ActivationStrategy, ConfigId, ConfigSpace, GraphBuilder};
+
+    fn space() -> ConfigSpace {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("s");
+        let p1 = b.add_pe("p1");
+        let p2 = b.add_pe("p2");
+        let k = b.add_sink("k");
+        b.connect(s, p1, 1.0, 100.0).unwrap();
+        b.connect(p1, p2, 1.0, 100.0).unwrap();
+        b.connect_sink(p2, k).unwrap();
+        let g = b.build().unwrap();
+        ConfigSpace::new(&g, vec![vec![4.0, 8.0]], vec![0.8, 0.2]).unwrap()
+    }
+
+    fn fig2b_strategy() -> ActivationStrategy {
+        let mut s = ActivationStrategy::all_active(2, 2, 2);
+        s.set_active(0, ConfigId(1), 1, false);
+        s.set_active(1, ConfigId(1), 0, false);
+        s
+    }
+
+    fn loop_with(enabled: bool, catch_up: bool) -> ControlLoop {
+        ControlLoop::new(
+            RateMonitor::new(1, 0.25, 8),
+            HaController::new(&space(), fig2b_strategy()),
+            ControlConfig {
+                monitor_interval: 1.0,
+                command_latency: 0.5,
+                enabled,
+                catch_up,
+            },
+        )
+    }
+
+    /// Record a steady rate over `[from, to)` seconds.
+    fn feed(cl: &mut ControlLoop, rate_hz: usize, from: f64, to: f64) {
+        let n = ((to - from) * rate_hz as f64) as usize;
+        for i in 0..n {
+            cl.record(0, from + i as f64 / rate_hz as f64);
+        }
+    }
+
+    #[test]
+    fn commands_arrive_after_latency() {
+        let mut cl = loop_with(true, false);
+        // Starts in the max (High) config; a Low rate switches down.
+        feed(&mut cl, 3, 0.0, 1.0);
+        cl.poll(1.0);
+        assert!(cl.take_due(1.2).is_empty(), "latency not yet elapsed");
+        let due = cl.take_due(1.5);
+        assert_eq!(due.len(), 2, "High->Low activates the two staggered slots");
+        assert_eq!(cl.switches(), 1);
+        assert!(cl.take_due(100.0).is_empty(), "drained once");
+    }
+
+    #[test]
+    fn fixed_cadence_polls_once_per_interval() {
+        let mut cl = loop_with(true, false);
+        feed(&mut cl, 3, 0.0, 1.0);
+        cl.poll(0.5); // before the first interval: no-op
+        assert_eq!(cl.switches(), 0);
+        cl.poll(1.0);
+        cl.poll(1.2); // same interval: no second measurement
+        assert_eq!(cl.switches(), 1);
+    }
+
+    #[test]
+    fn catch_up_cadence_skips_missed_intervals() {
+        // An overslept live coordinator polls once and re-anchors instead
+        // of bursting one poll per missed interval.
+        let mut cl = loop_with(true, true);
+        feed(&mut cl, 3, 0.0, 5.5);
+        cl.poll(5.5); // slept through polls at 1..=5
+        assert_eq!(cl.switches(), 1);
+        cl.poll(5.7); // next_monitor re-anchored to 6.0
+        assert_eq!(cl.switches(), 1);
+    }
+
+    #[test]
+    fn disabled_loop_is_inert() {
+        let mut cl = loop_with(false, false);
+        assert!(cl.initial_commands().is_empty());
+        feed(&mut cl, 3, 0.0, 2.0);
+        cl.poll(2.0);
+        assert!(cl.take_due(10.0).is_empty());
+        assert_eq!(cl.switches(), 0);
+    }
+
+    #[test]
+    fn initial_commands_deactivate_into_max_config() {
+        let cl = loop_with(true, false);
+        let cmds = cl.initial_commands();
+        assert_eq!(cmds.len(), 2);
+        assert!(cmds.iter().all(|c| matches!(c, Command::Deactivate(_))));
+        assert_eq!(cl.controller().current_config(), ConfigId(1));
+    }
+}

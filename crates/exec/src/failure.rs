@@ -6,11 +6,17 @@
 //! possible; (iii) a *single host crash* lasting 16 seconds (the time
 //! InfoSphere Streams needs to detect the failure and migrate PEs \[19\]),
 //! injected during a "High" period, followed by recovery.
+//!
+//! A [`FailurePlan`] describes *what* fails and when; each execution
+//! backend decides *how* the failure manifests (the simulator consults
+//! [`FailurePlan::is_dead`] every quantum, the live engine flips per-host
+//! crash flags its workers observe) and routes the resulting transitions
+//! through [`ProxyState`](crate::proxy::ProxyState).
 
 use laar_model::{ActivationStrategy, Application, ConfigId, HostId, Placement};
 use serde::{Deserialize, Serialize};
 
-/// The failure scenario a simulation run is subjected to.
+/// The failure scenario a run is subjected to.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FailurePlan {
     /// Best case: nothing ever fails.

@@ -1,0 +1,44 @@
+//! # laar-exec
+//!
+//! The backend-agnostic LAAR execution core: every protocol decision the
+//! paper's runtime makes, written exactly once and shared by all execution
+//! backends.
+//!
+//! The paper's guarantees — the IC lower bound of eq. 14, exact tuple
+//! conservation — hang on the replica/HA state machine being *identical*
+//! wherever an application runs. This crate is that state machine; the
+//! engines built on top of it own only scheduling, time, and transport:
+//!
+//! * [`laar-dsps`](https://docs.rs/laar-dsps)'s `Simulation` drives it in
+//!   discrete virtual-time quanta with synchronous offers;
+//! * `laar-runtime`'s `LiveRuntime` drives it from real OS threads with
+//!   SPSC-ring transport and heartbeat-based failure detection.
+//!
+//! Modules:
+//!
+//! * [`replica`] — the data-plane state machine of one PE replica: bounded
+//!   per-port queues with drop-on-overflow, per-tuple CPU costs with
+//!   partial-progress carry-over, selectivity accumulators;
+//! * [`proxy`] — the HAProxy-style control plane: [`ReplicaStatus`]
+//!   transitions (activate/deactivate/kill/recover with sync delay), the
+//!   single command-application path, and deterministic per-PE primary
+//!   election with delayed failure detection ([`ProxyState`]);
+//! * [`control`] — the Rate Monitor → HAController decision loop with
+//!   command latency ([`ControlLoop`]);
+//! * [`failure`] — the failure scenarios of §5.3 ([`FailurePlan`]);
+//! * [`conservation`] — the tuple-accounting ledger and its
+//!   [`is_balanced`](Conservation::is_balanced) identity.
+
+#![warn(missing_docs)]
+
+pub mod conservation;
+pub mod control;
+pub mod failure;
+pub mod proxy;
+pub mod replica;
+
+pub use conservation::Conservation;
+pub use control::{ControlConfig, ControlLoop};
+pub use failure::{strategy_after_worst_case, FailurePlan};
+pub use proxy::{apply_to_slot, HaSlot, ProxyState, ReplicaStatus, SlotState};
+pub use replica::{InPort, Replica};

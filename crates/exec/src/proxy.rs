@@ -1,0 +1,408 @@
+//! The HAProxy-style replication protocol (§4.6, §5.1), written once for
+//! every execution backend.
+//!
+//! The paper places each PE replica behind a proxy that (i) answers
+//! HAController commands, (ii) exchanges heartbeats, and (iii) forwards
+//! outputs only while its replica is the PE's *primary*. Both the
+//! discrete-event simulator (`laar-dsps`) and the live threaded engine
+//! (`laar-runtime`) drive exactly the state machine in this module — they
+//! differ only in *when* they call it (virtual quanta vs. wall-clock ticks)
+//! and in how detection events reach it (a failure plan consulted in
+//! virtual time vs. heartbeat staleness over atomics).
+//!
+//! Three pieces:
+//!
+//! * [`SlotState`] — the protocol-visible state of one replica slot
+//!   (alive/active/sync window) with the [`ReplicaStatus`] it implies;
+//! * [`HaSlot`] — the transition interface, implemented by [`SlotState`]
+//!   itself (the control-plane *shadow* view) and by the data-plane
+//!   [`Replica`](crate::replica::Replica) (which adds queue bookkeeping on
+//!   top of the same transitions);
+//! * [`ProxyState`] — per-PE primary election with delayed failure
+//!   detection, fail-over accounting, and the single command-application
+//!   path.
+
+use laar_core::controller::Command;
+
+/// The liveness/activation status of one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaStatus {
+    /// Alive, active, and processing.
+    Running,
+    /// Alive but deactivated (idle, resource-saving).
+    Idle,
+    /// Alive, activated, but still re-synchronizing state.
+    Syncing,
+    /// Dead (failure injection).
+    Dead,
+}
+
+/// The protocol-visible state of one replica slot: what the HAProxy layer
+/// needs to know to answer commands and elect primaries. The live runtime's
+/// coordinator keeps a `Vec<SlotState>` as its *shadow* of the worker-owned
+/// replicas; the simulator's replicas embed one directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotState {
+    /// Liveness flag (failure injection / detection).
+    pub alive: bool,
+    /// Activation flag (HAController command state).
+    pub active: bool,
+    /// While `Some(t)`, the slot is re-synchronizing until time `t`.
+    pub sync_until: Option<f64>,
+}
+
+impl Default for SlotState {
+    /// Fresh deployments start alive and active with no sync window.
+    fn default() -> Self {
+        Self {
+            alive: true,
+            active: true,
+            sync_until: None,
+        }
+    }
+}
+
+impl SlotState {
+    /// Current status at time `now`.
+    pub fn status(&self, now: f64) -> ReplicaStatus {
+        if !self.alive {
+            ReplicaStatus::Dead
+        } else if !self.active {
+            ReplicaStatus::Idle
+        } else if self.sync_until.is_some_and(|t| now < t) {
+            ReplicaStatus::Syncing
+        } else {
+            ReplicaStatus::Running
+        }
+    }
+
+    /// `true` when the slot may process and forward tuples.
+    #[inline]
+    pub fn eligible(&self, now: f64) -> bool {
+        self.status(now) == ReplicaStatus::Running
+    }
+}
+
+/// The protocol transitions of one replica slot.
+///
+/// Implemented by the control-plane [`SlotState`] shadow and by the
+/// data-plane [`Replica`](crate::replica::Replica); the proxy logic below is
+/// written once against this trait, so the two views cannot drift apart.
+pub trait HaSlot {
+    /// Activate (HAController command) at `now`: re-synchronize state with
+    /// an active replica for `sync_delay` seconds, then resume processing
+    /// fresh input. A dead slot ignores the command; returns whether it was
+    /// applied.
+    fn activate(&mut self, now: f64, sync_delay: f64) -> bool;
+    /// Deactivate (HAController command): enter the idle, resource-saving
+    /// state immediately.
+    fn deactivate(&mut self);
+    /// Kill the slot (failure injection or detection).
+    fn kill(&mut self);
+    /// Recover from a failure at `now`: like an activation, the slot must
+    /// re-synchronize before it resumes.
+    fn recover(&mut self, now: f64, sync_delay: f64);
+    /// `true` when the slot may process and forward tuples at `now`.
+    fn eligible(&self, now: f64) -> bool;
+}
+
+impl HaSlot for SlotState {
+    fn activate(&mut self, now: f64, sync_delay: f64) -> bool {
+        if !self.alive {
+            return false;
+        }
+        self.active = true;
+        self.sync_until = (sync_delay > 0.0).then_some(now + sync_delay);
+        true
+    }
+
+    fn deactivate(&mut self) {
+        self.active = false;
+    }
+
+    fn kill(&mut self) {
+        self.alive = false;
+    }
+
+    fn recover(&mut self, now: f64, sync_delay: f64) {
+        self.alive = true;
+        self.sync_until = (sync_delay > 0.0).then_some(now + sync_delay);
+    }
+
+    fn eligible(&self, now: f64) -> bool {
+        SlotState::eligible(self, now)
+    }
+}
+
+/// Apply an HAController command to a single slot — the one place the
+/// command → transition mapping is written. [`ProxyState::apply_command`]
+/// layers primary demotion on top; backends that mirror commands onto a
+/// second view (the live runtime forwards them to the worker-owned replica)
+/// call this directly.
+pub fn apply_to_slot<S: HaSlot>(slot: &mut S, cmd: &Command, now: f64, sync_delay: f64) {
+    match cmd {
+        Command::Activate(_) => {
+            slot.activate(now, sync_delay);
+        }
+        Command::Deactivate(_) => slot.deactivate(),
+    }
+}
+
+/// Per-PE primary election and fail-over accounting — the proxy protocol's
+/// control half, shared verbatim by the simulator and the live engine.
+///
+/// Slots are addressed densely as `pe * k + r` in every slice handed to the
+/// methods below, matching how both engines lay out their replicas.
+#[derive(Debug, Clone)]
+pub struct ProxyState {
+    k: usize,
+    /// Per PE: current primary replica index.
+    primary: Vec<Option<usize>>,
+    /// Per PE: no election before this time (failure-detection delay).
+    blocked_until: Vec<f64>,
+    /// Per PE: a failure demoted the primary and the next election is a
+    /// fail-over (counted once).
+    pending_failover: Vec<bool>,
+    failovers: u64,
+}
+
+impl ProxyState {
+    /// Election state for `num_pes` PEs with `k` replicas each; no primaries
+    /// elected yet.
+    pub fn new(num_pes: usize, k: usize) -> Self {
+        Self {
+            k,
+            primary: vec![None; num_pes],
+            blocked_until: vec![0.0; num_pes],
+            pending_failover: vec![false; num_pes],
+            failovers: 0,
+        }
+    }
+
+    /// Replicas per PE.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of PEs.
+    #[inline]
+    pub fn num_pes(&self) -> usize {
+        self.primary.len()
+    }
+
+    /// The current primary replica of `pe`, if one is elected.
+    #[inline]
+    pub fn primary(&self, pe: usize) -> Option<usize> {
+        self.primary[pe]
+    }
+
+    /// Completed primary fail-overs (a secondary promoted after a failure).
+    #[inline]
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Apply an HAController command to the slot array: the single
+    /// command-handling path of the protocol. A deactivation of the current
+    /// primary demotes it immediately — a graceful, controller-coordinated
+    /// switch has no detection blackout.
+    pub fn apply_command<S: HaSlot>(
+        &mut self,
+        slots: &mut [S],
+        cmd: &Command,
+        now: f64,
+        sync_delay: f64,
+    ) {
+        let s = cmd.slot();
+        apply_to_slot(
+            &mut slots[s.pe_dense * self.k + s.replica],
+            cmd,
+            now,
+            sync_delay,
+        );
+        if matches!(cmd, Command::Deactivate(_)) && self.primary[s.pe_dense] == Some(s.replica) {
+            self.primary[s.pe_dense] = None;
+        }
+    }
+
+    /// A failure of replica `r` of `pe` became known: kill the slot and, if
+    /// it was the primary, demote it and block re-election until
+    /// `detected_at` (the simulator passes `now + detection_delay`; the live
+    /// engine passes `now`, because heartbeat staleness already *is* the
+    /// detection delay).
+    pub fn fail_slot<S: HaSlot>(&mut self, slots: &mut [S], pe: usize, r: usize, detected_at: f64) {
+        slots[pe * self.k + r].kill();
+        if self.primary[pe] == Some(r) {
+            self.primary[pe] = None;
+            self.blocked_until[pe] = detected_at;
+            self.pending_failover[pe] = true;
+        }
+    }
+
+    /// Replica `r` of `pe` recovered at `now`: it re-synchronizes for
+    /// `sync_delay` seconds before becoming electable again.
+    pub fn recover_slot<S: HaSlot>(
+        &mut self,
+        slots: &mut [S],
+        pe: usize,
+        r: usize,
+        now: f64,
+        sync_delay: f64,
+    ) {
+        slots[pe * self.k + r].recover(now, sync_delay);
+    }
+
+    /// Elect primaries at time `now`: a primary that lost eligibility
+    /// gracefully (deactivation, sync) is demoted; PEs inside a detection
+    /// blackout stay headless; otherwise the *lowest-indexed* eligible
+    /// replica wins — the deterministic tie-break every backend shares, so
+    /// the simulator and the live engine promote the same replica when
+    /// several become eligible at the same timestamp.
+    pub fn elect<S: HaSlot>(&mut self, slots: &[S], now: f64) {
+        for pe in 0..self.primary.len() {
+            if let Some(r) = self.primary[pe] {
+                if slots[pe * self.k + r].eligible(now) {
+                    continue;
+                }
+                self.primary[pe] = None;
+            }
+            if now < self.blocked_until[pe] {
+                continue; // failure not yet detected
+            }
+            if let Some(r) = (0..self.k).find(|&r| slots[pe * self.k + r].eligible(now)) {
+                self.primary[pe] = Some(r);
+                if self.pending_failover[pe] {
+                    self.failovers += 1;
+                    self.pending_failover[pe] = false;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laar_core::controller::ReplicaSlot;
+
+    fn slot(pe: usize, r: usize) -> ReplicaSlot {
+        ReplicaSlot {
+            pe_dense: pe,
+            replica: r,
+        }
+    }
+
+    fn two_pe_slots() -> Vec<SlotState> {
+        vec![SlotState::default(); 4] // 2 PEs x k=2
+    }
+
+    #[test]
+    fn status_transitions() {
+        let mut s = SlotState::default();
+        assert_eq!(s.status(0.0), ReplicaStatus::Running);
+        s.deactivate();
+        assert_eq!(s.status(0.0), ReplicaStatus::Idle);
+        assert!(s.activate(10.0, 0.5));
+        assert_eq!(s.status(10.2), ReplicaStatus::Syncing);
+        assert_eq!(s.status(10.5), ReplicaStatus::Running);
+        s.kill();
+        assert_eq!(s.status(11.0), ReplicaStatus::Dead);
+        // Commands bounce off a dead slot.
+        assert!(!s.activate(12.0, 0.5));
+        assert_eq!(s.status(12.2), ReplicaStatus::Dead);
+        s.recover(20.0, 1.0);
+        assert_eq!(s.status(20.5), ReplicaStatus::Syncing);
+        assert_eq!(s.status(21.0), ReplicaStatus::Running);
+    }
+
+    #[test]
+    fn zero_sync_delay_is_immediately_eligible() {
+        let mut s = SlotState::default();
+        s.deactivate();
+        assert!(s.activate(5.0, 0.0));
+        assert!(s.eligible(5.0));
+    }
+
+    #[test]
+    fn elect_prefers_lowest_replica_index() {
+        // Both replicas of both PEs become eligible at the same timestamp:
+        // the deterministic tie-break must pick replica 0 everywhere.
+        let slots = two_pe_slots();
+        let mut proxy = ProxyState::new(2, 2);
+        proxy.elect(&slots, 0.0);
+        assert_eq!(proxy.primary(0), Some(0));
+        assert_eq!(proxy.primary(1), Some(0));
+    }
+
+    #[test]
+    fn elect_keeps_current_primary_while_eligible() {
+        let mut slots = two_pe_slots();
+        let mut proxy = ProxyState::new(2, 2);
+        // Only replica 1 of pe0 is initially active.
+        slots[0].deactivate();
+        proxy.elect(&slots, 0.0);
+        assert_eq!(proxy.primary(0), Some(1));
+        // Replica 0 reactivates: the sitting primary is NOT displaced.
+        assert!(slots[0].activate(1.0, 0.0));
+        proxy.elect(&slots, 1.0);
+        assert_eq!(proxy.primary(0), Some(1));
+    }
+
+    #[test]
+    fn graceful_deactivation_switches_without_failover() {
+        let mut slots = two_pe_slots();
+        let mut proxy = ProxyState::new(2, 2);
+        proxy.elect(&slots, 0.0);
+        proxy.apply_command(&mut slots, &Command::Deactivate(slot(0, 0)), 1.0, 0.25);
+        assert_eq!(proxy.primary(0), None);
+        proxy.elect(&slots, 1.0);
+        assert_eq!(proxy.primary(0), Some(1));
+        assert_eq!(proxy.failovers(), 0);
+    }
+
+    #[test]
+    fn failure_blocks_election_until_detected_then_counts_failover() {
+        let mut slots = two_pe_slots();
+        let mut proxy = ProxyState::new(2, 2);
+        proxy.elect(&slots, 0.0);
+        assert_eq!(proxy.primary(0), Some(0));
+        // Crash at t=1, detection at t=1.5.
+        proxy.fail_slot(&mut slots, 0, 0, 1.5);
+        proxy.elect(&slots, 1.0);
+        assert_eq!(proxy.primary(0), None, "blackout until detection");
+        proxy.elect(&slots, 1.4);
+        assert_eq!(proxy.primary(0), None);
+        proxy.elect(&slots, 1.5);
+        assert_eq!(proxy.primary(0), Some(1));
+        assert_eq!(proxy.failovers(), 1);
+    }
+
+    #[test]
+    fn secondary_failure_is_not_a_failover() {
+        let mut slots = two_pe_slots();
+        let mut proxy = ProxyState::new(2, 2);
+        proxy.elect(&slots, 0.0);
+        proxy.fail_slot(&mut slots, 0, 1, 2.0);
+        proxy.elect(&slots, 3.0);
+        assert_eq!(proxy.primary(0), Some(0));
+        assert_eq!(proxy.failovers(), 0);
+    }
+
+    #[test]
+    fn recovery_requires_resync_before_election() {
+        let mut slots = vec![SlotState::default(); 2]; // 1 PE, k=2
+        let mut proxy = ProxyState::new(1, 2);
+        proxy.elect(&slots, 0.0);
+        proxy.fail_slot(&mut slots, 0, 0, 1.0);
+        proxy.fail_slot(&mut slots, 0, 1, 1.0);
+        proxy.elect(&slots, 1.0);
+        assert_eq!(proxy.primary(0), None, "everything dead");
+        proxy.recover_slot(&mut slots, 0, 1, 2.0, 0.5);
+        proxy.elect(&slots, 2.2);
+        assert_eq!(proxy.primary(0), None, "still syncing");
+        proxy.elect(&slots, 2.5);
+        assert_eq!(proxy.primary(0), Some(1));
+        assert_eq!(proxy.failovers(), 1, "one failover for the PE");
+    }
+}

@@ -1,12 +1,16 @@
-//! Simulated PE replicas: bounded per-port input queues, per-tuple CPU
-//! costs, selectivity accumulators, and the active/idle/failed/syncing state
-//! machine driven by the HAProxy protocol (§4.6, §5.1).
+//! The data-plane replica state machine: bounded per-port input queues,
+//! per-tuple CPU costs, selectivity accumulators, and the
+//! active/idle/failed/syncing protocol transitions (§4.6, §5.1) layered on
+//! the shared [`SlotState`].
 //!
 //! Queue entries carry the *birth timestamp* of the source tuple that
 //! (transitively) produced them, so sinks can measure end-to-end latency;
 //! the head tuple additionally carries partial processing progress in
-//! cycles so work spans scheduling quanta exactly.
+//! cycles so work spans scheduling quanta exactly. Backends decide *when*
+//! to offer and process (simulation quanta vs. worker-thread ticks); every
+//! protocol decision lives here or in [`crate::proxy`].
 
+use crate::proxy::{HaSlot, ReplicaStatus, SlotState};
 use std::collections::VecDeque;
 
 /// One input port of a replica (one incoming graph edge).
@@ -50,20 +54,8 @@ impl InPort {
     }
 }
 
-/// The liveness/activation state of one replica.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ReplicaStatus {
-    /// Alive, active, and processing.
-    Running,
-    /// Alive but deactivated (idle, resource-saving).
-    Idle,
-    /// Alive, activated, but still re-synchronizing state.
-    Syncing,
-    /// Dead (failure injection).
-    Dead,
-}
-
-/// One simulated replica of one PE.
+/// One replica of one PE: the protocol-visible [`SlotState`] plus the
+/// data-plane queues and counters every backend shares.
 #[derive(Debug, Clone)]
 pub struct Replica {
     /// Dense PE index.
@@ -76,16 +68,13 @@ pub struct Replica {
     pub ports: Vec<InPort>,
     /// Selectivity accumulator: one output is emitted every time it crosses 1.
     pub out_acc: f64,
-    /// Activation flag (HAController command state).
-    pub active: bool,
-    /// Liveness flag (failure injection).
-    pub alive: bool,
-    /// While `Some(t)`, the replica is re-synchronizing until time `t`.
-    pub sync_until: Option<f64>,
+    /// The protocol state (alive/active/sync window) shared with the
+    /// control plane.
+    pub state: SlotState,
     /// Tuples fully processed by this replica.
     pub processed: u64,
     /// Snapshot of `processed` at the last accounting point (used by the
-    /// simulator to attribute logical work to the current primary).
+    /// engines to attribute logical work to the current primary).
     pub processed_snapshot: u64,
     /// Output tuples emitted (whether or not forwarded as primary).
     pub emitted: u64,
@@ -93,8 +82,8 @@ pub struct Replica {
     pub cycles_used: f64,
     /// Tuples discarded while idle/dead/syncing.
     pub idle_discards: u64,
-    /// Birth timestamps of outputs produced during the current quantum;
-    /// drained by the simulator after scheduling.
+    /// Birth timestamps of outputs produced since the last drain; drained
+    /// by the driving engine after scheduling.
     pub out_births: Vec<f64>,
     /// Round-robin cursor over ports.
     rr: usize,
@@ -109,9 +98,7 @@ impl Replica {
             host,
             ports,
             out_acc: 0.0,
-            active: true,
-            alive: true,
-            sync_until: None,
+            state: SlotState::default(),
             processed: 0,
             processed_snapshot: 0,
             emitted: 0,
@@ -123,22 +110,15 @@ impl Replica {
     }
 
     /// Current status at time `now`.
+    #[inline]
     pub fn status(&self, now: f64) -> ReplicaStatus {
-        if !self.alive {
-            ReplicaStatus::Dead
-        } else if !self.active {
-            ReplicaStatus::Idle
-        } else if self.sync_until.is_some_and(|t| now < t) {
-            ReplicaStatus::Syncing
-        } else {
-            ReplicaStatus::Running
-        }
+        self.state.status(now)
     }
 
     /// `true` when the replica may process and forward tuples.
     #[inline]
     pub fn eligible(&self, now: f64) -> bool {
-        self.status(now) == ReplicaStatus::Running
+        self.state.eligible(now)
     }
 
     /// `true` if any port has queued work.
@@ -229,47 +209,6 @@ impl Replica {
         used
     }
 
-    /// Deactivate (HAController command): enter the idle state immediately,
-    /// discarding queued input.
-    pub fn deactivate(&mut self) {
-        self.active = false;
-        self.clear_queues_as_discards();
-    }
-
-    /// Activate (HAController command) at `now`: re-synchronize state with an
-    /// active replica for `sync_delay` seconds, then resume processing fresh
-    /// input. The selectivity accumulator is reset as part of the state sync.
-    pub fn activate(&mut self, now: f64, sync_delay: f64) {
-        self.active = true;
-        self.out_acc = 0.0;
-        self.sync_until = if sync_delay > 0.0 {
-            Some(now + sync_delay)
-        } else {
-            None
-        };
-    }
-
-    /// Kill the replica (failure injection): all queued input is lost.
-    pub fn kill(&mut self) {
-        self.alive = false;
-        self.clear_queues_as_discards();
-    }
-
-    /// Recover from a failure at `now`: like an activation, the replica must
-    /// re-synchronize before it resumes.
-    pub fn recover(&mut self, now: f64, sync_delay: f64) {
-        self.alive = true;
-        self.out_acc = 0.0;
-        for p in &mut self.ports {
-            p.head_progress = 0.0;
-        }
-        self.sync_until = if sync_delay > 0.0 {
-            Some(now + sync_delay)
-        } else {
-            None
-        };
-    }
-
     fn clear_queues_as_discards(&mut self) {
         for p in &mut self.ports {
             self.idle_discards += p.queue.len() as u64;
@@ -281,6 +220,43 @@ impl Replica {
     /// Total queue-overflow drops across ports.
     pub fn total_drops(&self) -> u64 {
         self.ports.iter().map(|p| p.drops).sum()
+    }
+}
+
+/// The protocol transitions delegate to the embedded [`SlotState`] (the one
+/// definition of the status rules) and add the data-plane bookkeeping the
+/// paper prescribes: deactivation and failure lose queued input (counted as
+/// discards), (re)activation resets the selectivity accumulator as part of
+/// the state re-synchronization.
+impl HaSlot for Replica {
+    fn activate(&mut self, now: f64, sync_delay: f64) -> bool {
+        if !self.state.activate(now, sync_delay) {
+            return false;
+        }
+        self.out_acc = 0.0;
+        true
+    }
+
+    fn deactivate(&mut self) {
+        self.state.deactivate();
+        self.clear_queues_as_discards();
+    }
+
+    fn kill(&mut self) {
+        self.state.kill();
+        self.clear_queues_as_discards();
+    }
+
+    fn recover(&mut self, now: f64, sync_delay: f64) {
+        self.state.recover(now, sync_delay);
+        self.out_acc = 0.0;
+        for p in &mut self.ports {
+            p.head_progress = 0.0;
+        }
+    }
+
+    fn eligible(&self, now: f64) -> bool {
+        self.state.eligible(now)
     }
 }
 
@@ -371,7 +347,7 @@ mod tests {
     fn sync_window_blocks_processing() {
         let mut r = replica_one_port(10.0, 1.0, 10);
         r.deactivate();
-        r.activate(100.0, 0.5);
+        assert!(r.activate(100.0, 0.5));
         assert_eq!(r.status(100.2), ReplicaStatus::Syncing);
         r.offer_n(0, 2, 100.2, 100.2);
         assert_eq!(r.idle_discards, 2);
@@ -390,6 +366,14 @@ mod tests {
         r.recover(10.0, 1.0);
         assert_eq!(r.status(10.5), ReplicaStatus::Syncing);
         assert_eq!(r.status(11.0), ReplicaStatus::Running);
+    }
+
+    #[test]
+    fn activate_bounces_off_dead_replica() {
+        let mut r = replica_one_port(10.0, 1.0, 10);
+        r.kill();
+        assert!(!r.activate(1.0, 0.5));
+        assert_eq!(r.status(2.0), ReplicaStatus::Dead);
     }
 
     #[test]
@@ -418,5 +402,24 @@ mod tests {
         let used = r.process(1.0);
         assert_eq!(r.out_births.len(), 5);
         assert!(used < 1e-9);
+    }
+
+    #[test]
+    fn ineligible_replica_never_holds_work() {
+        // The invariant the engines rely on when they skip ineligible
+        // replicas during scheduling: every path out of Running clears or
+        // refuses queued input, so `!eligible => !has_work`.
+        let mut r = replica_one_port(10.0, 1.0, 10);
+        r.offer_n(0, 5, 0.0, 0.0);
+        r.deactivate();
+        assert!(!r.has_work());
+        assert_eq!(r.process(1e9), 0.0);
+        assert!(r.activate(1.0, 0.5));
+        r.offer_n(0, 5, 1.2, 1.2); // discarded: still syncing
+        assert!(!r.has_work());
+        r.offer_n(0, 5, 2.0, 2.0); // running again: accepted
+        r.kill();
+        assert!(!r.has_work());
+        assert_eq!(r.process(1e9), 0.0);
     }
 }

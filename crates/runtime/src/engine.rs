@@ -13,12 +13,13 @@
 //!   between threads — one ring per (producer replica or source, consumer
 //!   replica input port), drop-on-overflow like the simulator's ports;
 //! * the calling thread becomes the **coordinator**: it paces the
-//!   wall-clock [`SourceEmitter`]s, feeds the [`RateMonitor`], runs the
-//!   [`HaController`] every `monitor_interval`, delivers commands after
-//!   `command_latency` through per-host command rings, injects
+//!   wall-clock [`SourceEmitter`]s, drives the shared
+//!   [`ControlLoop`] (RateMonitor → HAController → delayed commands),
+//!   delivers commands through per-host command rings, injects
 //!   [`FailurePlan`] outages, and performs heartbeat-based failure
-//!   detection and primary election — the same proxy state machine the
-//!   simulator implements, driven by real (scaled) time;
+//!   detection and primary election through the same
+//!   [`laar_exec::ProxyState`] machine the simulator drives — only the
+//!   clock and the transport differ;
 //! * host threads publish **heartbeats** (their current trace-time) through
 //!   atomics; a heartbeat older than `detection_delay` marks the host dead
 //!   in the coordinator's shadow state and triggers fail-over, exactly like
@@ -48,12 +49,16 @@ use crate::spsc::{self, Consumer, Producer};
 use laar_core::controller::{Command, HaController};
 use laar_core::monitor::RateMonitor;
 use laar_dsps::metrics::{LatencyStats, SimMetrics, TimeSeries};
-use laar_dsps::replica::{InPort, Replica};
 use laar_dsps::trace::{ArrivalProcess, InputTrace, SourceEmitter};
-use laar_dsps::FailurePlan;
+use laar_exec::replica::{InPort, Replica};
+use laar_exec::{
+    apply_to_slot, ControlConfig, ControlLoop, FailurePlan, HaSlot, ProxyState, SlotState,
+};
 use laar_model::{ActivationStrategy, Application, ComponentKind, Placement, RateTable};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
+
+pub use laar_exec::Conservation;
 
 /// Tunables of the live engine. The control-loop and queue parameters
 /// mirror [`laar_dsps::SimConfig`] so a run can be compared against the
@@ -137,59 +142,15 @@ impl RuntimeConfig {
     }
 }
 
-/// End-to-end tuple accounting for one live run: every tuple pushed into a
-/// transport ring terminates in exactly one of the right-hand-side buckets,
-/// so [`Conservation::is_balanced`] must hold for every run regardless of
-/// thread interleaving.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Conservation {
-    /// Tuples successfully enqueued into transport rings (source emission
-    /// plus primary forwarding; one count per receiving replica copy).
-    pub pushed: u64,
-    /// Tuples rejected by a full transport ring.
-    pub transport_dropped: u64,
-    /// Tuples still sitting in transport rings at shutdown.
-    pub ring_residual: u64,
-    /// Tuples dropped by a full input-port queue.
-    pub queue_drops: u64,
-    /// Tuples discarded by idle/dead/syncing replicas (at offer time or
-    /// when deactivation/failure cleared a queue).
-    pub idle_discards: u64,
-    /// Tuples fully processed by replicas (all replicas, not just
-    /// primaries).
-    pub processed: u64,
-    /// Tuples still queued in input ports at shutdown.
-    pub port_residual: u64,
-}
-
-impl Conservation {
-    /// `pushed == ring_residual + queue_drops + idle_discards + processed +
-    /// port_residual` — no tuple is lost or double-counted.
-    pub fn is_balanced(&self) -> bool {
-        self.pushed
-            == self.ring_residual
-                + self.queue_drops
-                + self.idle_discards
-                + self.processed
-                + self.port_residual
-    }
-}
-
 /// The result of a live run: the simulator-shaped metrics plus the
-/// conservation ledger.
+/// conservation ledger (also embedded in `metrics.conservation`; kept as a
+/// top-level field because it is the live engine's headline guarantee).
 #[derive(Debug, Clone)]
 pub struct LiveReport {
     /// Same metric set the simulator produces.
     pub metrics: SimMetrics,
     /// Tuple-accounting ledger across the whole data plane.
     pub conservation: Conservation,
-}
-
-/// Control-plane command delivered to a host worker thread.
-#[derive(Debug, Clone, Copy)]
-enum HostCommand {
-    Activate { pe_dense: usize, replica: usize },
-    Deactivate { pe_dense: usize, replica: usize },
 }
 
 /// State shared between the coordinator and all host workers.
@@ -202,24 +163,6 @@ struct Shared {
     heartbeat: Vec<AtomicU64>,
     /// Per PE: current primary replica index, or -1 while none is elected.
     primary: Vec<AtomicI64>,
-}
-
-/// The coordinator's view of one replica's proxy state. It shadows what the
-/// worker-side [`Replica`] state machine does in response to the commands
-/// and failures the coordinator itself issues/detects; primaries are
-/// elected from this view (the control plane never inspects data-plane
-/// structures directly).
-#[derive(Debug, Clone, Copy)]
-struct ShadowSlot {
-    alive: bool,
-    active: bool,
-    sync_until: f64,
-}
-
-impl ShadowSlot {
-    fn eligible(&self, now: f64) -> bool {
-        self.alive && self.active && now >= self.sync_until
-    }
 }
 
 /// Everything one host worker thread owns.
@@ -244,8 +187,9 @@ struct Worker {
     out_pe: Vec<Vec<Producer<f64>>>,
     /// Per local replica: dense sink indices it feeds.
     out_sinks: Vec<Vec<usize>>,
-    /// Command ring from the coordinator.
-    commands: Consumer<HostCommand>,
+    /// Command ring from the coordinator (raw HAController commands; the
+    /// command → transition mapping lives in [`laar_exec::apply_to_slot`]).
+    commands: Consumer<Command>,
 }
 
 /// What a worker hands back after its thread exits.
@@ -305,21 +249,13 @@ impl Worker {
                 self.shared.heartbeat[self.host].store(now.to_bits(), Ordering::Release);
             }
 
-            // Control-plane commands (HAProxy protocol).
+            // Control-plane commands (HAProxy protocol): the single shared
+            // command path. Activation of a dead replica bounces inside the
+            // state machine itself.
             while let Some(cmd) = self.commands.pop() {
-                match cmd {
-                    HostCommand::Activate { pe_dense, replica } => {
-                        if let Some(li) = self.local_of[pe_dense * self.k + replica] {
-                            if self.replicas[li].alive {
-                                self.replicas[li].activate(now, self.sync_delay);
-                            }
-                        }
-                    }
-                    HostCommand::Deactivate { pe_dense, replica } => {
-                        if let Some(li) = self.local_of[pe_dense * self.k + replica] {
-                            self.replicas[li].deactivate();
-                        }
-                    }
+                let s = cmd.slot();
+                if let Some(li) = self.local_of[s.pe_dense * self.k + s.replica] {
+                    apply_to_slot(&mut self.replicas[li], &cmd, now, self.sync_delay);
                 }
             }
 
@@ -448,14 +384,19 @@ pub struct LiveRuntime {
 
     emitters: Vec<SourceEmitter>,
     src_producers: Vec<Vec<Producer<f64>>>,
-    monitor: RateMonitor,
-    controller: HaController,
+    /// The shared monitor → controller → delayed-commands loop
+    /// (`catch_up: true`: a wall clock can oversleep).
+    control: ControlLoop,
+    /// The shared election/fail-over state machine, driven over `shadow`.
+    proxy: ProxyState,
     plan: FailurePlan,
-    cmd_txs: Vec<Producer<HostCommand>>,
-    shadow: Vec<ShadowSlot>,
-    pending_failover: Vec<bool>,
+    cmd_txs: Vec<Producer<Command>>,
+    /// The coordinator's shadow of the worker-owned replica states: the
+    /// control plane never inspects data-plane structures directly, it
+    /// mirrors every command/failure it issues or detects onto these slots
+    /// and elects primaries from them.
+    shadow: Vec<SlotState>,
     commands_applied: u64,
-    failovers: u64,
 }
 
 impl LiveRuntime {
@@ -583,8 +524,17 @@ impl LiveRuntime {
             primary: (0..np).map(|_| AtomicI64::new(-1)).collect(),
         });
 
-        let monitor = RateMonitor::new(g.num_sources(), cfg.monitor_bucket, cfg.monitor_buckets);
-        let controller = HaController::new(app.configs(), strategy);
+        let control = ControlLoop::new(
+            RateMonitor::new(g.num_sources(), cfg.monitor_bucket, cfg.monitor_buckets),
+            HaController::new(app.configs(), strategy),
+            ControlConfig {
+                monitor_interval: cfg.monitor_interval,
+                command_latency: cfg.command_latency,
+                enabled: cfg.controller_enabled,
+                // A wall clock can oversleep: re-anchor instead of bursting.
+                catch_up: true,
+            },
+        );
         let emitters: Vec<SourceEmitter> = trace
             .schedules
             .iter()
@@ -616,56 +566,41 @@ impl LiveRuntime {
             shared,
             emitters,
             src_producers,
-            monitor,
-            controller,
+            control,
+            proxy: ProxyState::new(np, k),
             plan,
             cmd_txs: Vec::new(),
-            shadow: vec![
-                ShadowSlot {
-                    alive: true,
-                    active: true,
-                    sync_until: f64::NEG_INFINITY,
-                };
-                np * k
-            ],
-            pending_failover: vec![false; np],
+            shadow: vec![SlotState::default(); np * k],
             commands_applied: 0,
-            failovers: 0,
             cfg,
         };
 
         // Pre-spawn setup, all at t = 0 (mirrors Simulation::new):
         // permanent worst-case crashes, the controller's initial commands,
-        // and the first primary election.
-        if let FailurePlan::WorstCase { crashed } = &rt.plan {
+        // and the first primary election — every transition routed through
+        // the shared proxy, mirrored onto the still-local replicas.
+        if let FailurePlan::WorstCase { crashed } = rt.plan.clone() {
             for (pe, &r) in crashed.iter().enumerate() {
                 let slot = pe * k + r;
+                rt.proxy.fail_slot(&mut rt.shadow, pe, r, 0.0);
                 replicas[slot].kill();
-                rt.shadow[slot].alive = false;
                 rt.perma_dead[slot] = true;
             }
         }
-        if rt.cfg.controller_enabled {
-            for cmd in rt.controller.initial_commands() {
-                rt.commands_applied += 1;
-                let slot = cmd.slot();
-                let idx = slot.pe_dense * k + slot.replica;
-                match cmd {
-                    Command::Deactivate(_) => {
-                        replicas[idx].deactivate();
-                        rt.shadow[idx].active = false;
-                    }
-                    Command::Activate(_) => {
-                        if replicas[idx].alive {
-                            replicas[idx].activate(0.0, rt.cfg.sync_delay);
-                            rt.shadow[idx].active = true;
-                            rt.shadow[idx].sync_until = rt.cfg.sync_delay;
-                        }
-                    }
-                }
-            }
+        for cmd in rt.control.initial_commands() {
+            rt.commands_applied += 1;
+            rt.proxy
+                .apply_command(&mut rt.shadow, &cmd, 0.0, rt.cfg.sync_delay);
+            let s = cmd.slot();
+            apply_to_slot(
+                &mut replicas[s.pe_dense * k + s.replica],
+                &cmd,
+                0.0,
+                rt.cfg.sync_delay,
+            );
         }
-        rt.elect_primaries(0.0);
+        rt.proxy.elect(&rt.shadow, 0.0);
+        rt.publish_primaries();
 
         // Partition replicas (with their ring ends) into per-host workers.
         let mut per_host: Vec<Vec<Replica>> = (0..num_hosts).map(|_| Vec::new()).collect();
@@ -713,64 +648,26 @@ impl LiveRuntime {
         rt
     }
 
-    /// The same election rule as `Simulation::elect_primaries`, over the
-    /// coordinator's shadow state. Publishes results through the shared
-    /// atomics the workers read at forwarding time.
-    fn elect_primaries(&mut self, now: f64) {
+    /// Publish the proxy's election results through the shared atomics the
+    /// workers read at forwarding time (-1 = no primary elected).
+    fn publish_primaries(&self) {
         for pe in 0..self.num_pes {
-            let cur = self.shared.primary[pe].load(Ordering::Acquire);
-            if cur >= 0 {
-                if self.shadow[pe * self.k + cur as usize].eligible(now) {
-                    continue;
-                }
-                // Lost eligibility gracefully (deactivation or sync).
-                self.shared.primary[pe].store(-1, Ordering::Release);
-            }
-            let elected = (0..self.k).find(|&r| self.shadow[pe * self.k + r].eligible(now));
-            if let Some(r) = elected {
-                self.shared.primary[pe].store(r as i64, Ordering::Release);
-                if self.pending_failover[pe] {
-                    self.failovers += 1;
-                    self.pending_failover[pe] = false;
-                }
-            }
+            let v = self.proxy.primary(pe).map_or(-1, |r| r as i64);
+            self.shared.primary[pe].store(v, Ordering::Release);
         }
     }
 
+    /// Apply a due command to the shadow state and forward it to the owning
+    /// worker's command ring, so both views run the same transition.
     fn apply_shadow_command(&mut self, cmd: Command, now: f64) {
         self.commands_applied += 1;
-        let slot = cmd.slot();
-        let idx = slot.pe_dense * self.k + slot.replica;
-        match cmd {
-            Command::Deactivate(_) => {
-                self.shadow[idx].active = false;
-                if self.shared.primary[slot.pe_dense].load(Ordering::Acquire) == slot.replica as i64
-                {
-                    // Graceful, controller-coordinated switch: immediate.
-                    self.shared.primary[slot.pe_dense].store(-1, Ordering::Release);
-                }
-            }
-            Command::Activate(_) => {
-                if self.shadow[idx].alive {
-                    self.shadow[idx].active = true;
-                    self.shadow[idx].sync_until = now + self.cfg.sync_delay;
-                }
-            }
-        }
-        let host = self.slot_host[idx];
-        let host_cmd = match cmd {
-            Command::Activate(_) => HostCommand::Activate {
-                pe_dense: slot.pe_dense,
-                replica: slot.replica,
-            },
-            Command::Deactivate(_) => HostCommand::Deactivate {
-                pe_dense: slot.pe_dense,
-                replica: slot.replica,
-            },
-        };
+        self.proxy
+            .apply_command(&mut self.shadow, &cmd, now, self.cfg.sync_delay);
+        let s = cmd.slot();
+        let host = self.slot_host[s.pe_dense * self.k + s.replica];
         // The 1024-deep command ring never fills at control-loop rates; if
         // it ever did, the command is lost like any real network message.
-        let _ = self.cmd_txs[host].push(host_cmd);
+        let _ = self.cmd_txs[host].push(cmd);
     }
 
     /// Execute the deployment on live threads until the trace ends; returns
@@ -807,8 +704,6 @@ impl LiveRuntime {
         let mut transport_dropped = 0u64;
 
         let mut host_down = vec![false; self.num_hosts];
-        let mut pending_cmds: Vec<(f64, Command)> = Vec::new();
-        let mut next_monitor = self.cfg.monitor_interval;
 
         loop {
             let now = clock.now();
@@ -826,6 +721,8 @@ impl LiveRuntime {
             // is older than detection_delay is declared dead; its replicas
             // leave the shadow state and primaries fail over. A fresh
             // heartbeat from a down host marks recovery (re-sync window).
+            // Staleness already *is* the detection delay, so failures reach
+            // the proxy with `detected_at = now` (no extra blackout).
             for (h, down) in host_down.iter_mut().enumerate() {
                 let hb = f64::from_bits(self.shared.heartbeat[h].load(Ordering::Acquire));
                 let stale = now - hb > self.cfg.detection_delay;
@@ -833,53 +730,42 @@ impl LiveRuntime {
                     *down = true;
                     for slot in 0..self.shadow.len() {
                         if self.slot_host[slot] == h && !self.perma_dead[slot] {
-                            self.shadow[slot].alive = false;
-                            let pe = slot / self.k;
-                            let r = slot % self.k;
-                            if self.shared.primary[pe].load(Ordering::Acquire) == r as i64 {
-                                self.shared.primary[pe].store(-1, Ordering::Release);
-                                self.pending_failover[pe] = true;
-                            }
+                            self.proxy.fail_slot(
+                                &mut self.shadow,
+                                slot / self.k,
+                                slot % self.k,
+                                now,
+                            );
                         }
                     }
                 } else if !stale && *down {
                     *down = false;
                     for slot in 0..self.shadow.len() {
                         if self.slot_host[slot] == h && !self.perma_dead[slot] {
-                            self.shadow[slot].alive = true;
-                            self.shadow[slot].sync_until = now + self.cfg.sync_delay;
+                            self.proxy.recover_slot(
+                                &mut self.shadow,
+                                slot / self.k,
+                                slot % self.k,
+                                now,
+                                self.cfg.sync_delay,
+                            );
                         }
                     }
                 }
             }
 
             // 3. Deliver commands whose latency has elapsed.
-            let mut due = Vec::new();
-            pending_cmds.retain(|&(at, cmd)| {
-                if at <= now {
-                    due.push(cmd);
-                    false
-                } else {
-                    true
-                }
-            });
-            for cmd in due {
+            for cmd in self.control.take_due(now) {
                 self.apply_shadow_command(cmd, now);
             }
 
-            // 4. Primary election over the shadow state.
-            self.elect_primaries(now);
+            // 4. Primary election over the shadow state, published to the
+            // workers through the shared atomics.
+            self.proxy.elect(&self.shadow, now);
+            self.publish_primaries();
 
             // 5. The LAAR control loop: measured rates → HAController.
-            if self.cfg.controller_enabled && now >= next_monitor {
-                let rates = self.monitor.rates(now);
-                for cmd in self.controller.on_measured_rates(&rates) {
-                    pending_cmds.push((now + self.cfg.command_latency, cmd));
-                }
-                // Keep the cadence even if the coordinator overslept.
-                next_monitor =
-                    ((now / self.cfg.monitor_interval).floor() + 1.0) * self.cfg.monitor_interval;
-            }
+            self.control.poll(now);
 
             // 6. Source emission, paced by the wall clock.
             self.emit(now, &mut metrics, &mut pushed, &mut transport_dropped);
@@ -942,38 +828,35 @@ impl LiveRuntime {
         }
         metrics.sink_received = sink_received;
 
-        // Final per-replica accounting, identical to the simulator's.
-        let mut processed = 0u64;
-        let mut port_residual = 0u64;
+        // Final per-replica accounting, identical to the simulator's: fold
+        // every replica into the shared conservation ledger.
+        let mut conservation = Conservation {
+            pushed,
+            transport_dropped,
+            ring_residual,
+            ..Default::default()
+        };
         for rep in all_replicas
             .iter()
             .map(|r| r.as_ref().expect("all slots reported"))
         {
-            metrics.queue_drops += rep.total_drops();
-            metrics.idle_discards += rep.idle_discards;
+            conservation.tally_replica(rep);
             metrics.host_cpu_seconds[rep.host] += rep.cycles_used / self.capacities[rep.host];
             metrics
                 .replica_port_processed
                 .push(rep.ports.iter().map(|p| p.processed).collect());
             metrics.replica_emitted.push(rep.emitted);
             metrics.replica_cycles.push(rep.cycles_used);
-            processed += rep.processed;
-            port_residual += rep.ports.iter().map(|p| p.queued() as u64).sum::<u64>();
         }
-        metrics.config_switches = self.controller.switches();
+        metrics.queue_drops = conservation.queue_drops;
+        metrics.idle_discards = conservation.idle_discards;
+        metrics.config_switches = self.control.switches();
         metrics.commands_applied = self.commands_applied;
-        metrics.failovers = self.failovers;
+        metrics.failovers = self.proxy.failovers();
+        metrics.conservation = conservation.clone();
 
         LiveReport {
-            conservation: Conservation {
-                pushed,
-                transport_dropped,
-                ring_residual,
-                queue_drops: metrics.queue_drops,
-                idle_discards: metrics.idle_discards,
-                processed,
-                port_residual,
-            },
+            conservation,
             metrics,
         }
     }
@@ -995,7 +878,7 @@ impl LiveRuntime {
                 continue;
             }
             for &tt in &times {
-                self.monitor.record(si, tt);
+                self.control.record(si, tt);
             }
             metrics.source_emitted[si] += times.len() as u64;
             metrics.input_rate.samples[sec] += times.len() as f64;

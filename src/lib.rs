@@ -19,6 +19,10 @@
 //! * [`core`] (`laar-core`) — the IC metric, cost model, the FT-Search
 //!   optimizer (plus an exact decomposed solver), baseline variants, and
 //!   the runtime control plane (rate monitor, HAController, R-tree);
+//! * [`exec`] (`laar-exec`) — the backend-agnostic execution core: the
+//!   replica/HA state machine, HAProxy command/election protocol, the
+//!   monitor/controller decision loop, failure plans, and the tuple
+//!   conservation ledger, written once and shared by both engines;
 //! * [`dsps`] (`laar-dsps`) — a deterministic discrete-event cluster
 //!   simulator standing in for IBM InfoSphere Streams®;
 //! * [`gen`] (`laar-gen`) — the synthetic application/corpus generator of
@@ -69,6 +73,7 @@
 
 pub use laar_core as core;
 pub use laar_dsps as dsps;
+pub use laar_exec as exec;
 pub use laar_experiments as experiments;
 pub use laar_gen as gen;
 pub use laar_model as model;
