@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use laar_core::testutil::fig2_problem;
-use laar_dsps::{FailurePlan, InputTrace, SimConfig, Simulation};
+use laar_dsps::{FailurePlan, InputTrace, SimConfig, Simulation, TimeAdvance};
 use laar_model::{ActivationStrategy, ConfigId, HostId};
 use std::hint::black_box;
 
@@ -135,10 +135,51 @@ fn bench_quantum_resolution(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_time_advance(c: &mut Criterion) {
+    // Fixed-quantum reference vs. event-driven fast path on the two
+    // extremes: a quiescent-heavy sparse trace (where the horizon jump
+    // pays off) and a saturated trace (where it must not cost anything).
+    let gen = laar_bench::paper_app();
+    let np = gen.app.graph().num_pes();
+    let sr = ActivationStrategy::all_active(np, 2, 2);
+    let period = gen.app.billing_period();
+    let sparse = InputTrace::constant(&[(gen.low_rate * 0.1).min(0.5)], period);
+    let saturated = InputTrace::constant(&[gen.high_rate], period);
+
+    let mut g = c.benchmark_group("simulator/time_advance_24pe_300s");
+    g.sample_size(10);
+    for (label, trace) in [("quiescent", &sparse), ("saturated", &saturated)] {
+        for (mode, advance) in [
+            ("fixed", TimeAdvance::FixedQuantum),
+            ("event", TimeAdvance::EventDriven),
+        ] {
+            g.bench_function(format!("{label}/{mode}"), |b| {
+                let cfg = SimConfig {
+                    advance,
+                    ..SimConfig::default()
+                };
+                b.iter(|| {
+                    let sim = Simulation::new(
+                        &gen.app,
+                        &gen.placement,
+                        sr.clone(),
+                        trace,
+                        FailurePlan::None,
+                        cfg.clone(),
+                    );
+                    black_box(sim.run().total_processed())
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_fig3_pipeline,
     bench_paper_scale,
-    bench_quantum_resolution
+    bench_quantum_resolution,
+    bench_time_advance
 );
 criterion_main!(benches);

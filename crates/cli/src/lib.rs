@@ -300,6 +300,146 @@ pub fn cmd_variants(
     Ok(rows)
 }
 
+/// One row of the `bench-sim` report: wall-clock time and simulated-quanta
+/// throughput of one fixture under both time-advance engines.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BenchSimRow {
+    /// Fixture name.
+    pub name: String,
+    /// Simulated trace length (seconds).
+    pub trace_secs: f64,
+    /// Scheduling quantum (seconds): `trace_secs / quantum` quanta of
+    /// simulated work per run.
+    pub quantum: f64,
+    /// Logical quanta covered by one run (the fixed engine executes all of
+    /// them; the event engine skips the quiescent ones).
+    pub quanta: u64,
+    /// Best-of-N wall seconds, fixed-quantum reference ("before").
+    pub fixed_quantum_wall_secs: f64,
+    /// Simulated quanta per wall second, fixed-quantum reference.
+    pub fixed_quantum_quanta_per_sec: f64,
+    /// Best-of-N wall seconds, event-driven engine ("after").
+    pub event_driven_wall_secs: f64,
+    /// Simulated quanta per wall second, event-driven engine.
+    pub event_driven_quanta_per_sec: f64,
+    /// `fixed_quantum_wall_secs / event_driven_wall_secs`.
+    pub speedup: f64,
+    /// Total tuples processed (identical across engines by construction;
+    /// recorded so regressions in *what* was simulated are visible too).
+    pub total_processed: u64,
+}
+
+/// The `bench-sim` command: measure paper-scale simulator throughput under
+/// both time-advance engines on the fixtures that anchor the evaluation —
+/// the Fig. 9 unit of work (24 PEs, 300 s, Low/High trace), a
+/// quiescent-heavy Low-rate variant (the event-driven best case), a
+/// saturated High-rate variant (the worst case: work never stops), and the
+/// small Fig. 3 pipeline. Each fixture is run `iters` times per engine and
+/// the best wall time is kept; metrics equality across engines is asserted
+/// on every run.
+pub fn cmd_bench_sim(iters: u32) -> Result<Vec<BenchSimRow>, CliError> {
+    if iters == 0 {
+        return Err(CliError::Message("--iters must be at least 1".to_owned()));
+    }
+    let gen = generate_app(&GenParams::default(), 7);
+    let np = gen.app.graph().num_pes();
+    let sr = ActivationStrategy::all_active(np, 2, 2);
+    let period = gen.app.billing_period();
+    let paper_trace =
+        InputTrace::low_high_centered(gen.low_rate, gen.high_rate, period, gen.p_high());
+    let quiescent_trace = InputTrace::constant(&[(gen.low_rate * 0.1).min(0.5)], period);
+    let saturated_trace = InputTrace::constant(&[gen.high_rate], period);
+
+    let fig2 = laar_core::testutil::fig2_problem(0.6);
+    let fig3_trace = InputTrace::low_high_centered(4.0, 8.0, 150.0, 0.4);
+    let fig3_sr = ActivationStrategy::all_active(2, 2, 2);
+
+    let fixtures: [(
+        &str,
+        &Application,
+        &Placement,
+        &ActivationStrategy,
+        &InputTrace,
+    ); 4] = [
+        (
+            "fig9_best_case_24pe_300s",
+            &gen.app,
+            &gen.placement,
+            &sr,
+            &paper_trace,
+        ),
+        (
+            "quiescent_low_rate_24pe_300s",
+            &gen.app,
+            &gen.placement,
+            &sr,
+            &quiescent_trace,
+        ),
+        (
+            "saturated_high_rate_24pe_300s",
+            &gen.app,
+            &gen.placement,
+            &sr,
+            &saturated_trace,
+        ),
+        (
+            "fig3_pipeline_150s",
+            &fig2.app,
+            &fig2.placement,
+            &fig3_sr,
+            &fig3_trace,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, app, placement, strategy, trace) in fixtures {
+        let time_one = |advance: laar_dsps::TimeAdvance| -> (f64, SimMetrics) {
+            let mut best = f64::INFINITY;
+            let mut metrics = None;
+            for _ in 0..iters {
+                let sim = Simulation::new(
+                    app,
+                    placement,
+                    strategy.clone(),
+                    trace,
+                    FailurePlan::None,
+                    SimConfig {
+                        advance,
+                        ..SimConfig::default()
+                    },
+                );
+                let start = std::time::Instant::now();
+                let m = sim.run();
+                best = best.min(start.elapsed().as_secs_f64());
+                metrics = Some(m);
+            }
+            (best, metrics.expect("iters >= 1"))
+        };
+        let (fixed_wall, fixed_m) = time_one(laar_dsps::TimeAdvance::FixedQuantum);
+        let (event_wall, event_m) = time_one(laar_dsps::TimeAdvance::EventDriven);
+        if fixed_m != event_m {
+            return Err(CliError::Message(format!(
+                "{name}: event-driven metrics diverged from the fixed-quantum reference"
+            )));
+        }
+        let cfg = SimConfig::default();
+        let quanta = (trace.duration / cfg.quantum).round() as u64;
+        rows.push(BenchSimRow {
+            name: name.to_owned(),
+            trace_secs: trace.duration,
+            quantum: cfg.quantum,
+            quanta,
+            fixed_quantum_wall_secs: fixed_wall,
+            fixed_quantum_quanta_per_sec: quanta as f64 / fixed_wall.max(1e-12),
+            event_driven_wall_secs: event_wall,
+            event_driven_quanta_per_sec: quanta as f64 / event_wall.max(1e-12),
+            speedup: fixed_wall / event_wall.max(1e-12),
+            total_processed: event_m.total_processed(),
+        });
+    }
+    Ok(rows)
+}
+
 /// One `profile` row: PE name, per-port selectivities, per-port costs, and
 /// the worst relative error against the contract (NaN when per-port
 /// attribution is unidentifiable).

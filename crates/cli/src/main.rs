@@ -2,8 +2,8 @@
 //! Fig. 7 as JSON-file plumbing. Run `laar help` for usage.
 
 use laar_cli::{
-    cmd_generate, cmd_profile, cmd_run_live, cmd_simulate, cmd_solve, cmd_variants, parse_failure,
-    CliError,
+    cmd_bench_sim, cmd_generate, cmd_profile, cmd_run_live, cmd_simulate, cmd_solve, cmd_variants,
+    parse_failure, CliError,
 };
 use laar_dsps::InputTrace;
 use laar_model::{ActivationStrategy, Application, Placement};
@@ -20,6 +20,7 @@ USAGE:
   laar run-live --contract F --placement F --strategy F --trace F [--failure ...] [--speed X] [--metrics OUT]
   laar variants --contract F --placement F --trace F [--time-limit SECS]
   laar profile  --contract F --placement F [--probes N]
+  laar bench-sim [--iters N] [--out BENCH_sim.json]
 
 Artifacts are JSON: the contract (application graph + descriptor + billing
 period), the replicated placement, the input trace, the HAController
@@ -224,6 +225,36 @@ fn run() -> Result<(), CliError> {
                     100.0 * err
                 );
             }
+        }
+        "bench-sim" => {
+            let iters: u32 = flags
+                .get("iters")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|e| CliError::Message(format!("bad --iters: {e}")))?
+                .unwrap_or(3);
+            let rows = cmd_bench_sim(iters)?;
+            println!(
+                "{:<32} {:>10} {:>10} {:>12} {:>12} {:>8}",
+                "fixture", "fixed (s)", "event (s)", "fixed q/s", "event q/s", "speedup"
+            );
+            for r in &rows {
+                println!(
+                    "{:<32} {:>10.3} {:>10.3} {:>12.0} {:>12.0} {:>7.2}x",
+                    r.name,
+                    r.fixed_quantum_wall_secs,
+                    r.event_driven_wall_secs,
+                    r.fixed_quantum_quanta_per_sec,
+                    r.event_driven_quanta_per_sec,
+                    r.speedup,
+                );
+            }
+            let out = flags
+                .get("out")
+                .map(String::as_str)
+                .unwrap_or("BENCH_sim.json");
+            write_json(out, &rows)?;
+            println!("simulator throughput report written to {out}");
         }
         "help" | "--help" | "-h" => println!("{USAGE}"),
         other => {

@@ -34,5 +34,5 @@ pub use laar_exec::replica::{InPort, Replica};
 pub use laar_exec::ReplicaStatus;
 pub use metrics::{LatencyStats, SimMetrics, TimeSeries};
 pub use profiler::{profile_application, EstimatedDescriptor};
-pub use sim::{SimConfig, Simulation};
+pub use sim::{SimConfig, Simulation, TimeAdvance};
 pub use trace::{ArrivalProcess, InputTrace, RateSchedule, SourceEmitter};

@@ -146,7 +146,11 @@ impl LatencyStats {
 }
 
 /// Everything measured during one simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every field bit-for-bit (floats included): the
+/// golden-equivalence suite asserts the event-driven and fixed-quantum
+/// engines agree *exactly*, not within a tolerance.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimMetrics {
     /// Simulated duration (seconds).
     pub duration: f64,

@@ -21,6 +21,26 @@ use laar_exec::replica::{InPort, Replica};
 use laar_exec::{Conservation, ControlConfig, ControlLoop, ProxyState};
 use laar_model::{ActivationStrategy, Application, ComponentKind, Placement, RateTable};
 
+/// How the simulator advances virtual time between scheduling quanta.
+///
+/// Both modes produce **identical** [`SimMetrics`]: the event-driven
+/// engine only skips quanta in which provably nothing can happen (no
+/// queued work anywhere, no arrival, no due command, no monitor poll, no
+/// failure-plan transition, no sync-window or detection-blackout expiry),
+/// and it lands back on the same quantum grid, so every executed quantum
+/// sees bit-identical state and timestamps. The golden-equivalence tests
+/// in `tests/equivalence.rs` hold the two modes to exact equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimeAdvance {
+    /// March through every quantum unconditionally — the reference engine.
+    FixedQuantum,
+    /// Jump quiescent stretches directly to the next-event horizon; while
+    /// work exists, step at the configured quantum so GPS CPU-sharing
+    /// semantics are unchanged.
+    #[default]
+    EventDriven,
+}
+
 /// Simulator tunables. Defaults mirror the paper's setup where it is
 /// specified (2-second queues, 16 s host outages are set by the failure
 /// plan) and use conservative middleware timings elsewhere.
@@ -51,6 +71,9 @@ pub struct SimConfig {
     /// Arrival process of the sources (deterministic spacing per the
     /// paper's synthetic operators, or seeded Poisson).
     pub arrivals: ArrivalProcess,
+    /// Time-advance engine (event-driven fast path vs the fixed-quantum
+    /// reference). Metrics are identical either way.
+    pub advance: TimeAdvance,
 }
 
 impl Default for SimConfig {
@@ -66,6 +89,7 @@ impl Default for SimConfig {
             monitor_buckets: 8,
             controller_enabled: true,
             arrivals: ArrivalProcess::Deterministic,
+            advance: TimeAdvance::EventDriven,
         }
     }
 }
@@ -79,7 +103,12 @@ pub struct Simulation {
     duration: f64,
 
     replicas: Vec<Replica>,
-    host_replicas: Vec<Vec<usize>>,
+    /// Replica indices grouped by host, flattened: host `h`'s replicas are
+    /// `host_replica_idx[host_offsets[h]..host_offsets[h + 1]]`. One
+    /// contiguous allocation keeps the per-quantum scheduling sweep
+    /// cache-friendly.
+    host_replica_idx: Vec<usize>,
+    host_offsets: Vec<usize>,
     /// Per source: downstream (pe_dense, port index) pairs.
     source_out: Vec<Vec<(usize, usize)>>,
     /// Per PE: downstream (pe_dense, port index) pairs.
@@ -137,9 +166,22 @@ impl Simulation {
             }
         }
 
-        let mut host_replicas = vec![Vec::new(); placement.num_hosts()];
+        // Group replica indices by host into one flat, offset-indexed
+        // buffer (counting sort by host keeps per-host order ascending,
+        // matching the former per-host Vec push order).
+        let num_hosts = placement.num_hosts();
+        let mut host_offsets = vec![0usize; num_hosts + 1];
+        for r in &replicas {
+            host_offsets[r.host + 1] += 1;
+        }
+        for h in 0..num_hosts {
+            host_offsets[h + 1] += host_offsets[h];
+        }
+        let mut host_replica_idx = vec![0usize; replicas.len()];
+        let mut cursor = host_offsets.clone();
         for (i, r) in replicas.iter().enumerate() {
-            host_replicas[r.host].push(i);
+            host_replica_idx[cursor[r.host]] = i;
+            cursor[r.host] += 1;
         }
 
         // Routing tables. Port index = position of the edge in the target's
@@ -233,7 +275,8 @@ impl Simulation {
             num_pes: np,
             duration: trace.duration,
             replicas,
-            host_replicas,
+            host_replica_idx,
+            host_offsets,
             source_out,
             pe_out,
             pe_sink_out,
@@ -262,11 +305,28 @@ impl Simulation {
     pub fn run(mut self) -> SimMetrics {
         let dt = self.cfg.quantum;
         let steps = (self.duration / dt).round() as u64;
+        let event_driven = self.cfg.advance == TimeAdvance::EventDriven;
 
-        for step in 0..steps {
+        // Reusable scratch buffers for the hot loop: the water-filling busy
+        // set (compacted in place instead of re-collected per round) and
+        // the per-quantum arrival batch.
+        let mut busy: Vec<usize> = Vec::with_capacity(self.replicas.len());
+        let mut arrivals: Vec<f64> = Vec::new();
+        // Incremental per-second metric bucketing: the bucket index is only
+        // recomputed when a quantum starts past the current second's end.
+        let max_sec = self.metrics.input_rate.samples.len() - 1;
+        let mut sec = 0usize;
+        let mut sec_end = 1.0f64;
+
+        let mut step = 0u64;
+        while step < steps {
             let t = step as f64 * dt;
             let te = (t + dt).min(self.duration);
-            let sec = (t.floor() as usize).min(self.metrics.input_rate.samples.len() - 1);
+            if t >= sec_end {
+                let f = t.floor();
+                sec = (f as usize).min(max_sec);
+                sec_end = f + 1.0;
+            }
 
             self.apply_failures(t);
             for cmd in self.control.take_due(t) {
@@ -279,40 +339,47 @@ impl Simulation {
 
             // Source emission: arrival timestamps double as birth stamps.
             for si in 0..self.emitters.len() {
-                let times = self.emitters[si].emit_until(te);
-                let n = times.len();
+                self.emitters[si].emit_into(te, &mut arrivals);
+                let n = arrivals.len();
                 if n == 0 {
                     continue;
                 }
-                for &tt in &times {
+                for &tt in &arrivals {
                     self.control.record(si, tt);
                 }
                 self.metrics.source_emitted[si] += n as u64;
                 self.metrics.input_rate.samples[sec] += n as f64;
                 for &(pe, port) in &self.source_out[si] {
                     for r in 0..self.k {
-                        self.replicas[pe * self.k + r].offer(port, &times, t);
+                        self.replicas[pe * self.k + r].offer(port, &arrivals, t);
                     }
                     self.pushed += (n * self.k) as u64;
                 }
             }
 
-            // CPU scheduling: water-filling per host.
-            for h in 0..self.host_replicas.len() {
+            // CPU scheduling: water-filling per host. The busy set is
+            // collected once per host and compacted in place as replicas
+            // drain — eligibility cannot change inside a quantum and
+            // processing never enqueues work on other replicas, so this
+            // reaches the same fixed point as re-collecting every round.
+            for h in 0..self.host_offsets.len() - 1 {
                 let budget = self.placement_capacity[h] * dt;
                 let mut remaining = budget;
-                loop {
-                    let busy: Vec<usize> = self.host_replicas[h]
+                busy.clear();
+                busy.extend(
+                    self.host_replica_idx[self.host_offsets[h]..self.host_offsets[h + 1]]
                         .iter()
                         .copied()
-                        .filter(|&i| self.replicas[i].eligible(t) && self.replicas[i].has_work())
-                        .collect();
-                    if busy.is_empty() || remaining <= budget * 1e-12 {
+                        .filter(|&i| self.replicas[i].eligible(t) && self.replicas[i].has_work()),
+                );
+                let mut len = busy.len();
+                loop {
+                    if len == 0 || remaining <= budget * 1e-12 {
                         break;
                     }
-                    let share = remaining / busy.len() as f64;
+                    let share = remaining / len as f64;
                     let mut progressed = false;
-                    for &i in &busy {
+                    for &i in &busy[..len] {
                         let used = self.replicas[i].process(share);
                         remaining -= used;
                         if used > 0.0 {
@@ -322,6 +389,15 @@ impl Simulation {
                     if !progressed {
                         break;
                     }
+                    let mut w = 0;
+                    for r in 0..len {
+                        let i = busy[r];
+                        if self.replicas[i].has_work() {
+                            busy[w] = i;
+                            w += 1;
+                        }
+                    }
+                    len = w;
                 }
                 let used = budget - remaining;
                 self.metrics.host_utilization[h].samples[sec] += used / budget / (1.0 / dt);
@@ -369,6 +445,12 @@ impl Simulation {
             for rep in &mut self.replicas {
                 rep.processed_snapshot = rep.processed;
             }
+
+            step = if event_driven {
+                self.next_step(step, dt)
+            } else {
+                step + 1
+            };
         }
 
         // Final accounting: fold every replica into the conservation ledger
@@ -394,6 +476,47 @@ impl Simulation {
         self.metrics.failovers = self.proxy.failovers();
         let _ = self.num_sinks;
         self.metrics
+    }
+
+    /// The next quantum index the event-driven engine must execute after
+    /// finishing `step`. While any replica holds queued work, the very next
+    /// quantum runs (GPS water-filling continues at full resolution).
+    /// Otherwise virtual time jumps toward the next-event horizon: the
+    /// earliest of the next source arrival, due command, monitor poll,
+    /// failure-plan transition, sync-window expiry, and detection-blackout
+    /// expiry. The landing quantum is deliberately one early — executing an
+    /// extra quiescent quantum is a provable no-op, while skipping a live
+    /// one would change the run — so grid rounding can never overshoot the
+    /// quantum in which an event first takes effect.
+    fn next_step(&self, step: u64, dt: f64) -> u64 {
+        if self.replicas.iter().any(|r| r.has_work()) {
+            return step + 1;
+        }
+        let t = step as f64 * dt;
+        let mut horizon = f64::INFINITY;
+        let mut consider = |ev: Option<f64>| {
+            if let Some(e) = ev {
+                if e < horizon {
+                    horizon = e;
+                }
+            }
+        };
+        for e in &self.emitters {
+            consider(e.next_arrival());
+        }
+        consider(self.control.next_due());
+        consider(self.control.next_poll());
+        consider(self.plan.next_transition(t));
+        consider(self.proxy.next_unblock(t));
+        for r in &self.replicas {
+            consider(r.next_work_instant(t));
+        }
+        if horizon.is_infinite() {
+            // Nothing can ever happen again: fast-forward past the end.
+            return u64::MAX;
+        }
+        let target = (horizon / dt).floor() as u64;
+        target.saturating_sub(1).max(step + 1)
     }
 
     /// Consult the failure plan and route state changes through the shared

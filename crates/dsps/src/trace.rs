@@ -227,9 +227,34 @@ impl SourceEmitter {
         }
     }
 
+    /// The timestamp of the next tuple this emitter will produce, without
+    /// advancing it. Resolves zero-rate segments (the next emission is the
+    /// start of the next positive-rate segment); `None` when the schedule
+    /// has gone silent for good. The event-driven simulator uses this to
+    /// compute the next-event horizon.
+    pub fn next_arrival(&self) -> Option<f64> {
+        if self.schedule.rate_at(self.next_emit) > 0.0 {
+            return Some(self.next_emit);
+        }
+        self.schedule
+            .segments()
+            .iter()
+            .find(|&&(s, r)| s > self.next_emit && r > 0.0)
+            .map(|&(s, _)| s)
+    }
+
     /// Emit all tuples with timestamps in `[from, to)`; returns their times.
     pub fn emit_until(&mut self, to: f64) -> Vec<f64> {
         let mut out = Vec::new();
+        self.emit_into(to, &mut out);
+        out
+    }
+
+    /// Like [`SourceEmitter::emit_until`], but appends into a caller-owned
+    /// buffer (cleared first) so the simulator's hot loop reuses one
+    /// allocation across quanta.
+    pub fn emit_into(&mut self, to: f64, out: &mut Vec<f64>) {
+        out.clear();
         loop {
             let rate = self.schedule.rate_at(self.next_emit);
             if rate <= 0.0 {
@@ -255,7 +280,6 @@ impl SourceEmitter {
             let dt = self.interval(rate);
             self.next_emit += dt;
         }
-        out
     }
 
     /// Tuples emitted so far.

@@ -1,0 +1,240 @@
+//! Golden-equivalence suite: the event-driven time-advance engine must
+//! produce **bit-identical** [`SimMetrics`] to the fixed-quantum reference
+//! on every workload — same drops, sink counts, latency histogram,
+//! utilization samples, and conservation ledger. This is the correctness
+//! bar that lets the fast path be the default without perturbing the
+//! paper figures or the live-runtime parity suite.
+
+use laar_core::testutil::fig2_problem;
+use laar_dsps::trace::ArrivalProcess;
+use laar_dsps::{FailurePlan, InputTrace, SimConfig, SimMetrics, Simulation, TimeAdvance};
+use laar_gen::{generator::generate_app, GenParams};
+use laar_model::{ActivationStrategy, Application, ConfigId, HostId, Placement};
+use proptest::prelude::*;
+
+/// Run the same problem under both time-advance engines and assert the
+/// metrics agree exactly.
+fn assert_equivalent(
+    app: &Application,
+    placement: &Placement,
+    strategy: &ActivationStrategy,
+    trace: &InputTrace,
+    plan: &FailurePlan,
+    base: &SimConfig,
+) -> SimMetrics {
+    let run = |advance: TimeAdvance| {
+        Simulation::new(
+            app,
+            placement,
+            strategy.clone(),
+            trace,
+            plan.clone(),
+            SimConfig {
+                advance,
+                ..base.clone()
+            },
+        )
+        .run()
+    };
+    let reference = run(TimeAdvance::FixedQuantum);
+    let event = run(TimeAdvance::EventDriven);
+    assert_eq!(
+        reference, event,
+        "event-driven metrics diverged from the fixed-quantum reference"
+    );
+    assert!(event.conservation.is_balanced(), "{:?}", event.conservation);
+    event
+}
+
+fn fig2_strategy_laar() -> ActivationStrategy {
+    let mut s = ActivationStrategy::all_active(2, 2, 2);
+    s.set_active(0, ConfigId(1), 1, false);
+    s.set_active(1, ConfigId(1), 0, false);
+    s
+}
+
+#[test]
+fn fig3_pipeline_all_variants_and_plans() {
+    let p = fig2_problem(0.6);
+    let trace = InputTrace::low_high_centered(4.0, 8.0, 60.0, 1.0 / 3.0);
+    let strategies = [
+        ("sr", ActivationStrategy::all_active(2, 2, 2)),
+        ("laar", fig2_strategy_laar()),
+    ];
+    for (label, strategy) in &strategies {
+        let plans = [
+            FailurePlan::None,
+            FailurePlan::worst_case(&p.app, strategy),
+            FailurePlan::host_crash(HostId(0), 20.0),
+        ];
+        for plan in &plans {
+            let m = assert_equivalent(
+                &p.app,
+                &p.placement,
+                strategy,
+                &trace,
+                plan,
+                &SimConfig::default(),
+            );
+            assert!(
+                m.source_emitted[0] > 0,
+                "{label}/{plan:?}: no tuples emitted"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig3_pipeline_controller_disabled_and_coarse_quantum() {
+    let p = fig2_problem(0.6);
+    let trace = InputTrace::low_high_centered(4.0, 8.0, 60.0, 1.0 / 3.0);
+    for cfg in [
+        SimConfig {
+            controller_enabled: false,
+            ..SimConfig::default()
+        },
+        SimConfig {
+            quantum: 0.05,
+            ..SimConfig::default()
+        },
+        SimConfig {
+            arrivals: ArrivalProcess::Poisson { seed: 11 },
+            ..SimConfig::default()
+        },
+    ] {
+        assert_equivalent(
+            &p.app,
+            &p.placement,
+            &fig2_strategy_laar(),
+            &trace,
+            &FailurePlan::None,
+            &cfg,
+        );
+    }
+}
+
+#[test]
+fn quiescent_heavy_trace_still_matches_exactly() {
+    // The fast path's bread and butter: long stretches with no work at
+    // all. Sparse arrivals (one tuple every 2 s) with the controller
+    // polling every second.
+    let p = fig2_problem(0.6);
+    let trace = InputTrace::constant(&[0.5], 120.0);
+    assert_equivalent(
+        &p.app,
+        &p.placement,
+        &ActivationStrategy::all_active(2, 2, 2),
+        &trace,
+        &FailurePlan::None,
+        &SimConfig::default(),
+    );
+}
+
+#[test]
+fn paper_scale_24pe_with_failures() {
+    // The Fig. 9–12 unit of work: a generated 24-PE application over the
+    // full 300 s billing period, under all three failure modes.
+    let gen = generate_app(&GenParams::default(), 7);
+    let np = gen.app.graph().num_pes();
+    let sr = ActivationStrategy::all_active(np, 2, 2);
+    let trace = InputTrace::low_high_centered(
+        gen.low_rate,
+        gen.high_rate,
+        gen.app.billing_period(),
+        gen.p_high(),
+    );
+    let plans = [
+        FailurePlan::None,
+        FailurePlan::worst_case(&gen.app, &sr),
+        FailurePlan::host_crash(HostId(0), 140.0),
+    ];
+    for plan in &plans {
+        let m = assert_equivalent(
+            &gen.app,
+            &gen.placement,
+            &sr,
+            &trace,
+            plan,
+            &SimConfig::default(),
+        );
+        assert!(m.total_processed() > 0, "{plan:?}: nothing processed");
+    }
+}
+
+/// Deterministic strategy sampler mirroring `tests/proptest_sim.rs`.
+fn random_strategy(np: usize, nq: usize, seed: u64) -> ActivationStrategy {
+    let mut s = ActivationStrategy::all_inactive(np, nq, 2);
+    let mut x = seed | 1;
+    for pe in 0..np {
+        for c in 0..nq {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let cfg = ConfigId(c as u32);
+            match (x >> 61) % 3 {
+                0 => s.set_active(pe, cfg, 0, true),
+                1 => s.set_active(pe, cfg, 1, true),
+                _ => {
+                    s.set_active(pe, cfg, 0, true);
+                    s.set_active(pe, cfg, 1, true);
+                }
+            }
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random interleavings of arrivals (deterministic and Poisson, bursty
+    /// schedules), HAController command traffic (random strategies force
+    /// switches), and failures: the two engines stay in lockstep.
+    #[test]
+    fn random_interleavings_are_equivalent(
+        seed in any::<u64>(),
+        sseed in any::<u64>(),
+        mode in 0u8..6,
+    ) {
+        let gen = generate_app(
+            &GenParams {
+                num_pes: 5,
+                num_hosts: 2,
+                duration: 25.0,
+                ..GenParams::default()
+            },
+            seed,
+        );
+        let strategy = random_strategy(5, 2, sseed);
+        let trace = if mode % 2 == 0 {
+            InputTrace::low_high_centered(gen.low_rate, gen.high_rate, 25.0, gen.p_high())
+        } else {
+            InputTrace::low_high_bursts(gen.low_rate, gen.high_rate, 25.0, 0.3, 3)
+        };
+        let plan = match mode / 2 {
+            0 => FailurePlan::None,
+            1 => FailurePlan::worst_case(&gen.app, &strategy),
+            _ => FailurePlan::host_crash(HostId((seed % 2) as u32), 8.0),
+        };
+        let cfg = SimConfig {
+            arrivals: if seed % 3 == 0 {
+                ArrivalProcess::Poisson { seed: sseed }
+            } else {
+                ArrivalProcess::Deterministic
+            },
+            ..SimConfig::default()
+        };
+        let run = |advance: TimeAdvance| {
+            Simulation::new(
+                &gen.app,
+                &gen.placement,
+                strategy.clone(),
+                &trace,
+                plan.clone(),
+                SimConfig { advance, ..cfg.clone() },
+            )
+            .run()
+        };
+        let reference = run(TimeAdvance::FixedQuantum);
+        let event = run(TimeAdvance::EventDriven);
+        prop_assert_eq!(reference, event);
+    }
+}

@@ -108,6 +108,23 @@ impl ControlLoop {
         due
     }
 
+    /// The earliest pending command's due time, if any — together with
+    /// [`ControlLoop::next_poll`] this bounds how far an event-driven
+    /// engine may advance time without consulting the loop.
+    pub fn next_due(&self) -> Option<f64> {
+        self.pending
+            .iter()
+            .map(|&(at, _)| at)
+            .min_by(f64::total_cmp)
+    }
+
+    /// The next time a [`ControlLoop::poll`] will actually run a decision
+    /// step. `None` when the loop is disabled.
+    #[inline]
+    pub fn next_poll(&self) -> Option<f64> {
+        self.cfg.enabled.then_some(self.next_monitor)
+    }
+
     /// Configuration switches performed by the controller so far.
     #[inline]
     pub fn switches(&self) -> u64 {

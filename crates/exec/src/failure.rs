@@ -89,6 +89,25 @@ impl FailurePlan {
         }
     }
 
+    /// The next time strictly after `t` at which the plan's dead-set
+    /// changes. `None` and `WorstCase` never change after the start of the
+    /// run (the worst-case crashes apply from `t = 0`); a host crash
+    /// transitions at the outage start and again at recovery.
+    pub fn next_transition(&self, t: f64) -> Option<f64> {
+        match self {
+            FailurePlan::None | FailurePlan::WorstCase { .. } => None,
+            FailurePlan::HostCrash { at, duration, .. } => {
+                if t < *at {
+                    Some(*at)
+                } else if t < *at + *duration {
+                    Some(*at + *duration)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     /// Is the given replica dead at time `t` under this plan?
     pub fn is_dead(&self, placement: &Placement, pe_dense: usize, replica: usize, t: f64) -> bool {
         match self {

@@ -81,6 +81,18 @@ impl SlotState {
     pub fn eligible(&self, now: f64) -> bool {
         self.status(now) == ReplicaStatus::Running
     }
+
+    /// The next time after `now` at which this slot's status changes by
+    /// itself (no command or failure): the end of a pending sync window.
+    /// `None` for slots that are dead, idle, or already running — those
+    /// only change in response to external events.
+    #[inline]
+    pub fn next_transition(&self, now: f64) -> Option<f64> {
+        if !self.alive || !self.active {
+            return None;
+        }
+        self.sync_until.filter(|&s| s > now)
+    }
 }
 
 /// The protocol transitions of one replica slot.
@@ -201,6 +213,17 @@ impl ProxyState {
     #[inline]
     pub fn failovers(&self) -> u64 {
         self.failovers
+    }
+
+    /// The earliest detection-blackout expiry strictly after `now`, across
+    /// all PEs — the next instant at which an election can change outcome
+    /// without any other event. `None` when no blackout is pending.
+    pub fn next_unblock(&self, now: f64) -> Option<f64> {
+        self.blocked_until
+            .iter()
+            .copied()
+            .filter(|&b| b > now)
+            .min_by(f64::total_cmp)
     }
 
     /// Apply an HAController command to the slot array: the single

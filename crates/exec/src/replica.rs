@@ -87,6 +87,10 @@ pub struct Replica {
     pub out_births: Vec<f64>,
     /// Round-robin cursor over ports.
     rr: usize,
+    /// Total queued tuples across ports, maintained incrementally so
+    /// [`Replica::has_work`] is O(1) — the event-driven simulator asks it
+    /// for every replica when computing the next-event horizon.
+    queued_total: usize,
 }
 
 impl Replica {
@@ -106,6 +110,7 @@ impl Replica {
             idle_discards: 0,
             out_births: Vec::new(),
             rr: 0,
+            queued_total: 0,
         }
     }
 
@@ -121,9 +126,29 @@ impl Replica {
         self.state.eligible(now)
     }
 
-    /// `true` if any port has queued work.
+    /// `true` if any port has queued work. O(1): backed by a counter
+    /// maintained across offers, processing, and queue clears.
+    #[inline]
     pub fn has_work(&self) -> bool {
-        self.ports.iter().any(|p| !p.queue.is_empty())
+        debug_assert_eq!(
+            self.queued_total,
+            self.ports.iter().map(|p| p.queue.len()).sum::<usize>(),
+            "queued_total drifted from the port queues"
+        );
+        self.queued_total > 0
+    }
+
+    /// The earliest time this replica could next make progress given no
+    /// further input: now if it has queued work, the end of its sync window
+    /// if it is re-synchronizing (queued work cannot survive a sync window,
+    /// but eligibility itself changes then — election-relevant), `None` if
+    /// it is empty and running/idle/dead. Engines use this to bound how far
+    /// virtual time may jump.
+    pub fn next_work_instant(&self, now: f64) -> Option<f64> {
+        if self.has_work() {
+            return Some(now);
+        }
+        self.state.next_transition(now)
     }
 
     /// Offer tuples with the given birth timestamps to port `port` at time
@@ -142,6 +167,7 @@ impl Replica {
         let accepted = births.len().min(space);
         p.queue.extend(&births[..accepted]);
         p.drops += (births.len() - accepted) as u64;
+        self.queued_total += accepted;
     }
 
     /// Offer `n` tuples that were all born at `birth` (convenience wrapper
@@ -161,6 +187,7 @@ impl Replica {
             p.queue.push_back(birth);
         }
         p.drops += (n - accepted) as u64;
+        self.queued_total += accepted;
     }
 
     /// Consume up to `budget` CPU cycles of queued work, round-robin across
@@ -190,6 +217,7 @@ impl Replica {
                 used += need;
                 p.head_progress = 0.0;
                 let birth = p.queue.pop_front().expect("non-empty");
+                self.queued_total -= 1;
                 p.processed += 1;
                 self.processed += 1;
                 self.out_acc += p.sel;
@@ -215,6 +243,7 @@ impl Replica {
             p.queue.clear();
             p.head_progress = 0.0;
         }
+        self.queued_total = 0;
     }
 
     /// Total queue-overflow drops across ports.

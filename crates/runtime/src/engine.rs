@@ -138,6 +138,7 @@ impl RuntimeConfig {
             monitor_buckets: self.monitor_buckets,
             controller_enabled: self.controller_enabled,
             arrivals: self.arrivals,
+            advance: laar_dsps::TimeAdvance::default(),
         }
     }
 }

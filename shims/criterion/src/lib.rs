@@ -13,6 +13,14 @@ use std::time::{Duration, Instant};
 /// Re-export of `std::hint::black_box` (criterion's `black_box`).
 pub use std::hint::black_box;
 
+/// True when the harness was invoked with `--test` (cargo bench -- --test):
+/// run every benchmark exactly once to prove it compiles and executes,
+/// without spending wall-clock on timing. Mirrors real criterion's
+/// test-mode flag so CI can smoke the bench suite cheaply.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Benchmark identifier inside a group.
 #[derive(Debug, Clone)]
 pub struct BenchmarkId {
@@ -70,11 +78,15 @@ impl Default for Criterion {
 
 fn run_one(name: &str, samples: u64, f: impl FnOnce(&mut Bencher)) {
     let mut b = Bencher {
-        samples,
+        samples: if smoke_mode() { 1 } else { samples },
         elapsed: Duration::ZERO,
         iters: 1,
     };
     f(&mut b);
+    if smoke_mode() {
+        println!("bench {name:<50} ok (smoke)");
+        return;
+    }
     let per_iter = b.elapsed / (b.iters.max(1) as u32);
     println!(
         "bench {name:<50} {per_iter:>12.2?}/iter ({} iters)",
