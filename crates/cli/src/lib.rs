@@ -440,6 +440,263 @@ pub fn cmd_bench_sim(iters: u32) -> Result<Vec<BenchSimRow>, CliError> {
     Ok(rows)
 }
 
+/// One row of the `bench-runtime` report: one fixture at one `time_scale`,
+/// run on the live engine under both data planes ("reference" = the
+/// pre-optimization tuple-at-a-time fixed-tick loop, "batched" = the
+/// slice-based transport with adaptive wakeups), with the simulator run
+/// under identical parameters as the oracle.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BenchRuntimeRow {
+    /// Fixture name.
+    pub name: String,
+    /// Trace seconds per wall second the run was paced at.
+    pub time_scale: f64,
+    /// Trace length (seconds).
+    pub trace_secs: f64,
+    /// Tuples processed by the simulator oracle under the same config.
+    pub sim_processed: u64,
+    /// Wall seconds, reference data plane ("before").
+    pub reference_wall_secs: f64,
+    /// Tuples processed end-to-end, reference data plane.
+    pub reference_processed: u64,
+    /// Processed tuples per wall second, reference data plane.
+    pub reference_tuples_per_sec: f64,
+    /// Tuples rejected by full transport rings, reference data plane.
+    pub reference_transport_dropped: u64,
+    /// Scheduling passes across coordinator + workers, reference plane.
+    pub reference_loop_passes: u64,
+    /// Process CPU seconds consumed by the run, reference data plane.
+    pub reference_cpu_secs: f64,
+    /// `|live processed − sim processed| / sim processed`, reference plane.
+    pub reference_sim_delta: f64,
+    /// Primary fail-overs observed, reference plane (0 expected: the bench
+    /// fixtures inject no failures, so any fail-over is a false detection).
+    pub reference_failovers: u64,
+    /// Wall seconds, batched data plane ("after").
+    pub batched_wall_secs: f64,
+    /// Tuples processed end-to-end, batched data plane.
+    pub batched_processed: u64,
+    /// Processed tuples per wall second, batched data plane.
+    pub batched_tuples_per_sec: f64,
+    /// Tuples rejected by full transport rings, batched data plane.
+    pub batched_transport_dropped: u64,
+    /// Scheduling passes across coordinator + workers, batched plane.
+    pub batched_loop_passes: u64,
+    /// Process CPU seconds consumed by the run, batched data plane.
+    pub batched_cpu_secs: f64,
+    /// `|live processed − sim processed| / sim processed`, batched plane.
+    pub batched_sim_delta: f64,
+    /// Primary fail-overs observed, batched plane (0 expected).
+    pub batched_failovers: u64,
+    /// `batched_tuples_per_sec / reference_tuples_per_sec`.
+    pub throughput_speedup: f64,
+    /// `reference_loop_passes / batched_loop_passes` — the idle-CPU-cost
+    /// reduction (wakeups are the deterministic proxy for idle CPU burn;
+    /// `*_cpu_secs` gives the same ratio but at 10 ms scheduler-tick
+    /// granularity).
+    pub wakeup_reduction: f64,
+    /// Wall seconds of the true pre-PR engine on this fixture/scale, from a
+    /// `--baseline` file measured on the same machine; 0 when no baseline
+    /// row matched.
+    pub pre_pr_wall_secs: f64,
+    /// Tuples processed by the pre-PR engine; 0 when no baseline matched.
+    pub pre_pr_processed: u64,
+    /// Pre-PR processed tuples per wall second; 0 when no baseline matched.
+    pub pre_pr_tuples_per_sec: f64,
+    /// Pre-PR process CPU seconds; 0 when no baseline matched.
+    pub pre_pr_cpu_secs: f64,
+    /// `batched_tuples_per_sec / pre_pr_tuples_per_sec` — the headline
+    /// speedup against the engine as it shipped before this change; 0 when
+    /// no baseline matched.
+    pub speedup_vs_pre_pr: f64,
+}
+
+/// One row of a `--baseline` file for `bench-runtime`: the pre-PR engine
+/// measured on the same machine over the same fixtures and scales (see
+/// README for how the file is produced). Matched to [`BenchRuntimeRow`]s
+/// by `(name, time_scale)`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct BaselineRow {
+    /// Fixture name (must match a `bench-runtime` fixture).
+    pub name: String,
+    /// Trace seconds per wall second the baseline run was paced at.
+    pub time_scale: f64,
+    /// Wall seconds of the pre-PR run.
+    pub wall_secs: f64,
+    /// Tuples processed end-to-end by the pre-PR engine.
+    pub processed: u64,
+    /// Processed tuples per wall second.
+    pub tuples_per_sec: f64,
+    /// Process CPU seconds consumed by the pre-PR run.
+    pub cpu_secs: f64,
+    /// Primary fail-overs observed (0 expected; the fixtures inject none).
+    pub failovers: u64,
+}
+
+/// Process CPU seconds (user + system, all threads) from `/proc/self/stat`;
+/// 0.0 where procfs is unavailable.
+fn process_cpu_seconds() -> f64 {
+    let Ok(stat) = std::fs::read_to_string("/proc/self/stat") else {
+        return 0.0;
+    };
+    // Fields after the parenthesized comm: state is field 3, utime is
+    // field 14, stime field 15 (1-based), in USER_HZ (100 Hz) ticks.
+    let Some(rest) = stat.rsplit(')').next() else {
+        return 0.0;
+    };
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let ticks = |i: usize| fields.get(i).and_then(|v| v.parse::<f64>().ok());
+    match (ticks(11), ticks(12)) {
+        (Some(u), Some(s)) => (u + s) / 100.0,
+        _ => 0.0,
+    }
+}
+
+/// The `bench-runtime` command: measure live-engine throughput and idle
+/// cost under both data planes on the fixtures that anchor the evaluation
+/// — a near-idle quiescent trace (the adaptive-wakeup best case), the
+/// Fig. 9 Low/High paper trace, and a saturated high-rate trace with tight
+/// transport queues (the batching best case) — each at every `time_scale`
+/// in `scales`. The simulator is run under identical parameters as the
+/// oracle for the processed-count parity delta. `smoke` shrinks the
+/// fixtures for CI. The detection delay is widened proportionally to the
+/// time scale so OS scheduling jitter is never mistaken for a host crash.
+pub fn cmd_bench_runtime(
+    scales: &[f64],
+    smoke: bool,
+    baseline: &[BaselineRow],
+) -> Result<Vec<BenchRuntimeRow>, CliError> {
+    use laar_runtime::DataPlane;
+    if scales.is_empty() || scales.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+        return Err(CliError::Message(
+            "--scales needs a comma-separated list of positive numbers".to_owned(),
+        ));
+    }
+    let duration = if smoke { 10.0 } else { 300.0 };
+    let params = GenParams {
+        duration,
+        ..GenParams::default()
+    };
+    let gen = generate_app(&params, 7);
+    // A single-host twin at the same total capacity: one worker thread plus
+    // the coordinator. With only two threads the OS scheduler stops being
+    // the bottleneck, so this fixture measures the data plane's own pacing
+    // and per-tuple costs instead of run-queue noise.
+    let params_1host = GenParams {
+        num_hosts: 1,
+        host_capacity: 4.0,
+        duration,
+        ..GenParams::default()
+    };
+    let gen_1host = generate_app(&params_1host, 7);
+    let quiescent_trace = InputTrace::constant(&[0.1], duration);
+    let fig9_trace =
+        InputTrace::low_high_centered(gen.low_rate, gen.high_rate, duration, gen.p_high());
+    let saturated_trace = InputTrace::constant(&[gen_1host.high_rate], duration);
+
+    // (name, app, trace, queue_capacity_secs): the saturated fixture bounds
+    // its transport queues tightly, so a loop too coarse for the queue bound
+    // drops tuples — the regime batching exists for.
+    let fixtures: [(&str, &laar_gen::GeneratedApp, &InputTrace, f64); 3] = [
+        ("quiescent_24pe", &gen, &quiescent_trace, 2.0),
+        ("fig9_low_high_24pe", &gen, &fig9_trace, 2.0),
+        (
+            "saturated_tight_queues_1host",
+            &gen_1host,
+            &saturated_trace,
+            0.25,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, gen, trace, queue_capacity_secs) in fixtures {
+        let strategy = ActivationStrategy::all_active(gen.app.graph().num_pes(), 2, 2);
+        for &scale in scales {
+            let mut cfg = RuntimeConfig::accelerated(scale);
+            cfg.queue_capacity_secs = queue_capacity_secs;
+            // OS jitter of J wall-seconds looks like J × scale trace-seconds
+            // of heartbeat staleness; tolerate ~20 ms of scheduler jitter so
+            // no scale misreads descheduling as a host crash.
+            cfg.detection_delay = cfg.detection_delay.max(0.02 * scale);
+            let sim_m = Simulation::new(
+                &gen.app,
+                &gen.placement,
+                strategy.clone(),
+                trace,
+                FailurePlan::None,
+                cfg.sim_config(),
+            )
+            .run();
+            let sim_processed = sim_m.total_processed();
+
+            let run_plane = |plane: DataPlane| -> (f64, f64, LiveReport) {
+                let mut c = cfg.clone();
+                c.data_plane = plane;
+                let rt = LiveRuntime::new(
+                    &gen.app,
+                    &gen.placement,
+                    strategy.clone(),
+                    trace,
+                    FailurePlan::None,
+                    c,
+                );
+                let cpu0 = process_cpu_seconds();
+                let start = std::time::Instant::now();
+                let report = rt.run();
+                (
+                    start.elapsed().as_secs_f64(),
+                    process_cpu_seconds() - cpu0,
+                    report,
+                )
+            };
+            let (ref_wall, ref_cpu, ref_report) = run_plane(DataPlane::Reference);
+            let (bat_wall, bat_cpu, bat_report) = run_plane(DataPlane::Batched);
+
+            let ref_processed = ref_report.metrics.total_processed();
+            let bat_processed = bat_report.metrics.total_processed();
+            let delta = |live: u64| {
+                (live as f64 - sim_processed as f64).abs() / (sim_processed as f64).max(1.0)
+            };
+            let ref_tps = ref_processed as f64 / ref_wall.max(1e-12);
+            let bat_tps = bat_processed as f64 / bat_wall.max(1e-12);
+            let base = baseline
+                .iter()
+                .find(|b| b.name == name && (b.time_scale - scale).abs() < 1e-9);
+            rows.push(BenchRuntimeRow {
+                name: name.to_owned(),
+                time_scale: scale,
+                trace_secs: duration,
+                sim_processed,
+                reference_wall_secs: ref_wall,
+                reference_processed: ref_processed,
+                reference_tuples_per_sec: ref_tps,
+                reference_transport_dropped: ref_report.conservation.transport_dropped,
+                reference_loop_passes: ref_report.loop_passes,
+                reference_cpu_secs: ref_cpu,
+                reference_sim_delta: delta(ref_processed),
+                reference_failovers: ref_report.metrics.failovers,
+                batched_wall_secs: bat_wall,
+                batched_processed: bat_processed,
+                batched_tuples_per_sec: bat_tps,
+                batched_transport_dropped: bat_report.conservation.transport_dropped,
+                batched_loop_passes: bat_report.loop_passes,
+                batched_cpu_secs: bat_cpu,
+                batched_sim_delta: delta(bat_processed),
+                batched_failovers: bat_report.metrics.failovers,
+                throughput_speedup: bat_tps / ref_tps.max(1e-12),
+                wakeup_reduction: ref_report.loop_passes as f64
+                    / (bat_report.loop_passes as f64).max(1.0),
+                pre_pr_wall_secs: base.map_or(0.0, |b| b.wall_secs),
+                pre_pr_processed: base.map_or(0, |b| b.processed),
+                pre_pr_tuples_per_sec: base.map_or(0.0, |b| b.tuples_per_sec),
+                pre_pr_cpu_secs: base.map_or(0.0, |b| b.cpu_secs),
+                speedup_vs_pre_pr: base.map_or(0.0, |b| bat_tps / b.tuples_per_sec.max(1e-12)),
+            });
+        }
+    }
+    Ok(rows)
+}
+
 /// One `profile` row: PE name, per-port selectivities, per-port costs, and
 /// the worst relative error against the contract (NaN when per-port
 /// attribution is unidentifiable).

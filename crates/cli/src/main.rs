@@ -2,8 +2,8 @@
 //! Fig. 7 as JSON-file plumbing. Run `laar help` for usage.
 
 use laar_cli::{
-    cmd_bench_sim, cmd_generate, cmd_profile, cmd_run_live, cmd_simulate, cmd_solve, cmd_variants,
-    parse_failure, CliError,
+    cmd_bench_runtime, cmd_bench_sim, cmd_generate, cmd_profile, cmd_run_live, cmd_simulate,
+    cmd_solve, cmd_variants, parse_failure, CliError,
 };
 use laar_dsps::InputTrace;
 use laar_model::{ActivationStrategy, Application, Placement};
@@ -21,6 +21,8 @@ USAGE:
   laar variants --contract F --placement F --trace F [--time-limit SECS]
   laar profile  --contract F --placement F [--probes N]
   laar bench-sim [--iters N] [--out BENCH_sim.json]
+  laar bench-runtime [--scales X,Y,..] [--baseline F] [--test]
+                     [--out BENCH_runtime.json]
 
 Artifacts are JSON: the contract (application graph + descriptor + billing
 period), the replicated placement, the input trace, the HAController
@@ -33,11 +35,17 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| CliError::Message(format!("expected --flag, got {:?}", args[i])))?;
-        let value = args
-            .get(i + 1)
-            .ok_or_else(|| CliError::Message(format!("--{key} needs a value")))?;
-        map.insert(key.to_owned(), value.clone());
-        i += 2;
+        // A flag followed by another flag (or nothing) is a boolean switch.
+        match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => {
+                map.insert(key.to_owned(), v.clone());
+                i += 2;
+            }
+            _ => {
+                map.insert(key.to_owned(), "true".to_owned());
+                i += 1;
+            }
+        }
     }
     Ok(map)
 }
@@ -255,6 +263,67 @@ fn run() -> Result<(), CliError> {
                 .unwrap_or("BENCH_sim.json");
             write_json(out, &rows)?;
             println!("simulator throughput report written to {out}");
+        }
+        "bench-runtime" => {
+            let smoke = flags.get("test").map(String::as_str) == Some("true");
+            let scales: Vec<f64> = match flags.get("scales") {
+                Some(list) => list
+                    .split(',')
+                    .map(|v| {
+                        v.trim().parse().map_err(|e| {
+                            CliError::Message(format!("bad --scales entry {v:?}: {e}"))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+                None if smoke => vec![100.0],
+                None => vec![200.0, 2000.0, 8000.0, 20000.0, 40000.0],
+            };
+            let baseline: Vec<laar_cli::BaselineRow> = match flags.get("baseline") {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path).map_err(|e| {
+                        CliError::Message(format!("cannot read --baseline {path}: {e}"))
+                    })?;
+                    serde_json::from_str(&text).map_err(|e| {
+                        CliError::Message(format!("cannot parse --baseline {path}: {e}"))
+                    })?
+                }
+                None => Vec::new(),
+            };
+            let rows = cmd_bench_runtime(&scales, smoke, &baseline)?;
+            println!(
+                "{:<28} {:>8} {:>11} {:>11} {:>8} {:>11} {:>8} {:>9} {:>9} {:>8}",
+                "fixture",
+                "scale",
+                "ref t/s",
+                "batch t/s",
+                "speedup",
+                "pre-PR t/s",
+                "vs pre",
+                "ref wake",
+                "bat wake",
+                "wake ÷"
+            );
+            for r in &rows {
+                println!(
+                    "{:<28} {:>8.0} {:>11.0} {:>11.0} {:>7.2}x {:>11.0} {:>7.2}x {:>9} {:>9} {:>7.2}x",
+                    r.name,
+                    r.time_scale,
+                    r.reference_tuples_per_sec,
+                    r.batched_tuples_per_sec,
+                    r.throughput_speedup,
+                    r.pre_pr_tuples_per_sec,
+                    r.speedup_vs_pre_pr,
+                    r.reference_loop_passes,
+                    r.batched_loop_passes,
+                    r.wakeup_reduction,
+                );
+            }
+            let out = flags
+                .get("out")
+                .map(String::as_str)
+                .unwrap_or("BENCH_runtime.json");
+            write_json(out, &rows)?;
+            println!("runtime data-plane report written to {out}");
         }
         "help" | "--help" | "-h" => println!("{USAGE}"),
         other => {

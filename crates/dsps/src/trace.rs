@@ -243,6 +243,40 @@ impl SourceEmitter {
             .map(|&(s, _)| s)
     }
 
+    /// The trace time by which `slots` further arrivals will have become
+    /// due, assuming the schedule's *expected* pacing (exact for
+    /// deterministic arrivals, the mean for Poisson). `None` when the
+    /// schedule is silent for good; when fewer than `slots` arrivals
+    /// remain, the time the schedule goes quiet (so a caller waking then
+    /// still collects the stragglers). The live coordinator naps to this
+    /// horizon instead of waking per arrival: with a transport ring of
+    /// capacity `c`, sleeping until the `c/2`-th upcoming arrival keeps
+    /// the ring from overflowing while amortizing one wakeup over the
+    /// whole batch.
+    pub fn arrival_horizon(&self, slots: usize) -> Option<f64> {
+        let mut t = self.next_arrival()?;
+        let mut left = slots as f64;
+        let segs = self.schedule.segments();
+        loop {
+            let rate = self.schedule.rate_at(t);
+            if rate > 0.0 {
+                let span = left / rate;
+                match segs.iter().map(|&(s, _)| s).find(|&s| s > t) {
+                    Some(end) if t + span > end => {
+                        left -= (end - t) * rate;
+                        t = end;
+                    }
+                    _ => return Some(t + span),
+                }
+            } else {
+                match segs.iter().find(|&&(s, r)| s > t && r > 0.0) {
+                    Some(&(s, _)) => t = s,
+                    None => return Some(t),
+                }
+            }
+        }
+    }
+
     /// Emit all tuples with timestamps in `[from, to)`; returns their times.
     pub fn emit_until(&mut self, to: f64) -> Vec<f64> {
         let mut out = Vec::new();

@@ -4,7 +4,28 @@
 //! keeping every schedule, queue bound, and control-loop period expressed
 //! in the same time unit the simulator uses.
 
-use std::time::Instant;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Below this much remaining wall time, [`ScaledClock::wait_until`] stops
+/// sleeping and yields instead: OS sleeps overshoot by roughly the kernel's
+/// default timer slack (~50µs), so sleeping closer than this would carry the
+/// waiter past the deadline. Kept tight — every microsecond of slack is a
+/// microsecond of yield-burn per wakeup on a busy host.
+const SLEEP_SLACK: Duration = Duration::from_micros(60);
+
+/// Below this much remaining wall time, the waiter stops yielding and
+/// spins: a yield that gets the CPU back later than this would overshoot.
+const YIELD_SLACK: Duration = Duration::from_micros(40);
+
+/// Whether busy-spinning across the last few microseconds is safe. On a
+/// single-core machine a spinning thread holds the core for its whole
+/// scheduler quantum (milliseconds), starving the very threads it is
+/// waiting on — there, yielding is both kinder and *more* precise.
+fn spin_allowed() -> bool {
+    static SPIN: OnceLock<bool> = OnceLock::new();
+    *SPIN.get_or_init(|| std::thread::available_parallelism().is_ok_and(|n| n.get() >= 2))
+}
 
 /// A monotonically increasing clock mapping wall time to trace time.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +60,60 @@ impl ScaledClock {
             std::thread::sleep(std::time::Duration::from_secs_f64(wall));
         }
     }
+
+    /// Park the calling thread for about `trace_secs` of trace time, or
+    /// until someone `unpark`s it — the idle-worker nap. Unlike
+    /// [`ScaledClock::sleep`], a parked thread can be woken early (e.g. at
+    /// shutdown, or by a producer with fresh work), so long naps never
+    /// delay a join. Spurious wakeups are allowed, as with
+    /// [`std::thread::park_timeout`]; callers re-check their condition.
+    pub fn park_for(&self, trace_secs: f64) {
+        let wall = (trace_secs / self.scale).max(0.0);
+        if wall > 0.0 {
+            std::thread::park_timeout(Duration::from_secs_f64(wall));
+        }
+    }
+
+    /// Wait until the clock reads at least `trace_deadline`, adaptively:
+    /// sleep while the remaining wall time is long, yield as the deadline
+    /// approaches, and spin across the last few microseconds. Unlike
+    /// [`ScaledClock::sleep`], this never overshoots by more than the
+    /// OS scheduling jitter of a yield — at high `time_scale`, where one
+    /// tick is a few microseconds of wall time, a plain sleep overshoots
+    /// by an order of magnitude and the caller's loop coarsens.
+    ///
+    /// Returns immediately when the deadline is already in the past, so an
+    /// overslept caller re-anchors to *measured* time instead of bursting.
+    pub fn wait_until(&self, trace_deadline: f64) {
+        let wall = (trace_deadline / self.scale).max(0.0);
+        if !wall.is_finite() {
+            return;
+        }
+        let deadline = self.origin + Duration::from_secs_f64(wall);
+        // Already behind on entry: the caller is overloaded and will call
+        // straight back in. Yield once so threads sharing the CPU make
+        // progress — a free-running loop would otherwise hold its core for
+        // a whole scheduler quantum, starving the very threads that feed
+        // it (and at high `time_scale` one quantum is many trace-seconds).
+        if Instant::now() >= deadline {
+            std::thread::yield_now();
+            return;
+        }
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            let remaining = deadline - now;
+            if remaining > SLEEP_SLACK {
+                std::thread::sleep(remaining - SLEEP_SLACK);
+            } else if remaining > YIELD_SLACK || !spin_allowed() {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -55,6 +130,19 @@ mod tests {
             "100x clock after 20ms wall should pass 1s, got {t}"
         );
         assert!(t < 60.0, "sanity upper bound, got {t}");
+    }
+
+    #[test]
+    fn wait_until_reaches_the_deadline_without_bursting() {
+        let clock = ScaledClock::start(1000.0);
+        // A deadline several ticks out: the waiter must not return early.
+        clock.wait_until(2.0);
+        assert!(clock.now() >= 2.0);
+        // A deadline in the past returns immediately (re-anchor semantics):
+        // well under one OS timer quantum.
+        let before = Instant::now();
+        clock.wait_until(1.0);
+        assert!(before.elapsed() < Duration::from_millis(1));
     }
 
     #[test]

@@ -60,6 +60,27 @@ use std::sync::Arc;
 
 pub use laar_exec::Conservation;
 
+/// Which hot-path implementation the engine runs. Mirrors the simulator's
+/// `TimeAdvance` switch: the reference path is kept callable so benchmarks
+/// can measure the batched data plane against the exact pre-optimization
+/// behavior on the same machine, and parity suites can hold both to the
+/// simulator oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataPlane {
+    /// Tuple-at-a-time transport (scalar ring push/pop) and an
+    /// unconditional `sleep(tick)` in every worker and coordinator pass —
+    /// the original fixed-tick loop.
+    Reference,
+    /// Batched transport (`push_slice`/`drain_into`, one atomic per batch)
+    /// and adaptive wakeups: busy threads pace to the tick deadline with a
+    /// spin→yield→sleep wait (never oversleeping), idle threads back off
+    /// exponentially, and the coordinator jumps to the next event horizon
+    /// (source arrival, monitor poll, due command, failure transition) the
+    /// way the simulator's event-driven advance does.
+    #[default]
+    Batched,
+}
+
 /// Tunables of the live engine. The control-loop and queue parameters
 /// mirror [`laar_dsps::SimConfig`] so a run can be compared against the
 /// simulator under identical settings; `time_scale` and `tick` are specific
@@ -91,6 +112,9 @@ pub struct RuntimeConfig {
     pub controller_enabled: bool,
     /// Arrival process of the sources.
     pub arrivals: ArrivalProcess,
+    /// Hot-path implementation (batched/adaptive by default; the reference
+    /// fixed-tick loop is kept for benchmarking and as a parity control).
+    pub data_plane: DataPlane,
 }
 
 impl Default for RuntimeConfig {
@@ -107,6 +131,7 @@ impl Default for RuntimeConfig {
             monitor_buckets: 8,
             controller_enabled: true,
             arrivals: ArrivalProcess::Deterministic,
+            data_plane: DataPlane::default(),
         }
     }
 }
@@ -143,6 +168,35 @@ impl RuntimeConfig {
     }
 }
 
+/// The producing end of a transport route (what feeds the rings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TransportFrom {
+    /// A source emitter, by dense source index.
+    Source(usize),
+    /// A PE's primary replica, by dense PE index.
+    Pe(usize),
+}
+
+/// Per-edge transport accounting: one entry per (producing component →
+/// consuming PE input port) route of the application graph. All `k`
+/// replica rings of a route fold into the same entry, so a saturated run
+/// shows *where* the data plane rejected tuples rather than one global
+/// number. `sum(pushed)` and `sum(dropped)` equal the conservation
+/// ledger's `pushed` and `transport_dropped` exactly.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TransportEdge {
+    /// The producing end of the route.
+    pub from: TransportFrom,
+    /// Dense index of the consuming PE.
+    pub to_pe: usize,
+    /// Input-port index on the consuming PE.
+    pub port: usize,
+    /// Tuples accepted by this route's rings.
+    pub pushed: u64,
+    /// Tuples rejected by this route's full rings.
+    pub dropped: u64,
+}
+
 /// The result of a live run: the simulator-shaped metrics plus the
 /// conservation ledger (also embedded in `metrics.conservation`; kept as a
 /// top-level field because it is the live engine's headline guarantee).
@@ -152,6 +206,14 @@ pub struct LiveReport {
     pub metrics: SimMetrics,
     /// Tuple-accounting ledger across the whole data plane.
     pub conservation: Conservation,
+    /// Transport pushes/drops broken down per graph edge; sums to the
+    /// ledger's `pushed`/`transport_dropped`.
+    pub transport_edges: Vec<TransportEdge>,
+    /// Total scheduling passes across the coordinator and all workers —
+    /// the engine's wakeup count, the denominator of idle-CPU cost. A
+    /// fixed-tick run wakes `duration/tick` times per thread regardless of
+    /// load; the adaptive data plane collapses that on quiescent hosts.
+    pub loop_passes: u64,
 }
 
 /// State shared between the coordinator and all host workers.
@@ -186,11 +248,21 @@ struct Worker {
     inbound: Vec<Vec<Vec<Consumer<f64>>>>,
     /// Per local replica: producers toward every downstream replica port.
     out_pe: Vec<Vec<Producer<f64>>>,
+    /// Per local replica: transport-route index of each producer in
+    /// `out_pe` (all `k` rings of one graph edge share a route).
+    out_routes: Vec<Vec<usize>>,
+    /// Total number of transport routes (sizes the per-route counters).
+    num_routes: usize,
     /// Per local replica: dense sink indices it feeds.
     out_sinks: Vec<Vec<usize>>,
     /// Command ring from the coordinator (raw HAController commands; the
     /// command → transition mapping lives in [`laar_exec::apply_to_slot`]).
     commands: Consumer<Command>,
+    /// Hot-path selection (see [`DataPlane`]).
+    data_plane: DataPlane,
+    /// Longest idle nap (trace seconds): bounded well below
+    /// `detection_delay` so a quiet worker's heartbeat never goes stale.
+    idle_nap_cap: f64,
 }
 
 /// What a worker hands back after its thread exits.
@@ -208,6 +280,9 @@ struct WorkerReport {
     latency: LatencyStats,
     pushed: u64,
     transport_dropped: u64,
+    route_pushed: Vec<u64>,
+    route_dropped: Vec<u64>,
+    loop_passes: u64,
 }
 
 impl Worker {
@@ -219,12 +294,19 @@ impl Worker {
         let mut latency = LatencyStats::default();
         let mut pushed = 0u64;
         let mut transport_dropped = 0u64;
+        let mut route_pushed = vec![0u64; self.num_routes];
+        let mut route_dropped = vec![0u64; self.num_routes];
+        let mut loop_passes = 0u64;
+
+        let batched = self.data_plane == DataPlane::Batched;
+        let mut idle_streak = 0u32;
 
         let mut dead = false;
         let mut last = 0.0f64;
         let mut batch: Vec<f64> = Vec::new();
 
         loop {
+            loop_passes += 1;
             // Read the stop flag first: after it is set, exactly one more
             // full pass runs, draining whatever the coordinator flushed.
             let stopping = self.shared.stop.load(Ordering::Acquire);
@@ -253,7 +335,9 @@ impl Worker {
             // Control-plane commands (HAProxy protocol): the single shared
             // command path. Activation of a dead replica bounces inside the
             // state machine itself.
+            let mut commanded = false;
             while let Some(cmd) = self.commands.pop() {
+                commanded = true;
                 let s = cmd.slot();
                 if let Some(li) = self.local_of[s.pe_dense * self.k + s.replica] {
                     apply_to_slot(&mut self.replicas[li], &cmd, now, self.sync_delay);
@@ -262,22 +346,31 @@ impl Worker {
 
             // Ingest: drain every inbound ring into its port. Ineligible
             // replicas discard (the proxy answers for a dead process), so
-            // counters line up with the simulator's.
+            // counters line up with the simulator's. The batched plane
+            // moves each ring's visible chunk with one atomic; the
+            // reference plane pops tuple-at-a-time.
+            let mut ingested = 0usize;
             for li in 0..self.replicas.len() {
                 for port in 0..self.inbound[li].len() {
                     batch.clear();
                     for ring in &mut self.inbound[li][port] {
-                        while let Some(b) = ring.pop() {
-                            batch.push(b);
+                        if batched {
+                            ring.drain_into(&mut batch);
+                        } else {
+                            while let Some(b) = ring.pop() {
+                                batch.push(b);
+                            }
                         }
                     }
                     if !batch.is_empty() {
+                        ingested += batch.len();
                         self.replicas[li].offer(port, &batch, now);
                     }
                 }
             }
 
             // CPU: water-filling GPS over the trace time actually elapsed.
+            let mut cycles_this_pass = 0.0f64;
             let dt = (now - last).max(0.0);
             if dt > 0.0 {
                 let budget = self.capacity * dt;
@@ -302,10 +395,12 @@ impl Worker {
                         break;
                     }
                 }
-                utilization[sec] += (budget - remaining) / self.capacity;
+                cycles_this_pass = budget - remaining;
+                utilization[sec] += cycles_this_pass / self.capacity;
             }
 
             // Forward primary outputs; secondaries' outputs are suppressed.
+            let mut forwarded = false;
             for li in 0..self.replicas.len() {
                 if self.replicas[li].out_births.is_empty() {
                     continue;
@@ -314,11 +409,28 @@ impl Worker {
                 let pe = self.replicas[li].pe_dense;
                 let r = self.replicas[li].replica;
                 if self.shared.primary[pe].load(Ordering::Acquire) == r as i64 {
-                    for ring in &mut self.out_pe[li] {
-                        for &b in &births {
-                            match ring.push(b) {
-                                Ok(()) => pushed += 1,
-                                Err(_) => transport_dropped += 1,
+                    forwarded = true;
+                    for (oi, ring) in self.out_pe[li].iter_mut().enumerate() {
+                        let route = self.out_routes[li][oi];
+                        if batched {
+                            let acc = ring.push_slice(&births) as u64;
+                            let rej = births.len() as u64 - acc;
+                            pushed += acc;
+                            transport_dropped += rej;
+                            route_pushed[route] += acc;
+                            route_dropped[route] += rej;
+                        } else {
+                            for &b in &births {
+                                match ring.push(b) {
+                                    Ok(()) => {
+                                        pushed += 1;
+                                        route_pushed[route] += 1;
+                                    }
+                                    Err(_) => {
+                                        transport_dropped += 1;
+                                        route_dropped[route] += 1;
+                                    }
+                                }
                             }
                         }
                     }
@@ -350,7 +462,34 @@ impl Worker {
                 break;
             }
             last = now;
-            clock.sleep(self.tick);
+
+            if !batched {
+                clock.sleep(self.tick);
+                continue;
+            }
+
+            // Adaptive wakeup: a busy pass paces to the next tick deadline
+            // with the no-overshoot wait; consecutive idle passes back off
+            // exponentially up to `idle_nap_cap` and *park* (a parked
+            // thread costs ~0 CPU, can be woken early at shutdown, and
+            // oversleeping an idle nap is harmless because the next pass
+            // re-anchors to measured time). The cap stays far enough below
+            // `detection_delay` that heartbeats never look stale.
+            let backlog = self
+                .replicas
+                .iter()
+                .any(|rep| rep.eligible(now) && rep.has_work());
+            let busy = ingested > 0 || cycles_this_pass > 0.0 || forwarded || commanded || backlog;
+            if busy {
+                idle_streak = 0;
+                clock.wait_until(now + self.tick);
+            } else {
+                let nap = (self.tick * f64::from(1u32 << idle_streak.min(8)))
+                    .min(self.idle_nap_cap)
+                    .max(self.tick);
+                idle_streak = idle_streak.saturating_add(1).min(8);
+                clock.park_for(nap);
+            }
         }
 
         WorkerReport {
@@ -364,6 +503,9 @@ impl Worker {
             latency,
             pushed,
             transport_dropped,
+            route_pushed,
+            route_dropped,
+            loop_passes,
         }
     }
 }
@@ -384,7 +526,17 @@ pub struct LiveRuntime {
     shared: Arc<Shared>,
 
     emitters: Vec<SourceEmitter>,
+    /// Per-source wakeup slack in ring slots: half the smallest transport
+    /// ring this source feeds. The coordinator naps until that many
+    /// arrivals are due, emitting them as one batch without overflow.
+    src_slack: Vec<usize>,
     src_producers: Vec<Vec<Producer<f64>>>,
+    /// Transport-route index of each producer in `src_producers` (all `k`
+    /// replica rings of one source→PE edge share a route).
+    src_routes: Vec<Vec<usize>>,
+    /// Per-edge transport accounting; worker-side counters merge in at
+    /// shutdown, coordinator-side (source) pushes accrue directly.
+    routes: Vec<TransportEdge>,
     /// The shared monitor → controller → delayed-commands loop
     /// (`catch_up: true`: a wall clock can oversleep).
     control: ControlLoop,
@@ -516,6 +668,41 @@ impl LiveRuntime {
             }
         }
 
+        // Transport routes: one accounting entry per graph edge, with
+        // per-producer route indices built in the *same iteration order*
+        // as the producer vectors above so the two stay parallel.
+        let mut routes: Vec<TransportEdge> = Vec::new();
+        let mut src_routes: Vec<Vec<usize>> = (0..g.num_sources()).map(|_| Vec::new()).collect();
+        for (si, outs) in source_out.iter().enumerate() {
+            for &(pe, port) in outs {
+                let rid = routes.len();
+                routes.push(TransportEdge {
+                    from: TransportFrom::Source(si),
+                    to_pe: pe,
+                    port,
+                    pushed: 0,
+                    dropped: 0,
+                });
+                src_routes[si].extend(std::iter::repeat_n(rid, k));
+            }
+        }
+        let mut slot_routes: Vec<Vec<usize>> = (0..np * k).map(|_| Vec::new()).collect();
+        for (pe, outs) in pe_out.iter().enumerate() {
+            for &(succ, port) in outs {
+                let rid = routes.len();
+                routes.push(TransportEdge {
+                    from: TransportFrom::Pe(pe),
+                    to_pe: succ,
+                    port,
+                    pushed: 0,
+                    dropped: 0,
+                });
+                for r_up in 0..k {
+                    slot_routes[pe * k + r_up].extend(std::iter::repeat_n(rid, k));
+                }
+            }
+        }
+
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             host_dead: (0..num_hosts).map(|_| AtomicBool::new(false)).collect(),
@@ -553,6 +740,17 @@ impl LiveRuntime {
             })
             .collect();
         assert_eq!(emitters.len(), g.num_sources(), "trace/source mismatch");
+        let src_slack: Vec<usize> = source_out
+            .iter()
+            .map(|outs| {
+                outs.iter()
+                    .map(|&(pe, port)| port_caps[pe][port])
+                    .min()
+                    .unwrap_or(8)
+                    / 2
+            })
+            .map(|s| s.max(1))
+            .collect();
 
         let mut rt = Self {
             duration,
@@ -566,7 +764,10 @@ impl LiveRuntime {
             workers: Vec::new(),
             shared,
             emitters,
+            src_slack,
             src_producers,
+            src_routes,
+            routes,
             control,
             proxy: ProxyState::new(np, k),
             plan,
@@ -609,21 +810,29 @@ impl LiveRuntime {
             (0..num_hosts).map(|_| Vec::new()).collect();
         let mut per_host_out: Vec<Vec<Vec<Producer<f64>>>> =
             (0..num_hosts).map(|_| Vec::new()).collect();
+        let mut per_host_routes: Vec<Vec<Vec<usize>>> =
+            (0..num_hosts).map(|_| Vec::new()).collect();
         let mut per_host_sinks: Vec<Vec<Vec<usize>>> = (0..num_hosts).map(|_| Vec::new()).collect();
         let mut local_of: Vec<Vec<Option<usize>>> =
             (0..num_hosts).map(|_| vec![None; np * k]).collect();
         let mut cons_iter = consumers.into_iter();
         let mut prod_iter = up_producers.into_iter();
+        let mut route_iter = slot_routes.into_iter();
         for (slot, rep) in replicas.into_iter().enumerate() {
             let h = rep.host;
             let pe = rep.pe_dense;
             local_of[h][slot] = Some(per_host[h].len());
             per_host_in[h].push(cons_iter.next().expect("consumer per slot"));
             per_host_out[h].push(prod_iter.next().expect("producer per slot"));
+            per_host_routes[h].push(route_iter.next().expect("routes per slot"));
             per_host_sinks[h].push(pe_sink_out[pe].clone());
             per_host[h].push(rep);
         }
 
+        // Idle naps stay well below the detection delay: a napping worker
+        // still heartbeats four times per detection window, so a merely
+        // quiet host never looks dead.
+        let idle_nap_cap = (rt.cfg.detection_delay * 0.25).max(rt.cfg.tick);
         for h in 0..num_hosts {
             let (cmd_tx, cmd_rx) = spsc::channel(1024);
             rt.cmd_txs.push(cmd_tx);
@@ -642,8 +851,12 @@ impl LiveRuntime {
                 local_of: std::mem::take(&mut local_of[h]),
                 inbound: std::mem::take(&mut per_host_in[h]),
                 out_pe: std::mem::take(&mut per_host_out[h]),
+                out_routes: std::mem::take(&mut per_host_routes[h]),
+                num_routes: rt.routes.len(),
                 out_sinks: std::mem::take(&mut per_host_sinks[h]),
                 commands: cmd_rx,
+                data_plane: rt.cfg.data_plane,
+                idle_nap_cap,
             });
         }
         rt
@@ -669,6 +882,49 @@ impl LiveRuntime {
         // The 1024-deep command ring never fills at control-loop rates; if
         // it ever did, the command is lost like any real network message.
         let _ = self.cmd_txs[host].push(cmd);
+    }
+
+    /// The next trace time at which anything the coordinator drives can
+    /// happen: the earliest upcoming source arrival, monitor poll, due
+    /// command, or failure-plan transition — the live-side analogue of the
+    /// simulator's event-driven advance horizon. While any host is down
+    /// (or a crash window is active) the horizon collapses to one tick so
+    /// heartbeat detection and recovery keep fine granularity. Always at
+    /// least one tick ahead of `now` and never past the trace end.
+    fn next_wake(&self, now: f64, fine: bool) -> f64 {
+        let floor = now + self.cfg.tick;
+        if fine {
+            return floor.min(self.duration);
+        }
+        let mut horizon = self.duration;
+        let mut consider = |t: f64| {
+            if t < horizon {
+                horizon = t;
+            }
+        };
+        // Sources: nap until half a ring's worth of arrivals are due, not
+        // until the next one — one wakeup then emits the whole batch as a
+        // slice. Bounded by one monitor bucket past the next arrival so
+        // the measured-rate series the controller reads stays fresh.
+        for (e, &slack) in self.emitters.iter().zip(&self.src_slack) {
+            if let Some(t0) = e.next_arrival() {
+                let horizon = e
+                    .arrival_horizon(slack)
+                    .unwrap_or(t0)
+                    .min(t0 + self.cfg.monitor_bucket);
+                consider(horizon);
+            }
+        }
+        if let Some(t) = self.control.next_poll() {
+            consider(t);
+        }
+        if let Some(t) = self.control.next_due() {
+            consider(t);
+        }
+        if let Some(t) = self.plan.next_transition(now) {
+            consider(t);
+        }
+        horizon.max(floor).min(self.duration)
     }
 
     /// Execute the deployment on live threads until the trace ends; returns
@@ -703,10 +959,14 @@ impl LiveRuntime {
         };
         let mut pushed = 0u64;
         let mut transport_dropped = 0u64;
+        let mut loop_passes = 0u64;
 
         let mut host_down = vec![false; self.num_hosts];
 
         loop {
+            loop_passes += 1;
+            // Measured time, not the planned wakeup target: an overslept
+            // pass emits and budgets from where the clock actually is.
             let now = clock.now();
             if now >= self.duration {
                 break;
@@ -765,13 +1025,38 @@ impl LiveRuntime {
             self.proxy.elect(&self.shadow, now);
             self.publish_primaries();
 
-            // 5. The LAAR control loop: measured rates → HAController.
-            self.control.poll(now);
-
-            // 6. Source emission, paced by the wall clock.
+            // 5. Source emission, paced by the wall clock. Before the
+            // control poll: emission records arrivals into the monitor by
+            // tuple timestamp, so polling after it reads a series that is
+            // complete through `now` even when a batched pass emits a
+            // multi-second window at once.
             self.emit(now, &mut metrics, &mut pushed, &mut transport_dropped);
 
-            clock.sleep(self.cfg.tick);
+            // 6. The LAAR control loop: measured rates → HAController.
+            self.control.poll(now);
+
+            match self.cfg.data_plane {
+                DataPlane::Reference => clock.sleep(self.cfg.tick),
+                DataPlane::Batched => {
+                    // Event-horizon wait (the live analogue of the
+                    // simulator's event-driven advance): jump to the next
+                    // arrival/poll/command/failure. While any host is down
+                    // or crashed, the horizon collapses to one tick so
+                    // detection and recovery stay fine. The wait is always
+                    // `wait_until`: it parks for long horizons (idle hosts
+                    // cost ~0 CPU) yet lands within scheduler jitter of the
+                    // target, where a plain sleep would overshoot by the OS
+                    // timer slack — an entire trace-second or more of source
+                    // burst at high `time_scale`.
+                    let fine = host_down.iter().any(|&d| d)
+                        || self
+                            .shared
+                            .host_dead
+                            .iter()
+                            .any(|d| d.load(Ordering::Acquire));
+                    clock.wait_until(self.next_wake(now, fine));
+                }
+            }
         }
 
         // Flush emission exactly to the end of the trace, so the emitted
@@ -783,6 +1068,11 @@ impl LiveRuntime {
             &mut transport_dropped,
         );
         self.shared.stop.store(true, Ordering::Release);
+        // Idle workers may be parked mid-nap; wake them so the join never
+        // waits out a nap that no longer matters.
+        for h in &handles {
+            h.thread().unpark();
+        }
 
         let reports: Vec<WorkerReport> = handles
             .into_iter()
@@ -815,6 +1105,16 @@ impl LiveRuntime {
             metrics.latency.merge(&report.latency);
             pushed += report.pushed;
             transport_dropped += report.transport_dropped;
+            loop_passes += report.loop_passes;
+            for (rid, (&p, &d)) in report
+                .route_pushed
+                .iter()
+                .zip(&report.route_dropped)
+                .enumerate()
+            {
+                self.routes[rid].pushed += p;
+                self.routes[rid].dropped += d;
+            }
             for ports in &mut report.inbound {
                 for rings in ports {
                     for ring in rings {
@@ -856,15 +1156,32 @@ impl LiveRuntime {
         metrics.failovers = self.proxy.failovers();
         metrics.conservation = conservation.clone();
 
+        // The per-edge breakdown must account for every transport event
+        // the global ledger saw — an exact identity, not a tolerance.
+        assert_eq!(
+            self.routes.iter().map(|r| r.pushed).sum::<u64>(),
+            conservation.pushed,
+            "per-edge pushes must sum to the conservation ledger"
+        );
+        assert_eq!(
+            self.routes.iter().map(|r| r.dropped).sum::<u64>(),
+            conservation.transport_dropped,
+            "per-edge drops must sum to the conservation ledger"
+        );
+
         LiveReport {
             conservation,
             metrics,
+            transport_edges: self.routes,
+            loop_passes,
         }
     }
 
     /// Emit every source up to trace time `now`: record rates for the
     /// monitor and push birth timestamps to all replicas of all downstream
-    /// ports.
+    /// ports. Rate samples bucket by each tuple's *own* timestamp — an
+    /// event-horizon pass can cover many seconds of trace time, and
+    /// bucketing the whole batch at the pass time would smear the series.
     fn emit(
         &mut self,
         now: f64,
@@ -872,7 +1189,7 @@ impl LiveRuntime {
         pushed: &mut u64,
         transport_dropped: &mut u64,
     ) {
-        let sec = (now.floor() as usize).min(self.seconds - 1);
+        let batched = self.cfg.data_plane == DataPlane::Batched;
         for si in 0..self.emitters.len() {
             let times = self.emitters[si].emit_until(now.min(self.duration));
             if times.is_empty() {
@@ -880,14 +1197,31 @@ impl LiveRuntime {
             }
             for &tt in &times {
                 self.control.record(si, tt);
+                let sec = (tt.floor() as usize).min(self.seconds - 1);
+                metrics.input_rate.samples[sec] += 1.0;
             }
             metrics.source_emitted[si] += times.len() as u64;
-            metrics.input_rate.samples[sec] += times.len() as f64;
-            for ring in &mut self.src_producers[si] {
-                for &b in &times {
-                    match ring.push(b) {
-                        Ok(()) => *pushed += 1,
-                        Err(_) => *transport_dropped += 1,
+            for (oi, ring) in self.src_producers[si].iter_mut().enumerate() {
+                let route = self.src_routes[si][oi];
+                if batched {
+                    let acc = ring.push_slice(&times) as u64;
+                    let rej = times.len() as u64 - acc;
+                    *pushed += acc;
+                    *transport_dropped += rej;
+                    self.routes[route].pushed += acc;
+                    self.routes[route].dropped += rej;
+                } else {
+                    for &b in &times {
+                        match ring.push(b) {
+                            Ok(()) => {
+                                *pushed += 1;
+                                self.routes[route].pushed += 1;
+                            }
+                            Err(_) => {
+                                *transport_dropped += 1;
+                                self.routes[route].dropped += 1;
+                            }
+                        }
                     }
                 }
             }

@@ -40,7 +40,9 @@ pub mod engine;
 pub mod spsc;
 
 pub use clock::ScaledClock;
-pub use engine::{Conservation, LiveReport, LiveRuntime, RuntimeConfig};
+pub use engine::{
+    Conservation, DataPlane, LiveReport, LiveRuntime, RuntimeConfig, TransportEdge, TransportFrom,
+};
 
 #[cfg(test)]
 mod tests {

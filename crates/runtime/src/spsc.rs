@@ -4,22 +4,46 @@
 //! `tail`, the consumer only writes `head`, so a release store on one side
 //! paired with an acquire load on the other is the whole protocol.
 //!
-//! Overflow never blocks: [`Producer::push`] returns the rejected value and
-//! the caller counts it as a transport drop, mirroring the drop-on-overflow
-//! semantics of the simulator's bounded ports.
+//! Two throughput refinements over the textbook queue, both invisible to
+//! the protocol:
+//!
+//! * **Cache-line padding.** `head` and `tail` live on separate cache
+//!   lines ([`CachePadded`]), so the producer's tail stores never
+//!   invalidate the line the consumer is spinning on (and vice versa).
+//! * **Cached remote indices.** Each end keeps a private copy of its own
+//!   index (only it ever writes it) plus a *cached* snapshot of the remote
+//!   one. The remote index is reloaded only on apparent-full /
+//!   apparent-empty, so in the common case a push or pop touches exactly
+//!   one atomic (its own release store) instead of two.
+//!
+//! On top of the scalar [`Producer::push`]/[`Consumer::pop`], the batched
+//! [`Producer::push_slice`] and [`Consumer::drain_into`] move a whole
+//! slice per release store — the live engine forwards each replica's
+//! output batch and drains each input ring in one call per tick.
+//!
+//! Overflow never blocks: [`Producer::push`] returns the rejected value,
+//! [`Producer::push_slice`] the accepted count, and the caller counts the
+//! remainder as transport drops, mirroring the drop-on-overflow semantics
+//! of the simulator's bounded ports.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// Pads and aligns its contents to a 64-byte cache line so two adjacent
+/// atomics never share a line (false sharing kills SPSC throughput: every
+/// store by one side would invalidate the other side's cached line).
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
 struct Ring<T> {
     mask: usize,
     buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
     /// Next slot the consumer will read (only the consumer stores it).
-    head: AtomicUsize,
+    head: CachePadded<AtomicUsize>,
     /// Next slot the producer will write (only the producer stores it).
-    tail: AtomicUsize,
+    tail: CachePadded<AtomicUsize>,
 }
 
 // Safety: the Producer/Consumer split guarantees at most one thread touches
@@ -37,23 +61,24 @@ impl<T> Ring<T> {
         Ring {
             mask: cap - 1,
             buf,
-            head: AtomicUsize::new(0),
-            tail: AtomicUsize::new(0),
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
         }
     }
 
     fn len(&self) -> usize {
         self.tail
+            .0
             .load(Ordering::Acquire)
-            .wrapping_sub(self.head.load(Ordering::Acquire))
+            .wrapping_sub(self.head.0.load(Ordering::Acquire))
     }
 }
 
 impl<T> Drop for Ring<T> {
     fn drop(&mut self) {
         // &mut self: both ends are gone, plain loads suffice.
-        let head = *self.head.get_mut();
-        let tail = *self.tail.get_mut();
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
         for i in head..tail {
             unsafe { (*self.buf[i & self.mask].get()).assume_init_drop() };
         }
@@ -63,34 +88,83 @@ impl<T> Drop for Ring<T> {
 /// The write end of a bounded SPSC ring (exactly one per ring).
 pub struct Producer<T> {
     ring: Arc<Ring<T>>,
+    /// Private copy of `ring.tail` (this end is its only writer).
+    tail: usize,
+    /// Last observed consumer head; refreshed only on apparent-full.
+    cached_head: usize,
 }
 
 /// The read end of a bounded SPSC ring (exactly one per ring).
 pub struct Consumer<T> {
     ring: Arc<Ring<T>>,
+    /// Private copy of `ring.head` (this end is its only writer).
+    head: usize,
+    /// Last observed producer tail; refreshed only on apparent-empty.
+    cached_tail: usize,
 }
 
 /// Create a bounded SPSC channel with room for at least `cap` items
 /// (rounded up to a power of two).
 pub fn channel<T: Send>(cap: usize) -> (Producer<T>, Consumer<T>) {
     let ring = Arc::new(Ring::with_capacity(cap));
-    (Producer { ring: ring.clone() }, Consumer { ring })
+    (
+        Producer {
+            ring: ring.clone(),
+            tail: 0,
+            cached_head: 0,
+        },
+        Consumer {
+            ring,
+            head: 0,
+            cached_tail: 0,
+        },
+    )
 }
 
 impl<T: Send> Producer<T> {
+    /// Free slots from this end's view, reloading the consumer's head only
+    /// when the cached snapshot cannot satisfy `want` slots.
+    #[inline]
+    fn free_slots(&mut self, want: usize) -> usize {
+        let cap = self.ring.mask + 1;
+        let free = cap - self.tail.wrapping_sub(self.cached_head);
+        if free >= want {
+            return free;
+        }
+        self.cached_head = self.ring.head.0.load(Ordering::Acquire);
+        cap - self.tail.wrapping_sub(self.cached_head)
+    }
+
     /// Append `v`; on a full ring the value comes back as `Err` and the
     /// caller decides (the runtime counts it as a transport drop).
     pub fn push(&mut self, v: T) -> Result<(), T> {
-        let tail = self.ring.tail.load(Ordering::Relaxed);
-        let head = self.ring.head.load(Ordering::Acquire);
-        if tail.wrapping_sub(head) > self.ring.mask {
+        if self.free_slots(1) == 0 {
             return Err(v);
         }
-        unsafe { (*self.ring.buf[tail & self.ring.mask].get()).write(v) };
-        self.ring
-            .tail
-            .store(tail.wrapping_add(1), Ordering::Release);
+        unsafe { (*self.ring.buf[self.tail & self.ring.mask].get()).write(v) };
+        self.tail = self.tail.wrapping_add(1);
+        self.ring.tail.0.store(self.tail, Ordering::Release);
         Ok(())
+    }
+
+    /// Append as much of `vals` as fits (in order) and return the accepted
+    /// count; the caller counts `vals.len() - accepted` as transport drops.
+    /// One release store publishes the whole batch.
+    pub fn push_slice(&mut self, vals: &[T]) -> usize
+    where
+        T: Copy,
+    {
+        let n = vals.len().min(self.free_slots(vals.len()));
+        if n == 0 {
+            return 0;
+        }
+        for (i, &v) in vals[..n].iter().enumerate() {
+            let slot = self.tail.wrapping_add(i) & self.ring.mask;
+            unsafe { (*self.ring.buf[slot].get()).write(v) };
+        }
+        self.tail = self.tail.wrapping_add(n);
+        self.ring.tail.0.store(self.tail, Ordering::Release);
+        n
     }
 
     /// Items currently queued (racy snapshot).
@@ -105,18 +179,47 @@ impl<T: Send> Producer<T> {
 }
 
 impl<T: Send> Consumer<T> {
+    /// Readable items from this end's view, reloading the producer's tail
+    /// only when the cached snapshot says the ring looks empty.
+    #[inline]
+    fn available(&mut self) -> usize {
+        let avail = self.cached_tail.wrapping_sub(self.head);
+        if avail > 0 {
+            return avail;
+        }
+        self.cached_tail = self.ring.tail.0.load(Ordering::Acquire);
+        self.cached_tail.wrapping_sub(self.head)
+    }
+
     /// Take the oldest item, if any.
     pub fn pop(&mut self) -> Option<T> {
-        let head = self.ring.head.load(Ordering::Relaxed);
-        let tail = self.ring.tail.load(Ordering::Acquire);
-        if head == tail {
+        if self.available() == 0 {
             return None;
         }
-        let v = unsafe { (*self.ring.buf[head & self.ring.mask].get()).assume_init_read() };
-        self.ring
-            .head
-            .store(head.wrapping_add(1), Ordering::Release);
+        let v = unsafe { (*self.ring.buf[self.head & self.ring.mask].get()).assume_init_read() };
+        self.head = self.head.wrapping_add(1);
+        self.ring.head.0.store(self.head, Ordering::Release);
         Some(v)
+    }
+
+    /// Move every currently visible item into `out` (appending, FIFO
+    /// order) and return how many were moved. Always refreshes the cached
+    /// tail (a drain wants everything published so far); one release store
+    /// then frees the whole chunk for the producer.
+    pub fn drain_into(&mut self, out: &mut Vec<T>) -> usize {
+        self.cached_tail = self.ring.tail.0.load(Ordering::Acquire);
+        let n = self.cached_tail.wrapping_sub(self.head);
+        if n == 0 {
+            return 0;
+        }
+        out.reserve(n);
+        for i in 0..n {
+            let slot = self.head.wrapping_add(i) & self.ring.mask;
+            out.push(unsafe { (*self.ring.buf[slot].get()).assume_init_read() });
+        }
+        self.head = self.head.wrapping_add(n);
+        self.ring.head.0.store(self.head, Ordering::Release);
+        n
     }
 
     /// Items currently queued (racy snapshot).
@@ -157,6 +260,33 @@ mod tests {
         }
         assert_eq!(accepted, 8);
         assert_eq!(rx.len(), 8);
+    }
+
+    #[test]
+    fn push_slice_accepts_up_to_capacity() {
+        let (mut tx, mut rx) = channel::<u32>(4);
+        assert_eq!(tx.push_slice(&[0, 1]), 2);
+        // Only two slots left: the tail of the batch is rejected.
+        assert_eq!(tx.push_slice(&[2, 3, 4, 5]), 2);
+        let mut out = Vec::new();
+        assert_eq!(rx.drain_into(&mut out), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(tx.push_slice(&[]), 0);
+    }
+
+    #[test]
+    fn drain_into_appends_and_wraps() {
+        let (mut tx, mut rx) = channel::<u64>(4);
+        let mut out = vec![99];
+        // Cycle the ring a few times so head/tail wrap past the capacity.
+        for round in 0..5u64 {
+            let base = round * 3;
+            assert_eq!(tx.push_slice(&[base, base + 1, base + 2]), 3);
+            rx.drain_into(&mut out);
+        }
+        assert_eq!(out.len(), 1 + 15);
+        assert_eq!(out[0], 99);
+        assert!(out[1..].iter().copied().eq(0..15));
     }
 
     #[test]

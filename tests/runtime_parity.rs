@@ -10,7 +10,10 @@
 //! `REL_TOL`.
 //!
 //! These tests spend real wall time (traces run 40× accelerated). Set
-//! `CI_FAST=1` to skip them in quick CI lanes.
+//! `CI_FAST=1` to run them 10× harder-accelerated (400×) with the
+//! detection delay widened so scheduler jitter on a busy CI box is never
+//! misread as a host crash — the whole suite then fits the fast lane's
+//! budget while still exercising the live engine end to end.
 
 use laar::core::testutil::fig2_problem;
 use laar::prelude::*;
@@ -18,16 +21,13 @@ use laar::prelude::*;
 /// Documented live-vs-sim agreement tolerance on tuple volumes.
 const REL_TOL: f64 = 0.12;
 
-fn skip() -> bool {
-    let fast = std::env::var("CI_FAST").map(|v| v == "1").unwrap_or(false);
-    if fast {
-        eprintln!("CI_FAST=1: skipping live/sim parity test");
-    }
-    fast
-}
-
 fn cfgs() -> (RuntimeConfig, SimConfig) {
-    let rt = RuntimeConfig::accelerated(40.0);
+    let fast = std::env::var("CI_FAST").map(|v| v == "1").unwrap_or(false);
+    let scale = if fast { 400.0 } else { 40.0 };
+    let mut rt = RuntimeConfig::accelerated(scale);
+    // J wall-seconds of OS jitter ages heartbeats by J × scale trace-
+    // seconds; tolerate ~20 ms so acceleration never fakes a failure.
+    rt.detection_delay = rt.detection_delay.max(0.02 * scale);
     let sim = rt.sim_config();
     (rt, sim)
 }
@@ -51,9 +51,6 @@ fn close(live: u64, sim: u64, what: &str) {
 
 #[test]
 fn clean_run_agrees_with_simulator() {
-    if skip() {
-        return;
-    }
     let p = fig2_problem(0.6);
     let trace = InputTrace::constant(&[4.0], 30.0);
     let strategy = ActivationStrategy::all_active(2, 2, 2);
@@ -94,9 +91,6 @@ fn clean_run_agrees_with_simulator() {
 
 #[test]
 fn saturation_drops_in_both_engines() {
-    if skip() {
-        return;
-    }
     // Static replication at the High rate overloads both hosts: both
     // engines must drop on the bounded queues and output must lag input.
     let p = fig2_problem(0.6);
@@ -145,9 +139,6 @@ fn saturation_drops_in_both_engines() {
 
 #[test]
 fn worst_case_ic_bound_holds_live() {
-    if skip() {
-        return;
-    }
     // Fig. 2b strategy under the pessimistic worst case: the live engine
     // must deliver the same ~2/3 internal completeness the analysis
     // guarantees and the simulator measures.
@@ -198,9 +189,6 @@ fn worst_case_ic_bound_holds_live() {
 
 #[test]
 fn activation_schedule_agrees() {
-    if skip() {
-        return;
-    }
     // The live control loop must observe the Low->High->Low trace and
     // issue the same configuration switches the simulated loop issues.
     let p = fig2_problem(0.6);
