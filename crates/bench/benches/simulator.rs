@@ -175,11 +175,47 @@ fn bench_time_advance(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_host_parallel(c: &mut Criterion) {
+    // Host-parallel scheduling over the host-major arena: the saturated
+    // 8×-paper deployment (192 PEs on 32 hosts) where every quantum carries
+    // enough per-host grain for the fan-out to matter, swept over worker
+    // threads. threads=1 is the sequential engine (no pool is built); the
+    // parallel rows are bit-identical to it by construction.
+    let gen = laar_gen::generator::generate_app(&laar_gen::GenParams::default().scaled(8.0), 7);
+    let np = gen.app.graph().num_pes();
+    let sr = ActivationStrategy::all_active(np, 2, 2);
+    let trace = InputTrace::constant(&[gen.high_rate], 30.0);
+
+    let mut g = c.benchmark_group("simulator/host_parallel_192pe_32host_30s");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        g.bench_function(format!("threads_{threads}"), |b| {
+            let cfg = SimConfig {
+                threads,
+                ..SimConfig::default()
+            };
+            b.iter(|| {
+                let sim = Simulation::new(
+                    &gen.app,
+                    &gen.placement,
+                    sr.clone(),
+                    &trace,
+                    FailurePlan::None,
+                    cfg.clone(),
+                );
+                black_box(sim.run().total_processed())
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_fig3_pipeline,
     bench_paper_scale,
     bench_quantum_resolution,
-    bench_time_advance
+    bench_time_advance,
+    bench_host_parallel
 );
 criterion_main!(benches);

@@ -21,7 +21,8 @@ use laar_core::ftsearch::{self, FtSearchConfig, Outcome};
 use laar_core::variants::VariantKind;
 use laar_core::{greedy, non_replicated, static_replication, PessimisticFailure, Problem};
 use laar_dsps::profiler::{descriptor_error, profile_application};
-use laar_dsps::{FailurePlan, InputTrace, SimConfig, SimMetrics, Simulation};
+use laar_dsps::{FailurePlan, InputTrace, PhaseProfile, SimConfig, SimMetrics, Simulation};
+use laar_experiments::{benchmark_solver, SolverBenchConfig, SolverBenchRow};
 use laar_gen::{generator::generate_app, GenParams};
 use laar_model::{ActivationStrategy, Application, HostId, Placement};
 use laar_runtime::{LiveReport, LiveRuntime, RuntimeConfig};
@@ -67,17 +68,27 @@ fn message<E: std::fmt::Display>(e: E) -> CliError {
 }
 
 /// The `generate` command: emit a synthetic contract, placement, and trace.
+/// `scale` multiplies the deployment (PEs, hosts, and source rates) after
+/// the explicit sizes, so `--pes 24 --hosts 8 --scale 8` yields the 192-PE
+/// 64-host deployment with proportionally faster sources.
 pub fn cmd_generate(
     num_pes: usize,
     num_hosts: usize,
     seed: u64,
+    scale: f64,
 ) -> Result<(Application, Placement, InputTrace), CliError> {
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err(CliError::Message(format!(
+            "bad --scale {scale}: must be a positive number"
+        )));
+    }
     let gen = generate_app(
         &GenParams {
             num_pes,
             num_hosts,
             ..GenParams::default()
-        },
+        }
+        .scaled(scale),
         seed,
     );
     let trace = InputTrace::low_high_centered(
@@ -177,18 +188,28 @@ pub fn parse_failure(
     }
 }
 
-/// The `simulate` command: one run on the simulated cluster.
+/// The `simulate` command: one run on the simulated cluster. `threads > 1`
+/// schedules hosts in parallel; the metrics are bit-identical to a
+/// single-threaded run by construction.
 pub fn cmd_simulate(
     app: &Application,
     placement: &Placement,
     strategy: ActivationStrategy,
     trace: &InputTrace,
     plan: FailurePlan,
+    threads: usize,
 ) -> Result<SimMetrics, CliError> {
+    if threads == 0 {
+        return Err(CliError::Message("--threads must be at least 1".to_owned()));
+    }
     strategy
         .validate(app.graph(), app.configs().num_configs(), placement.k())
         .map_err(message)?;
-    Ok(Simulation::new(app, placement, strategy, trace, plan, SimConfig::default()).run())
+    let cfg = SimConfig {
+        threads,
+        ..SimConfig::default()
+    };
+    Ok(Simulation::new(app, placement, strategy, trace, plan, cfg).run())
 }
 
 /// The `run-live` command: execute the deployment on the live threaded
@@ -301,11 +322,20 @@ pub fn cmd_variants(
 }
 
 /// One row of the `bench-sim` report: wall-clock time and simulated-quanta
-/// throughput of one fixture under both time-advance engines.
+/// throughput of one fixture at one worker-thread count, under both
+/// time-advance engines.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct BenchSimRow {
     /// Fixture name.
     pub name: String,
+    /// Worker threads of this row (`SimConfig::threads`).
+    pub threads: usize,
+    /// Hardware threads of the machine the row was measured on — parallel
+    /// speedups are only meaningful when `host_cores > 1`.
+    pub host_cores: usize,
+    /// Hosts in the simulated deployment (the parallel grain: one quantum
+    /// fans out at most `num_hosts` ways).
+    pub num_hosts: usize,
     /// Simulated trace length (seconds).
     pub trace_secs: f64,
     /// Scheduling quantum (seconds): `trace_secs / quantum` quanta of
@@ -324,23 +354,49 @@ pub struct BenchSimRow {
     pub event_driven_quanta_per_sec: f64,
     /// `fixed_quantum_wall_secs / event_driven_wall_secs`.
     pub speedup: f64,
-    /// Total tuples processed (identical across engines by construction;
-    /// recorded so regressions in *what* was simulated are visible too).
+    /// `fixed_quantum_wall_secs` of this fixture's threads=1 row divided by
+    /// this row's — the parallel speedup of the scheduling phase fan-out.
+    pub speedup_vs_single_thread: f64,
+    /// Total tuples processed (identical across engines and thread counts
+    /// by construction; recorded so regressions in *what* was simulated are
+    /// visible too).
     pub total_processed: u64,
+    /// Wall seconds in the control plane (failures, commands, elections) of
+    /// one profiled fixed-quantum run. Phase timings are measurement, not
+    /// simulation state: they never enter the bit-compared [`SimMetrics`].
+    pub phase_control_secs: f64,
+    /// Wall seconds emitting source tuples, same profiled run.
+    pub phase_emission_secs: f64,
+    /// Wall seconds in GPS CPU scheduling — the phase `threads` fans out.
+    pub phase_scheduling_secs: f64,
+    /// Wall seconds forwarding births downstream, same profiled run.
+    pub phase_forwarding_secs: f64,
+    /// Wall seconds attributing metrics and snapshotting, same profiled run.
+    pub phase_accounting_secs: f64,
 }
 
-/// The `bench-sim` command: measure paper-scale simulator throughput under
-/// both time-advance engines on the fixtures that anchor the evaluation —
-/// the Fig. 9 unit of work (24 PEs, 300 s, Low/High trace), a
-/// quiescent-heavy Low-rate variant (the event-driven best case), a
-/// saturated High-rate variant (the worst case: work never stops), and the
-/// small Fig. 3 pipeline. Each fixture is run `iters` times per engine and
-/// the best wall time is kept; metrics equality across engines is asserted
-/// on every run.
-pub fn cmd_bench_sim(iters: u32) -> Result<Vec<BenchSimRow>, CliError> {
+/// The `bench-sim` command: measure simulator throughput under both
+/// time-advance engines on the fixtures that anchor the evaluation — the
+/// Fig. 9 unit of work (24 PEs, 300 s, Low/High trace), a quiescent-heavy
+/// Low-rate variant (the event-driven best case), a saturated High-rate
+/// variant (the worst case: work never stops), the small Fig. 3 pipeline —
+/// plus two saturated scale-ups of the paper deployment (8× → 192 PEs on
+/// 32 hosts, 32× → 768 PEs on 128 hosts) where the host-parallel
+/// scheduling phase has enough grain to pay off. Every fixture runs at
+/// every `threads` count; each (fixture, engine, threads) cell is run
+/// `iters` times and the best wall time kept. Metrics equality is asserted
+/// across engines *and* across thread counts on every run — the benchmark
+/// doubles as the determinism oracle.
+pub fn cmd_bench_sim(iters: u32, threads: &[usize]) -> Result<Vec<BenchSimRow>, CliError> {
     if iters == 0 {
         return Err(CliError::Message("--iters must be at least 1".to_owned()));
     }
+    if threads.is_empty() || threads.contains(&0) {
+        return Err(CliError::Message(
+            "--threads needs a comma-separated list of positive thread counts".to_owned(),
+        ));
+    }
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let gen = generate_app(&GenParams::default(), 7);
     let np = gen.app.graph().num_pes();
     let sr = ActivationStrategy::all_active(np, 2, 2);
@@ -354,13 +410,23 @@ pub fn cmd_bench_sim(iters: u32) -> Result<Vec<BenchSimRow>, CliError> {
     let fig3_trace = InputTrace::low_high_centered(4.0, 8.0, 150.0, 0.4);
     let fig3_sr = ActivationStrategy::all_active(2, 2, 2);
 
+    // Scale-ups of the paper deployment, saturated so the scheduling phase
+    // dominates: shorter traces keep total work tractable while each
+    // quantum carries 8×/32× the per-quantum grain.
+    let gen8 = generate_app(&GenParams::default().scaled(8.0), 7);
+    let sr8 = ActivationStrategy::all_active(gen8.app.graph().num_pes(), 2, 2);
+    let sat8_trace = InputTrace::constant(&[gen8.high_rate], 120.0);
+    let gen32 = generate_app(&GenParams::default().scaled(32.0), 7);
+    let sr32 = ActivationStrategy::all_active(gen32.app.graph().num_pes(), 2, 2);
+    let sat32_trace = InputTrace::constant(&[gen32.high_rate], 60.0);
+
     let fixtures: [(
         &str,
         &Application,
         &Placement,
         &ActivationStrategy,
         &InputTrace,
-    ); 4] = [
+    ); 6] = [
         (
             "fig9_best_case_24pe_300s",
             &gen.app,
@@ -389,55 +455,144 @@ pub fn cmd_bench_sim(iters: u32) -> Result<Vec<BenchSimRow>, CliError> {
             &fig3_sr,
             &fig3_trace,
         ),
+        (
+            "scale8_saturated_192pe_32host_120s",
+            &gen8.app,
+            &gen8.placement,
+            &sr8,
+            &sat8_trace,
+        ),
+        (
+            "scale32_saturated_768pe_128host_60s",
+            &gen32.app,
+            &gen32.placement,
+            &sr32,
+            &sat32_trace,
+        ),
     ];
 
-    let mut rows = Vec::new();
+    let mut rows: Vec<BenchSimRow> = Vec::new();
     for (name, app, placement, strategy, trace) in fixtures {
-        let time_one = |advance: laar_dsps::TimeAdvance| -> (f64, SimMetrics) {
-            let mut best = f64::INFINITY;
-            let mut metrics = None;
-            for _ in 0..iters {
-                let sim = Simulation::new(
-                    app,
-                    placement,
-                    strategy.clone(),
-                    trace,
-                    FailurePlan::None,
-                    SimConfig {
-                        advance,
-                        ..SimConfig::default()
-                    },
-                );
-                let start = std::time::Instant::now();
-                let m = sim.run();
-                best = best.min(start.elapsed().as_secs_f64());
-                metrics = Some(m);
+        let mut reference: Option<SimMetrics> = None;
+        let mut single_thread_wall = f64::NAN;
+        for &nthreads in threads {
+            let make_cfg = |advance: laar_dsps::TimeAdvance| SimConfig {
+                advance,
+                threads: nthreads,
+                ..SimConfig::default()
+            };
+            let time_one = |advance: laar_dsps::TimeAdvance| -> (f64, SimMetrics) {
+                let mut best = f64::INFINITY;
+                let mut metrics = None;
+                for _ in 0..iters {
+                    let sim = Simulation::new(
+                        app,
+                        placement,
+                        strategy.clone(),
+                        trace,
+                        FailurePlan::None,
+                        make_cfg(advance),
+                    );
+                    let start = std::time::Instant::now();
+                    let m = sim.run();
+                    best = best.min(start.elapsed().as_secs_f64());
+                    metrics = Some(m);
+                }
+                (best, metrics.expect("iters >= 1"))
+            };
+            let (fixed_wall, fixed_m) = time_one(laar_dsps::TimeAdvance::FixedQuantum);
+            let (event_wall, event_m) = time_one(laar_dsps::TimeAdvance::EventDriven);
+            if fixed_m != event_m {
+                return Err(CliError::Message(format!(
+                    "{name}: event-driven metrics diverged from the fixed-quantum \
+                     reference at threads={nthreads}"
+                )));
             }
-            (best, metrics.expect("iters >= 1"))
-        };
-        let (fixed_wall, fixed_m) = time_one(laar_dsps::TimeAdvance::FixedQuantum);
-        let (event_wall, event_m) = time_one(laar_dsps::TimeAdvance::EventDriven);
-        if fixed_m != event_m {
-            return Err(CliError::Message(format!(
-                "{name}: event-driven metrics diverged from the fixed-quantum reference"
-            )));
+            match &reference {
+                None => reference = Some(fixed_m),
+                Some(r) => {
+                    if *r != fixed_m {
+                        return Err(CliError::Message(format!(
+                            "{name}: metrics at threads={nthreads} diverged from \
+                             threads={} — parallel determinism is broken",
+                            threads[0]
+                        )));
+                    }
+                }
+            }
+            // Phase breakdown from one separate profiled run so the clock
+            // overhead never contaminates the timed cells above.
+            let (_, profile): (SimMetrics, PhaseProfile) = Simulation::new(
+                app,
+                placement,
+                strategy.clone(),
+                trace,
+                FailurePlan::None,
+                make_cfg(laar_dsps::TimeAdvance::FixedQuantum),
+            )
+            .run_profiled();
+            if nthreads == 1 || single_thread_wall.is_nan() {
+                single_thread_wall = fixed_wall;
+            }
+            let cfg = SimConfig::default();
+            let quanta = (trace.duration / cfg.quantum).round() as u64;
+            rows.push(BenchSimRow {
+                name: name.to_owned(),
+                threads: nthreads,
+                host_cores,
+                num_hosts: placement.num_hosts(),
+                trace_secs: trace.duration,
+                quantum: cfg.quantum,
+                quanta,
+                fixed_quantum_wall_secs: fixed_wall,
+                fixed_quantum_quanta_per_sec: quanta as f64 / fixed_wall.max(1e-12),
+                event_driven_wall_secs: event_wall,
+                event_driven_quanta_per_sec: quanta as f64 / event_wall.max(1e-12),
+                speedup: fixed_wall / event_wall.max(1e-12),
+                speedup_vs_single_thread: single_thread_wall / fixed_wall.max(1e-12),
+                total_processed: event_m.total_processed(),
+                phase_control_secs: profile.control_secs,
+                phase_emission_secs: profile.emission_secs,
+                phase_scheduling_secs: profile.scheduling_secs,
+                phase_forwarding_secs: profile.forwarding_secs,
+                phase_accounting_secs: profile.accounting_secs,
+            });
         }
-        let cfg = SimConfig::default();
-        let quanta = (trace.duration / cfg.quantum).round() as u64;
-        rows.push(BenchSimRow {
-            name: name.to_owned(),
-            trace_secs: trace.duration,
-            quantum: cfg.quantum,
-            quanta,
-            fixed_quantum_wall_secs: fixed_wall,
-            fixed_quantum_quanta_per_sec: quanta as f64 / fixed_wall.max(1e-12),
-            event_driven_wall_secs: event_wall,
-            event_driven_quanta_per_sec: quanta as f64 / event_wall.max(1e-12),
-            speedup: fixed_wall / event_wall.max(1e-12),
-            total_processed: event_m.total_processed(),
-        });
     }
     Ok(rows)
+}
+
+/// The `bench-solver` command: every corpus instance solved sequentially
+/// and with the deterministic parallel driver under identical options; the
+/// paired rows make both the cost agreement and the schedule-dependent
+/// statistics (nodes, time-to-first, time-to-optimum) visible side by side.
+pub fn cmd_bench_solver(
+    instances: usize,
+    seed: u64,
+    ic: f64,
+    time_limit: Duration,
+    threads: usize,
+) -> Result<Vec<SolverBenchRow>, CliError> {
+    if instances == 0 {
+        return Err(CliError::Message(
+            "--instances must be at least 1".to_owned(),
+        ));
+    }
+    if threads == 0 {
+        return Err(CliError::Message("--threads must be at least 1".to_owned()));
+    }
+    if !(0.0..1.0).contains(&ic) {
+        return Err(CliError::Message(format!(
+            "bad --ic {ic}: must be in [0, 1)"
+        )));
+    }
+    Ok(benchmark_solver(&SolverBenchConfig {
+        num_instances: instances,
+        seed,
+        ic_constraint: ic,
+        time_limit,
+        threads,
+    }))
 }
 
 /// One row of the `bench-runtime` report: one fixture at one `time_scale`,
@@ -735,7 +890,27 @@ mod tests {
 
     fn artifacts() -> (Application, Placement, InputTrace) {
         // Seed chosen so the IC 0.7 SLA is feasible (cmd_variants needs it).
-        cmd_generate(6, 3, 1).unwrap()
+        cmd_generate(6, 3, 1, 1.0).unwrap()
+    }
+
+    #[test]
+    fn generate_scale_multiplies_the_deployment() {
+        let (app, placement, _) = cmd_generate(6, 3, 1, 4.0).unwrap();
+        assert_eq!(app.graph().num_pes(), 24);
+        assert_eq!(placement.num_hosts(), 12);
+        assert!(cmd_generate(6, 3, 1, 0.0).is_err());
+        assert!(cmd_generate(6, 3, 1, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn bench_solver_rows_pair_sequential_and_parallel() {
+        let rows = cmd_bench_solver(2, 11, 0.5, Duration::from_secs(20), 2).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().any(|r| r.mode == "sequential"));
+        assert!(rows.iter().any(|r| r.mode == "parallel"));
+        assert!(cmd_bench_solver(0, 11, 0.5, Duration::from_secs(1), 2).is_err());
+        assert!(cmd_bench_solver(2, 11, 1.5, Duration::from_secs(1), 2).is_err());
+        assert!(cmd_bench_solver(2, 11, 0.5, Duration::from_secs(1), 0).is_err());
     }
 
     #[test]
@@ -750,13 +925,26 @@ mod tests {
             solved.strategy.clone(),
             &trace,
             FailurePlan::None,
+            1,
         )
         .unwrap();
         assert!(metrics.total_processed() > 0);
 
+        // A multi-threaded run is bit-identical to the single-threaded one.
+        let par = cmd_simulate(
+            &app,
+            &placement,
+            solved.strategy.clone(),
+            &trace,
+            FailurePlan::None,
+            3,
+        )
+        .unwrap();
+        assert_eq!(metrics, par);
+
         // Worst-case run through the same interface.
         let plan = parse_failure("worst", &app, &solved.strategy).unwrap();
-        let worst = cmd_simulate(&app, &placement, solved.strategy, &trace, plan).unwrap();
+        let worst = cmd_simulate(&app, &placement, solved.strategy, &trace, plan, 1).unwrap();
         assert!(worst.total_processed() <= metrics.total_processed());
     }
 
@@ -842,6 +1030,6 @@ mod tests {
     fn invalid_strategy_is_rejected_by_simulate() {
         let (app, placement, trace) = artifacts();
         let bad = ActivationStrategy::all_inactive(6, 2, 2);
-        assert!(cmd_simulate(&app, &placement, bad, &trace, FailurePlan::None).is_err());
+        assert!(cmd_simulate(&app, &placement, bad, &trace, FailurePlan::None, 1).is_err());
     }
 }

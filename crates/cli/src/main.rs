@@ -2,8 +2,8 @@
 //! Fig. 7 as JSON-file plumbing. Run `laar help` for usage.
 
 use laar_cli::{
-    cmd_bench_runtime, cmd_bench_sim, cmd_generate, cmd_profile, cmd_run_live, cmd_simulate,
-    cmd_solve, cmd_variants, parse_failure, CliError,
+    cmd_bench_runtime, cmd_bench_sim, cmd_bench_solver, cmd_generate, cmd_profile, cmd_run_live,
+    cmd_simulate, cmd_solve, cmd_variants, parse_failure, CliError,
 };
 use laar_dsps::InputTrace;
 use laar_model::{ActivationStrategy, Application, Placement};
@@ -14,13 +14,15 @@ const USAGE: &str = "\
 laar — Load-Adaptive Active Replication pipeline (EDBT 2014 reproduction)
 
 USAGE:
-  laar generate --pes N --hosts N [--seed N] --contract OUT --placement OUT --trace OUT
+  laar generate --pes N --hosts N [--seed N] [--scale X] --contract OUT --placement OUT --trace OUT
   laar solve    --contract F --placement F --ic X [--time-limit SECS] [--soft LAMBDA] --strategy OUT
-  laar simulate --contract F --placement F --strategy F --trace F [--failure none|worst|host:<id>@<secs>] [--metrics OUT]
+  laar simulate --contract F --placement F --strategy F --trace F [--failure none|worst|host:<id>@<secs>] [--threads N] [--metrics OUT]
   laar run-live --contract F --placement F --strategy F --trace F [--failure ...] [--speed X] [--metrics OUT]
   laar variants --contract F --placement F --trace F [--time-limit SECS]
   laar profile  --contract F --placement F [--probes N]
-  laar bench-sim [--iters N] [--out BENCH_sim.json]
+  laar bench-sim [--iters N] [--threads N,M,..] [--out BENCH_sim.json]
+  laar bench-solver [--instances N] [--seed N] [--ic X] [--threads N]
+                    [--time-limit SECS] [--out BENCH_solver.json]
   laar bench-runtime [--scales X,Y,..] [--baseline F] [--test]
                      [--out BENCH_runtime.json]
 
@@ -94,14 +96,22 @@ fn run() -> Result<(), CliError> {
                 .transpose()
                 .map_err(|e| CliError::Message(format!("bad --seed: {e}")))?
                 .unwrap_or(1);
-            let (app, placement, trace) = cmd_generate(pes, hosts, seed)?;
+            let scale: f64 = flags
+                .get("scale")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|e| CliError::Message(format!("bad --scale: {e}")))?
+                .unwrap_or(1.0);
+            let (app, placement, trace) = cmd_generate(pes, hosts, seed, scale)?;
+            println!(
+                "generated {} PEs on {} hosts (seed {seed}, scale {scale}); \
+                 contract, placement, and trace written",
+                app.graph().num_pes(),
+                placement.num_hosts(),
+            );
             write_json(need(&flags, "contract")?, &app)?;
             write_json(need(&flags, "placement")?, &placement)?;
             write_json(need(&flags, "trace")?, &trace)?;
-            println!(
-                "generated {} PEs on {} hosts (seed {seed}); contract, placement, and trace written",
-                pes, hosts
-            );
         }
         "solve" => {
             let app: Application = read_json(need(&flags, "contract")?)?;
@@ -139,7 +149,13 @@ fn run() -> Result<(), CliError> {
                 .map_err(|e| CliError::Message(e.to_string()))?;
             let failure = flags.get("failure").map(String::as_str).unwrap_or("none");
             let plan = parse_failure(failure, &app, &strategy)?;
-            let metrics = cmd_simulate(&app, &placement, strategy, &trace, plan)?;
+            let threads: usize = flags
+                .get("threads")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|e| CliError::Message(format!("bad --threads: {e}")))?
+                .unwrap_or(1);
+            let metrics = cmd_simulate(&app, &placement, strategy, &trace, plan, threads)?;
             println!(
                 "processed {} tuples, {} sink outputs, {} drops, {:.1} CPU-s, \
                  mean latency {:.0} ms (p99 {:.0} ms), {} fail-overs",
@@ -241,20 +257,42 @@ fn run() -> Result<(), CliError> {
                 .transpose()
                 .map_err(|e| CliError::Message(format!("bad --iters: {e}")))?
                 .unwrap_or(3);
-            let rows = cmd_bench_sim(iters)?;
+            let threads: Vec<usize> = match flags.get("threads") {
+                Some(list) => list
+                    .split(',')
+                    .map(|v| {
+                        v.trim().parse().map_err(|e| {
+                            CliError::Message(format!("bad --threads entry {v:?}: {e}"))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+                None => vec![1, 2, 4],
+            };
+            let rows = cmd_bench_sim(iters, &threads)?;
             println!(
-                "{:<32} {:>10} {:>10} {:>12} {:>12} {:>8}",
-                "fixture", "fixed (s)", "event (s)", "fixed q/s", "event q/s", "speedup"
+                "{:<36} {:>4} {:>10} {:>10} {:>12} {:>12} {:>8} {:>8} {:>9}",
+                "fixture",
+                "thr",
+                "fixed (s)",
+                "event (s)",
+                "fixed q/s",
+                "event q/s",
+                "speedup",
+                "vs 1thr",
+                "sched (s)"
             );
             for r in &rows {
                 println!(
-                    "{:<32} {:>10.3} {:>10.3} {:>12.0} {:>12.0} {:>7.2}x",
+                    "{:<36} {:>4} {:>10.3} {:>10.3} {:>12.0} {:>12.0} {:>7.2}x {:>7.2}x {:>9.3}",
                     r.name,
+                    r.threads,
                     r.fixed_quantum_wall_secs,
                     r.event_driven_wall_secs,
                     r.fixed_quantum_quanta_per_sec,
                     r.event_driven_quanta_per_sec,
                     r.speedup,
+                    r.speedup_vs_single_thread,
+                    r.phase_scheduling_secs,
                 );
             }
             let out = flags
@@ -263,6 +301,74 @@ fn run() -> Result<(), CliError> {
                 .unwrap_or("BENCH_sim.json");
             write_json(out, &rows)?;
             println!("simulator throughput report written to {out}");
+        }
+        "bench-solver" => {
+            let parse_usize = |key: &str, default: usize| -> Result<usize, CliError> {
+                flags
+                    .get(key)
+                    .map(|v| v.parse())
+                    .transpose()
+                    .map_err(|e| CliError::Message(format!("bad --{key}: {e}")))
+                    .map(|v| v.unwrap_or(default))
+            };
+            let instances = parse_usize("instances", 8)?;
+            let threads = parse_usize("threads", 4)?;
+            let seed: u64 = flags
+                .get("seed")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|e| CliError::Message(format!("bad --seed: {e}")))?
+                .unwrap_or(0xF7_5EA7C4);
+            let ic: f64 = flags
+                .get("ic")
+                .map(|v| v.parse())
+                .transpose()
+                .map_err(|e| CliError::Message(format!("bad --ic: {e}")))?
+                .unwrap_or(0.7);
+            let limit = flags
+                .get("time-limit")
+                .map(|v| v.parse::<f64>().map(Duration::from_secs_f64))
+                .transpose()
+                .map_err(|e| CliError::Message(format!("bad --time-limit: {e}")))?
+                .unwrap_or(Duration::from_secs(30));
+            let rows = cmd_bench_solver(instances, seed, ic, limit, threads)?;
+            println!(
+                "{:<8} {:>6} {:>4} {:<10} {:>3} {:>5} {:>12} {:>10} {:>10} {:>10} {:>12}",
+                "inst",
+                "hosts",
+                "pph",
+                "mode",
+                "thr",
+                "label",
+                "nodes",
+                "first(ms)",
+                "best(ms)",
+                "wall(ms)",
+                "cost"
+            );
+            for r in &rows {
+                let opt = |v: Option<f64>| v.map_or("-".to_owned(), |x| format!("{x:.1}"));
+                println!(
+                    "{:<8} {:>6} {:>4} {:<10} {:>3} {:>5} {:>12} {:>10} {:>10} {:>10.1} {:>12}",
+                    r.instance,
+                    r.num_hosts,
+                    r.pes_per_host,
+                    r.mode,
+                    r.threads,
+                    r.label,
+                    r.nodes,
+                    opt(r.time_to_first_ms),
+                    opt(r.time_to_best_ms),
+                    r.elapsed_ms,
+                    opt(r.best_cost),
+                );
+            }
+            let out = flags
+                .get("out")
+                .map(String::as_str)
+                .unwrap_or("BENCH_solver.json");
+            write_json(out, &rows)?;
+            println!("solver benchmark report written to {out}");
         }
         "bench-runtime" => {
             let smoke = flags.get("test").map(String::as_str) == Some("true");

@@ -22,8 +22,13 @@
 //! `TMO` (timed out with nothing).
 //!
 //! [`solve`] is the sequential solver; [`solve_parallel`] splits the top of
-//! the tree across threads with a shared incumbent (the paper used the
-//! JSR-166 Fork/Join framework; we use `rayon`).
+//! the tree across OS threads with a shared incumbent (the paper used the
+//! JSR-166 Fork/Join framework). The parallel solver is **deterministic in
+//! its incumbent**: identical (assignment, cost, FIC) for any thread count,
+//! because near-incumbent subtrees are never pruned (so every exact-minimal
+//! leaf is visited under any schedule) and solutions are kept under a total
+//! order (exact cost, then lexicographic assignment). Node counts and
+//! timings remain schedule-dependent.
 
 pub mod decompose;
 mod prep;
@@ -40,8 +45,24 @@ use laar_model::ActivationStrategy;
 use parking_lot::Mutex;
 use prep::Prep;
 use search::{Engine, RawSolution, Val};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+/// The total order under which solutions are kept: exact cost first, then
+/// lexicographic assignment. The eps-band used for *pruning* is
+/// deliberately absent here — an eps-tie comparison is not transitive
+/// (costs `C`, `C+ε`, `C+2ε` form a cycle of "ties"), which would make the
+/// winner depend on arrival order. Under this total order the final
+/// incumbent is the lexicographically smallest exact-minimal-cost leaf, a
+/// schedule-independent quantity.
+#[inline]
+pub(crate) fn better_solution(a: &RawSolution, b: &RawSolution) -> bool {
+    match a.cost_rate.partial_cmp(&b.cost_rate) {
+        Some(std::cmp::Ordering::Less) => true,
+        Some(std::cmp::Ordering::Greater) => false,
+        _ => a.assign < b.assign,
+    }
+}
 
 /// Tunables for one FT-Search run.
 #[derive(Debug, Clone)]
@@ -66,7 +87,7 @@ pub struct FtSearchConfig {
     /// after visiting this many nodes. Unlike the wall-clock limit this is
     /// reproducible across machines and runs.
     pub node_limit: Option<u64>,
-    /// Worker threads for [`solve_parallel`] (`0` = rayon's default).
+    /// Worker threads for [`solve_parallel`] (`0` = all available cores).
     pub threads: usize,
 }
 
@@ -177,13 +198,23 @@ impl SharedBest {
         self.cancelled.load(Ordering::Relaxed)
     }
 
-    /// Install `sol` if it improves the shared incumbent.
+    /// Install `sol` if it wins the [`better_solution`] total order against
+    /// the shared incumbent. `cost_bits` is maintained separately as a
+    /// monotone bound (the cheapest cost anyone has seen) — it only ever
+    /// tightens pruning, never decides which solution is kept.
     pub(crate) fn offer(&self, sol: &RawSolution) {
-        let mut cur = self.cost_bits.load(Ordering::Acquire);
-        loop {
-            if sol.cost_rate >= f64::from_bits(cur) {
-                return;
+        {
+            let mut guard = self.sol.lock();
+            let replace = match guard.as_ref() {
+                Some(existing) => better_solution(sol, existing),
+                None => true,
+            };
+            if replace {
+                *guard = Some(sol.clone());
             }
+        }
+        let mut cur = self.cost_bits.load(Ordering::Acquire);
+        while sol.cost_rate < f64::from_bits(cur) {
             match self.cost_bits.compare_exchange_weak(
                 cur,
                 sol.cost_rate.to_bits(),
@@ -193,11 +224,6 @@ impl SharedBest {
                 Ok(_) => break,
                 Err(actual) => cur = actual,
             }
-        }
-        let mut guard = self.sol.lock();
-        match guard.as_ref() {
-            Some(existing) if existing.cost_rate <= sol.cost_rate => {}
-            _ => *guard = Some(sol.clone()),
         }
     }
 }
@@ -475,18 +501,27 @@ fn enumerate_prefixes(depth: usize) -> Vec<Vec<Val>> {
 }
 
 /// Run FT-Search with the top `split_depth` levels of the tree fanned out
-/// over a rayon thread pool, sharing the incumbent cost bound across workers
-/// (the parallel implementation of §4.5).
+/// over OS threads, sharing the incumbent cost bound across workers (the
+/// parallel implementation of §4.5).
 ///
-/// Worker statistics are merged; `time_to_first`/`time_to_best` reflect the
-/// earliest/cheapest across workers.
+/// The returned incumbent (assignment, cost, FIC) is **identical for every
+/// thread count** on runs that complete within their limits: workers run
+/// in tie-keeping mode (COST pruning keeps an eps-slack above the shared
+/// incumbent, so every exact-minimal-cost leaf is visited regardless of
+/// how fast other workers tighten the bound) and all merging — worker
+/// locals in prefix order, then the shared incumbent — uses the
+/// [`better_solution`] total order. Worker statistics are merged;
+/// `time_to_first`/`time_to_best` reflect the earliest/cheapest across
+/// workers and, like node counts, remain schedule-dependent.
 pub fn solve_parallel(problem: &Problem, opts: &FtSearchConfig) -> Result<SearchReport, CoreError> {
     if problem.k() != 2 {
         return Err(CoreError::UnsupportedReplication { k: problem.k() });
     }
     let prep = Prep::build(problem);
     let threads = if opts.threads == 0 {
-        rayon::current_num_threads()
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         opts.threads
     };
@@ -510,7 +545,9 @@ pub fn solve_parallel(problem: &Problem, opts: &FtSearchConfig) -> Result<Search
     }
     let prefixes = enumerate_prefixes(split_depth);
 
-    let run_task = |prefix: &Vec<Val>| -> (Option<RawSolution>, bool, SearchStats) {
+    // (incumbent, timed out, stats) of one prefix subtree.
+    type PrefixResult = (Option<RawSolution>, bool, SearchStats);
+    let run_task = |prefix: &Vec<Val>| -> PrefixResult {
         let mut engine = Engine::new(&prep, opts, start, deadline, Some(&shared));
         if !engine.push_prefix(prefix) {
             let stats = engine.stats.clone();
@@ -521,38 +558,63 @@ pub fn solve_parallel(problem: &Problem, opts: &FtSearchConfig) -> Result<Search
         (best, timed_out, stats)
     };
 
-    let results: Vec<(Option<RawSolution>, bool, SearchStats)> = if opts.threads == 1 {
-        prefixes.iter().map(run_task).collect()
+    let results: Vec<Option<PrefixResult>> = if threads == 1 {
+        prefixes.iter().map(|p| Some(run_task(p))).collect()
     } else {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("thread pool");
-        pool.install(|| {
-            use rayon::prelude::*;
-            prefixes.par_iter().map(run_task).collect()
-        })
+        // Real OS threads pulling prefixes from a shared work index; each
+        // thread keeps its (prefix index, result) pairs locally and the
+        // results are re-ordered by prefix index afterwards, so the merge
+        // below is independent of which thread ran what.
+        let next = AtomicUsize::new(0);
+        let gathered: Vec<(usize, PrefixResult)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= prefixes.len() {
+                                break;
+                            }
+                            local.push((i, run_task(&prefixes[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("solver worker panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<PrefixResult>> = (0..prefixes.len()).map(|_| None).collect();
+        for (i, r) in gathered {
+            slots[i] = Some(r);
+        }
+        slots
     };
 
     let mut stats = SearchStats::default();
     let mut best: Option<RawSolution> = None;
     let mut timed_out = false;
-    for (sol, to, st) in results {
+    for entry in results.into_iter().flatten() {
+        let (sol, to, st) = entry;
         stats.merge(&st);
         timed_out |= to;
         if let Some(s) = sol {
-            match &best {
-                Some(b) if b.cost_rate <= s.cost_rate => {}
-                _ => best = Some(s),
+            if best.as_ref().is_none_or(|b| better_solution(&s, b)) {
+                best = Some(s);
             }
         }
     }
     // The shared incumbent may hold a solution found by a worker whose local
-    // best was later overwritten; prefer the cheapest overall.
+    // best was later overwritten; fold it in under the same total order.
     if let Some(shared_sol) = shared.sol.lock().take() {
-        match &best {
-            Some(b) if b.cost_rate <= shared_sol.cost_rate => {}
-            _ => best = Some(shared_sol),
+        if best
+            .as_ref()
+            .is_none_or(|b| better_solution(&shared_sol, b))
+        {
+            best = Some(shared_sol);
         }
     }
     stats.proved = !timed_out;

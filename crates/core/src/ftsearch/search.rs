@@ -211,10 +211,21 @@ impl<'a> Engine<'a> {
                 self.unassign(v, val);
                 continue;
             }
-            // Pruning on cost lower bound (COST).
+            // Pruning on cost lower bound (COST). With a shared incumbent
+            // (parallel tie-keeping mode) the cut keeps an eps-slack *above*
+            // the bound instead of below it: subtrees that might contain an
+            // exact-minimal-cost leaf are always explored no matter how fast
+            // another worker tightened the incumbent, which is what makes the
+            // parallel result schedule-independent.
             if self.opts.prune_cost {
                 if let Some(best) = self.incumbent_cost() {
-                    if self.cost + self.cost_lb_rem >= best * (1.0 - BOUND_EPS) {
+                    let lb = self.cost + self.cost_lb_rem;
+                    let prune = if self.shared.is_some() {
+                        lb > best * (1.0 + BOUND_EPS)
+                    } else {
+                        lb >= best * (1.0 - BOUND_EPS)
+                    };
+                    if prune {
                         self.stats.record_prune(PruneKind::Cost, height);
                         self.unassign(v, val);
                         continue;
@@ -409,21 +420,36 @@ impl<'a> Engine<'a> {
             // Only reachable when CPU pruning is disabled (ablation mode).
             return;
         }
-        let improving = match self.incumbent_cost() {
+        let incumbent = self.incumbent_cost();
+        let improving = match incumbent {
             Some(b) => cost < b * (1.0 - BOUND_EPS),
             None => true,
         };
-        if !improving {
+        if self.shared.is_none() {
+            // Sequential mode: strict improvement or nothing.
+            if !improving {
+                return;
+            }
+            self.note_solution(cost, true);
+            self.best = Some(RawSolution {
+                assign: self.assign.clone(),
+                cost_rate: cost,
+                fic_rate: fic,
+            });
             return;
         }
-        let now = self.start.elapsed();
-        if self.stats.time_to_first.is_none() {
-            self.stats.time_to_first = Some(now);
-            self.stats.first_cost = Some(cost);
+        // Parallel tie-keeping mode: keep every leaf within the eps-band of
+        // the incumbent (the tie-keeping COST cut guarantees such leaves are
+        // always reached) and resolve ties by the total order, so the final
+        // incumbent does not depend on which worker got there first.
+        let keep = match incumbent {
+            Some(b) => cost <= b * (1.0 + BOUND_EPS),
+            None => true,
+        };
+        if !keep {
+            return;
         }
-        self.stats.time_to_best = Some(now);
-        self.stats.best_cost = Some(cost);
-        self.stats.improvements += 1;
+        self.note_solution(cost, improving);
         let sol = RawSolution {
             assign: self.assign.clone(),
             cost_rate: cost,
@@ -432,7 +458,30 @@ impl<'a> Engine<'a> {
         if let Some(sh) = self.shared {
             sh.offer(&sol);
         }
-        self.best = Some(sol);
+        let replace = match &self.best {
+            Some(b) => super::better_solution(&sol, b),
+            None => true,
+        };
+        if replace {
+            self.best = Some(sol);
+        }
+    }
+
+    /// Update first/best statistics for a kept leaf. `improving` preserves
+    /// the historical semantics: only strict cost improvements count as
+    /// improvements or move `time_to_best` (tie-kept equal-cost solutions
+    /// do not).
+    fn note_solution(&mut self, cost: f64, improving: bool) {
+        let now = self.start.elapsed();
+        if self.stats.time_to_first.is_none() {
+            self.stats.time_to_first = Some(now);
+            self.stats.first_cost = Some(cost);
+        }
+        if improving {
+            self.stats.time_to_best = Some(now);
+            self.stats.best_cost = Some(cost);
+            self.stats.improvements += 1;
+        }
     }
 
     /// Exact (non-incremental) evaluation of the current complete assignment.

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+mod pool;
 pub mod profiler;
 pub mod sim;
 pub mod trace;
@@ -33,6 +34,6 @@ pub use laar_exec::failure::{strategy_after_worst_case, FailurePlan};
 pub use laar_exec::replica::{InPort, Replica};
 pub use laar_exec::ReplicaStatus;
 pub use metrics::{LatencyStats, SimMetrics, TimeSeries};
-pub use profiler::{profile_application, EstimatedDescriptor};
+pub use profiler::{profile_application, EstimatedDescriptor, PhaseProfile};
 pub use sim::{SimConfig, Simulation, TimeAdvance};
 pub use trace::{ArrivalProcess, InputTrace, RateSchedule, SourceEmitter};

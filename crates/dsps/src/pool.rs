@@ -1,0 +1,210 @@
+//! A persistent phase-scoped worker pool for the parallel simulation path.
+//!
+//! The simulator dispatches two short parallel phases per executed quantum
+//! (CPU scheduling, then destination-side forwarding). Spawning OS threads
+//! per quantum would dwarf the work, and `std::thread::scope` borrows would
+//! pin the replica arena for the whole run — the coordinator needs it back
+//! between phases. So the pool keeps `n` parked workers alive for the run
+//! and hands them boxed tasks per dispatch; [`WorkerPool::scope_run`] does
+//! not return until every task of the batch has finished, which is what
+//! makes the lifetime erasure below sound and gives each phase its barrier.
+//!
+//! Determinism does not depend on scheduling: tasks within a batch touch
+//! disjoint state by construction (each owns a contiguous host range of the
+//! replica arena), so any interleaving produces the same memory contents.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work for one dispatch: runs once, on whichever thread pops it.
+pub(crate) type Task<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+struct Shared {
+    /// Tasks of the in-flight batch. Single producer (`scope_run`), many
+    /// consumers; the caller participates in draining it.
+    queue: Mutex<Vec<Task<'static>>>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Tasks of the current batch not yet finished (not merely popped).
+    pending: AtomicUsize,
+    done: Mutex<()>,
+    done_cv: Condvar,
+    /// A task panicked on a worker; surfaced to the caller at the barrier.
+    panicked: AtomicBool,
+}
+
+/// Run one task, absorbing any panic into the `panicked` flag (re-raised
+/// at the batch barrier), then mark it finished. Absorbing the panic — on
+/// the caller as much as on workers — is a soundness requirement, not a
+/// convenience: an early unwind out of `scope_run` would leave
+/// lifetime-erased tasks in the queue with dangling borrows.
+fn run_one(shared: &Shared, task: Task<'static>) {
+    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err() {
+        shared.panicked.store(true, Ordering::Release);
+    }
+    if shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let _g = shared.done.lock().unwrap();
+        shared.done_cv.notify_one();
+    }
+}
+
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` parked threads. The caller of [`scope_run`] acts as
+    /// one more executor, so a pool sized `threads - 1` uses `threads`
+    /// cores at the peak of a phase.
+    pub(crate) fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Vec::new()),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            pending: AtomicUsize::new(0),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&sh))
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Run `tasks` across the pool plus the calling thread and return once
+    /// every task has completed (the phase barrier).
+    ///
+    /// Panics from worker-executed tasks are re-raised here so test
+    /// failures inside a phase surface instead of hanging the run.
+    pub(crate) fn scope_run(&self, tasks: Vec<Task<'_>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        // SAFETY: the borrows captured by these tasks live at least as long
+        // as this call, and this call does not return before every task has
+        // run to completion and been dropped (the `pending` barrier below),
+        // so no task observes its captures past their lifetime.
+        let erased: Vec<Task<'static>> = unsafe { std::mem::transmute(tasks) };
+        self.shared.pending.store(erased.len(), Ordering::Release);
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            debug_assert!(q.is_empty());
+            *q = erased;
+        }
+        self.shared.work_cv.notify_all();
+        // The caller drains the queue alongside the workers.
+        while let Some(task) = {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.pop()
+        } {
+            run_one(&self.shared, task);
+        }
+        // Barrier: tasks popped by workers may still be running.
+        let mut g = self.shared.done.lock().unwrap();
+        while self.shared.pending.load(Ordering::Acquire) != 0 {
+            g = self.shared.done_cv.wait(g).unwrap();
+        }
+        drop(g);
+        if self.shared.panicked.swap(false, Ordering::AcqRel) {
+            panic!("a simulation phase task panicked on a pool worker");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _q = self.shared.queue.lock().unwrap();
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(t) = q.pop() {
+                    break t;
+                }
+                q = shared.work_cv.wait(q).unwrap();
+            }
+        };
+        run_one(shared, task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_task_and_barriers() {
+        let pool = WorkerPool::new(3);
+        let mut data = vec![0u64; 64];
+        for round in 1..=10u64 {
+            let tasks: Vec<Task<'_>> = data
+                .chunks_mut(7)
+                .map(|chunk| {
+                    Box::new(move || {
+                        for v in chunk {
+                            *v += round;
+                        }
+                    }) as Task<'_>
+                })
+                .collect();
+            pool.scope_run(tasks);
+        }
+        // 1 + 2 + ... + 10.
+        assert!(data.iter().all(|&v| v == 55), "{data:?}");
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_on_caller() {
+        let pool = WorkerPool::new(0);
+        let mut hits = 0usize;
+        let counter = &mut hits;
+        pool.scope_run(vec![Box::new(move || *counter += 1)]);
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn worker_panic_is_reraised_not_deadlocked() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Enough tasks that workers execute some of them.
+            let tasks: Vec<Task<'_>> = (0..16)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 11 {
+                            panic!("boom");
+                        }
+                    }) as Task<'_>
+                })
+                .collect();
+            pool.scope_run(tasks);
+        }));
+        // Wherever the panicking task ran, the batch completes and the
+        // panic is re-raised at the barrier.
+        assert!(result.is_err());
+        // The pool stays usable afterwards.
+        let mut ok = false;
+        let flag = &mut ok;
+        pool.scope_run(vec![Box::new(move || *flag = true)]);
+        assert!(ok);
+    }
+}

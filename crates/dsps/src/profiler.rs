@@ -21,6 +21,32 @@ use crate::failure::FailurePlan;
 use crate::sim::{SimConfig, Simulation};
 use crate::trace::InputTrace;
 use laar_model::{ActivationStrategy, Application, ComponentId, Placement};
+use serde::Serialize;
+
+/// Wall-clock attribution of a simulation run to its per-quantum phases,
+/// collected by [`Simulation::run_profiled`](crate::sim::Simulation::run_profiled).
+///
+/// This is *measurement about* a run, never simulation state: it does not
+/// participate in [`SimMetrics`](crate::metrics::SimMetrics) equality, so
+/// the golden-equivalence suite stays bit-exact while benchmarks report
+/// where the time went (and which phases host-parallelism actually
+/// accelerates).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct PhaseProfile {
+    /// Failure plan, command application, election, and the monitor poll.
+    pub control_secs: f64,
+    /// Source emission and its coordinator-side bookkeeping.
+    pub emission_secs: f64,
+    /// Source offers + GPS water-filling (the host-parallel phase 1).
+    pub scheduling_secs: f64,
+    /// Primary output staging + destination-side offers (phase 2).
+    pub forwarding_secs: f64,
+    /// Primary work attribution, snapshots, and time advance.
+    pub accounting_secs: f64,
+    /// Quanta actually executed (the event-driven engine skips quiescent
+    /// stretches).
+    pub quanta_executed: u64,
+}
 
 /// The estimated descriptor of one PE: per input port (in `in_edges`
 /// order), the inferred selectivity and per-tuple CPU cost.

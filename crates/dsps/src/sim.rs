@@ -10,15 +10,21 @@
 //! and synchronous tuple delivery.
 //!
 //! Everything is deterministic given (application, placement, strategy,
-//! trace, failure plan, configuration).
+//! trace, failure plan, configuration) — **including the thread count**:
+//! [`SimConfig::threads`] selects a host-parallel execution of each
+//! quantum's CPU-scheduling and forwarding phases that produces
+//! bit-identical [`SimMetrics`] to the sequential engine (see the
+//! host-major arena notes on [`Simulation`] and DESIGN.md §6e).
 
 use crate::metrics::{SimMetrics, TimeSeries};
+use crate::pool::{Task, WorkerPool};
+use crate::profiler::PhaseProfile;
 use crate::trace::{ArrivalProcess, InputTrace, SourceEmitter};
 use laar_core::controller::HaController;
 use laar_core::monitor::RateMonitor;
 use laar_exec::failure::FailurePlan;
 use laar_exec::replica::{InPort, Replica};
-use laar_exec::{Conservation, ControlConfig, ControlLoop, ProxyState};
+use laar_exec::{Conservation, ControlConfig, ControlLoop, ProxyState, SlotMap};
 use laar_model::{ActivationStrategy, Application, ComponentKind, Placement, RateTable};
 
 /// How the simulator advances virtual time between scheduling quanta.
@@ -74,6 +80,15 @@ pub struct SimConfig {
     /// Time-advance engine (event-driven fast path vs the fixed-quantum
     /// reference). Metrics are identical either way.
     pub advance: TimeAdvance,
+    /// OS threads executing the per-host phases of each quantum (CPU
+    /// scheduling and destination-side forwarding). `1` (the default) is
+    /// the sequential reference engine; any value produces bit-identical
+    /// [`SimMetrics`] — hosts are independent within a quantum, per-host
+    /// work keeps its order inside each worker's slice, and every
+    /// cross-host accumulation is merged by the coordinator in fixed PE
+    /// order. Pays off on saturated fixtures with many hosts; on small or
+    /// quiescent fixtures the per-quantum dispatch overhead dominates.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -90,11 +105,84 @@ impl Default for SimConfig {
             controller_enabled: true,
             arrivals: ArrivalProcess::Deterministic,
             advance: TimeAdvance::EventDriven,
+            threads: 1,
         }
     }
 }
 
+/// The simulator's host-major replica arena presented to the proxy
+/// protocol, which addresses slots densely as `pe * k + r`: the
+/// permutation table translates, so the one protocol state machine drives
+/// the arena replicas directly — same transitions, same queue side
+/// effects — regardless of physical layout.
+struct ArenaSlots<'a> {
+    arena: &'a mut [Replica],
+    slot_of: &'a [usize],
+}
+
+impl SlotMap for ArenaSlots<'_> {
+    type Slot = Replica;
+    #[inline]
+    fn slot(&self, i: usize) -> &Replica {
+        &self.arena[self.slot_of[i]]
+    }
+    #[inline]
+    fn slot_mut(&mut self, i: usize) -> &mut Replica {
+        &mut self.arena[self.slot_of[i]]
+    }
+}
+
+/// Wall-clock phase attribution with a single well-predicted branch when
+/// disabled, so the un-profiled hot loop pays nothing measurable.
+struct PhaseClock {
+    enabled: bool,
+    last: std::time::Instant,
+}
+
+impl PhaseClock {
+    fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            last: std::time::Instant::now(),
+        }
+    }
+
+    /// Restart the lap timer without attributing the elapsed time.
+    #[inline]
+    fn reset(&mut self) {
+        if self.enabled {
+            self.last = std::time::Instant::now();
+        }
+    }
+
+    /// Attribute the time since the last lap/reset to `acc`.
+    #[inline]
+    fn lap(&mut self, acc: &mut f64) {
+        if self.enabled {
+            let now = std::time::Instant::now();
+            *acc += now.duration_since(self.last).as_secs_f64();
+            self.last = now;
+        }
+    }
+}
+
+/// One source-offer or forwarding route entry projected onto a host:
+/// `(origin, arena index of the destination replica, port)`. Origin is a
+/// source index for emission routes and an upstream dense PE index for
+/// forwarding routes. Entries are stored per host in the global sequential
+/// offer order, so replaying a host's list reproduces, per destination
+/// replica, the exact `offer()` sequence of the sequential engine.
+type RouteEntry = (u32, u32, u32);
+
 /// A fully configured simulation run.
+///
+/// Replicas live in a **host-major arena**: host `h` owns the contiguous
+/// slice `replicas[host_offsets[h]..host_offsets[h + 1]]`, in ascending
+/// `(pe, r)` order within the host. The layout gives each parallel worker
+/// a disjoint `&mut` slice (no aliasing, no locks) and keeps the per-host
+/// scheduling sweep cache-contiguous; `slot_of` maps the protocol's dense
+/// `pe * k + r` slot index to its arena position for everything that is
+/// logically PE-major (routing, election, metrics export).
 pub struct Simulation {
     cfg: SimConfig,
     placement_capacity: Vec<f64>,
@@ -103,12 +191,10 @@ pub struct Simulation {
     duration: f64,
 
     replicas: Vec<Replica>,
-    /// Replica indices grouped by host, flattened: host `h`'s replicas are
-    /// `host_replica_idx[host_offsets[h]..host_offsets[h + 1]]`. One
-    /// contiguous allocation keeps the per-quantum scheduling sweep
-    /// cache-friendly.
-    host_replica_idx: Vec<usize>,
+    /// `host_offsets[h]..host_offsets[h + 1]` bounds host `h`'s arena slice.
     host_offsets: Vec<usize>,
+    /// Dense slot `pe * k + r` → arena index.
+    slot_of: Vec<usize>,
     /// Per source: downstream (pe_dense, port index) pairs.
     source_out: Vec<Vec<(usize, usize)>>,
     /// Per PE: downstream (pe_dense, port index) pairs.
@@ -145,8 +231,9 @@ impl Simulation {
         let rates = RateTable::compute(app);
         let max_cfg = app.configs().max_config();
 
-        // Build replicas with port capacities sized from peak arrival rates.
-        let mut replicas = Vec::with_capacity(np * k);
+        // Build replicas (PE-major) with port capacities sized from peak
+        // arrival rates, then permute into the host-major arena below.
+        let mut pe_major = Vec::with_capacity(np * k);
         for (dense, &pe) in g.pes().iter().enumerate() {
             let ports: Vec<InPort> = g
                 .in_edges(pe)
@@ -157,7 +244,7 @@ impl Simulation {
                 })
                 .collect();
             for r in 0..k {
-                replicas.push(Replica::new(
+                pe_major.push(Replica::new(
                     dense,
                     r,
                     placement.host_of(dense, r).index(),
@@ -166,23 +253,32 @@ impl Simulation {
             }
         }
 
-        // Group replica indices by host into one flat, offset-indexed
-        // buffer (counting sort by host keeps per-host order ascending,
-        // matching the former per-host Vec push order).
+        // Host-major arena: counting sort by host. The sort is stable, so
+        // within a host the arena keeps ascending (pe, r) order — exactly
+        // the order the former index-list scheduling sweep visited.
         let num_hosts = placement.num_hosts();
         let mut host_offsets = vec![0usize; num_hosts + 1];
-        for r in &replicas {
+        for r in &pe_major {
             host_offsets[r.host + 1] += 1;
         }
         for h in 0..num_hosts {
             host_offsets[h + 1] += host_offsets[h];
         }
-        let mut host_replica_idx = vec![0usize; replicas.len()];
+        let mut slot_of = vec![0usize; pe_major.len()];
         let mut cursor = host_offsets.clone();
-        for (i, r) in replicas.iter().enumerate() {
-            host_replica_idx[cursor[r.host]] = i;
+        for (i, r) in pe_major.iter().enumerate() {
+            slot_of[i] = cursor[r.host];
             cursor[r.host] += 1;
         }
+        let mut arena_of = vec![0usize; pe_major.len()];
+        for (dense_slot, &arena_idx) in slot_of.iter().enumerate() {
+            arena_of[arena_idx] = dense_slot;
+        }
+        let mut slots: Vec<Option<Replica>> = pe_major.into_iter().map(Some).collect();
+        let replicas: Vec<Replica> = arena_of
+            .iter()
+            .map(|&dense| slots[dense].take().expect("each slot moved once"))
+            .collect();
 
         // Routing tables. Port index = position of the edge in the target's
         // in_edges order.
@@ -275,8 +371,8 @@ impl Simulation {
             num_pes: np,
             duration: trace.duration,
             replicas,
-            host_replica_idx,
             host_offsets,
+            slot_of,
             source_out,
             pe_out,
             pe_sink_out,
@@ -294,15 +390,49 @@ impl Simulation {
         // elect initial primaries.
         for cmd in sim.control.initial_commands() {
             sim.metrics.commands_applied += 1;
+            let mut view = ArenaSlots {
+                arena: &mut sim.replicas,
+                slot_of: &sim.slot_of,
+            };
             sim.proxy
-                .apply_command(&mut sim.replicas, &cmd, 0.0, sim.cfg.sync_delay);
+                .apply_command(&mut view, &cmd, 0.0, sim.cfg.sync_delay);
         }
-        sim.proxy.elect(&sim.replicas, 0.0);
+        sim.proxy.elect(
+            &ArenaSlots {
+                arena: &mut sim.replicas,
+                slot_of: &sim.slot_of,
+            },
+            0.0,
+        );
         sim
     }
 
     /// Run the simulation to the end of the trace and return the metrics.
-    pub fn run(mut self) -> SimMetrics {
+    pub fn run(self) -> SimMetrics {
+        self.run_inner(None)
+    }
+
+    /// Run the simulation collecting per-phase wall-clock attribution
+    /// alongside the metrics. The metrics are identical to [`Self::run`];
+    /// the profile is measurement, not simulation state.
+    pub fn run_profiled(self) -> (SimMetrics, PhaseProfile) {
+        let mut profile = PhaseProfile::default();
+        let metrics = self.run_inner(Some(&mut profile));
+        (metrics, profile)
+    }
+
+    fn run_inner(self, profile: Option<&mut PhaseProfile>) -> SimMetrics {
+        // The parallel engine needs at least two hosts to split; anything
+        // else runs the sequential reference (identical metrics either way).
+        if self.cfg.threads > 1 && self.host_offsets.len() > 2 {
+            self.run_par(profile)
+        } else {
+            self.run_seq(profile)
+        }
+    }
+
+    /// The sequential reference engine (`threads = 1`).
+    fn run_seq(mut self, mut profile: Option<&mut PhaseProfile>) -> SimMetrics {
         let dt = self.cfg.quantum;
         let steps = (self.duration / dt).round() as u64;
         let event_driven = self.cfg.advance == TimeAdvance::EventDriven;
@@ -317,9 +447,14 @@ impl Simulation {
         let max_sec = self.metrics.input_rate.samples.len() - 1;
         let mut sec = 0usize;
         let mut sec_end = 1.0f64;
+        let mut clock = PhaseClock::new(profile.is_some());
 
         let mut step = 0u64;
         while step < steps {
+            if let Some(p) = profile.as_deref_mut() {
+                p.quanta_executed += 1;
+            }
+            clock.reset();
             let t = step as f64 * dt;
             let te = (t + dt).min(self.duration);
             if t >= sec_end {
@@ -328,14 +463,10 @@ impl Simulation {
                 sec_end = f + 1.0;
             }
 
-            self.apply_failures(t);
-            for cmd in self.control.take_due(t) {
-                self.metrics.commands_applied += 1;
-                self.proxy
-                    .apply_command(&mut self.replicas, &cmd, t, self.cfg.sync_delay);
+            self.control_plane(t);
+            if let Some(p) = profile.as_deref_mut() {
+                clock.lap(&mut p.control_secs);
             }
-            self.proxy.elect(&self.replicas, t);
-            self.control.poll(t);
 
             // Source emission: arrival timestamps double as birth stamps.
             for si in 0..self.emitters.len() {
@@ -351,25 +482,28 @@ impl Simulation {
                 self.metrics.input_rate.samples[sec] += n as f64;
                 for &(pe, port) in &self.source_out[si] {
                     for r in 0..self.k {
-                        self.replicas[pe * self.k + r].offer(port, &arrivals, t);
+                        let idx = self.slot_of[pe * self.k + r];
+                        self.replicas[idx].offer(port, &arrivals, t);
                     }
                     self.pushed += (n * self.k) as u64;
                 }
             }
+            if let Some(p) = profile.as_deref_mut() {
+                clock.lap(&mut p.emission_secs);
+            }
 
-            // CPU scheduling: water-filling per host. The busy set is
-            // collected once per host and compacted in place as replicas
-            // drain — eligibility cannot change inside a quantum and
-            // processing never enqueues work on other replicas, so this
-            // reaches the same fixed point as re-collecting every round.
+            // CPU scheduling: water-filling per host over its contiguous
+            // arena slice. The busy set is collected once per host and
+            // compacted in place as replicas drain — eligibility cannot
+            // change inside a quantum and processing never enqueues work on
+            // other replicas, so this reaches the same fixed point as
+            // re-collecting every round.
             for h in 0..self.host_offsets.len() - 1 {
                 let budget = self.placement_capacity[h] * dt;
                 let mut remaining = budget;
                 busy.clear();
                 busy.extend(
-                    self.host_replica_idx[self.host_offsets[h]..self.host_offsets[h + 1]]
-                        .iter()
-                        .copied()
+                    (self.host_offsets[h]..self.host_offsets[h + 1])
                         .filter(|&i| self.replicas[i].eligible(t) && self.replicas[i].has_work()),
                 );
                 let mut len = busy.len();
@@ -402,13 +536,16 @@ impl Simulation {
                 let used = budget - remaining;
                 self.metrics.host_utilization[h].samples[sec] += used / budget / (1.0 / dt);
             }
+            if let Some(p) = profile.as_deref_mut() {
+                clock.lap(&mut p.scheduling_secs);
+            }
 
             // Forward primary outputs; secondaries' outputs are suppressed
             // (drained and dropped).
             for pe in 0..self.num_pes {
                 let primary = self.proxy.primary(pe);
                 for r in 0..self.k {
-                    let idx = pe * self.k + r;
+                    let idx = self.slot_of[pe * self.k + r];
                     if self.replicas[idx].out_births.is_empty() {
                         continue;
                     }
@@ -416,7 +553,8 @@ impl Simulation {
                     if primary == Some(r) {
                         for &(succ, port) in &self.pe_out[pe] {
                             for rr in 0..self.k {
-                                self.replicas[succ * self.k + rr].offer(port, &births, te);
+                                let di = self.slot_of[succ * self.k + rr];
+                                self.replicas[di].offer(port, &births, te);
                             }
                             self.pushed += (births.len() * self.k) as u64;
                         }
@@ -434,32 +572,305 @@ impl Simulation {
                     self.replicas[idx].out_births = buf;
                 }
             }
+            if let Some(p) = profile.as_deref_mut() {
+                clock.lap(&mut p.forwarding_secs);
+            }
 
-            // Attribute logical work to the current primaries.
-            for pe in 0..self.num_pes {
-                if let Some(r) = self.proxy.primary(pe) {
-                    let rep = &self.replicas[pe * self.k + r];
-                    self.metrics.pe_processed[pe] += rep.processed - rep.processed_snapshot;
-                }
-            }
-            for rep in &mut self.replicas {
-                rep.processed_snapshot = rep.processed;
-            }
+            self.attribute_and_snapshot();
 
             step = if event_driven {
                 self.next_step(step, dt)
             } else {
                 step + 1
             };
+            if let Some(p) = profile.as_deref_mut() {
+                clock.lap(&mut p.accounting_secs);
+            }
         }
 
-        // Final accounting: fold every replica into the conservation ledger
-        // (synchronous offers mean the transport terms stay zero).
+        self.finalize()
+    }
+
+    /// The host-parallel engine (`threads > 1`): per quantum, the
+    /// control plane and all cross-host accumulations stay on the
+    /// coordinator in the sequential engine's exact order, while the two
+    /// heavy phases fan out over disjoint host ranges of the arena:
+    ///
+    /// 1. coordinator: failures, commands, election, monitor, emission
+    ///    bookkeeping (per-source arrival buffers, rate samples, `pushed`);
+    /// 2. **parallel**: per host range — source offers replayed from
+    ///    per-host route tables (global offer order projected per
+    ///    destination), then GPS water-filling with per-worker busy
+    ///    scratch, utilization written to the worker's own host series;
+    /// 3. barrier; coordinator: stage each primary's `out_births` and fold
+    ///    sink/latency/ledger accounting in ascending PE order (the f64
+    ///    accumulation order of the sequential engine);
+    /// 4. **parallel**: destination-side forwarding offers replayed from
+    ///    per-host route tables against the staged birth buffers;
+    /// 5. barrier; coordinator: primary work attribution, snapshots, and
+    ///    the event-driven horizon.
+    ///
+    /// Hosts are independent within a quantum (offers and processing touch
+    /// only the destination replica), per-host order is preserved inside
+    /// each worker, and everything cross-host is coordinator-sequential —
+    /// which is why the metrics are bit-identical to [`Self::run_seq`],
+    /// and why `tests/equivalence.rs` can assert exact equality.
+    fn run_par(mut self, mut profile: Option<&mut PhaseProfile>) -> SimMetrics {
+        let dt = self.cfg.quantum;
+        let steps = (self.duration / dt).round() as u64;
+        let event_driven = self.cfg.advance == TimeAdvance::EventDriven;
+        let num_hosts = self.host_offsets.len() - 1;
+        let nchunks = self.cfg.threads.min(num_hosts);
+        let chunks = chunk_hosts(&self.host_offsets, nchunks);
+        let pool = WorkerPool::new(chunks.len().saturating_sub(1));
+
+        assert!(
+            self.replicas.len() <= u32::MAX as usize,
+            "arena exceeds u32 route indexing"
+        );
+        // Per-host route tables: the sequential offer order projected onto
+        // each host (see `RouteEntry`).
+        let mut src_routes: Vec<Vec<RouteEntry>> = vec![Vec::new(); num_hosts];
+        for (si, outs) in self.source_out.iter().enumerate() {
+            for &(pe, port) in outs {
+                for r in 0..self.k {
+                    let idx = self.slot_of[pe * self.k + r];
+                    src_routes[self.replicas[idx].host].push((si as u32, idx as u32, port as u32));
+                }
+            }
+        }
+        let mut fwd_routes: Vec<Vec<RouteEntry>> = vec![Vec::new(); num_hosts];
+        for (pe, outs) in self.pe_out.iter().enumerate() {
+            for &(succ, port) in outs {
+                for rr in 0..self.k {
+                    let idx = self.slot_of[succ * self.k + rr];
+                    fwd_routes[self.replicas[idx].host].push((pe as u32, idx as u32, port as u32));
+                }
+            }
+        }
+
+        // Per-worker scratch (busy sets) and coordinator-owned staging
+        // buffers: one arrival buffer per source, one birth buffer per PE.
+        let mut scratches: Vec<Vec<usize>> = vec![Vec::new(); chunks.len()];
+        let mut arrival_bufs: Vec<Vec<f64>> = vec![Vec::new(); self.emitters.len()];
+        let mut staged: Vec<Vec<f64>> = vec![Vec::new(); self.num_pes];
+
+        let max_sec = self.metrics.input_rate.samples.len() - 1;
+        let mut sec = 0usize;
+        let mut sec_end = 1.0f64;
+        let mut clock = PhaseClock::new(profile.is_some());
+
+        let mut step = 0u64;
+        while step < steps {
+            if let Some(p) = profile.as_deref_mut() {
+                p.quanta_executed += 1;
+            }
+            clock.reset();
+            let t = step as f64 * dt;
+            let te = (t + dt).min(self.duration);
+            if t >= sec_end {
+                let f = t.floor();
+                sec = (f as usize).min(max_sec);
+                sec_end = f + 1.0;
+            }
+
+            self.control_plane(t);
+            if let Some(p) = profile.as_deref_mut() {
+                clock.lap(&mut p.control_secs);
+            }
+
+            // Emission bookkeeping on the coordinator, in source order —
+            // the same per-second f64 accumulation order as the sequential
+            // engine. The offers themselves happen in the parallel phase.
+            for (si, buf) in arrival_bufs.iter_mut().enumerate() {
+                self.emitters[si].emit_into(te, buf);
+                let n = buf.len();
+                if n == 0 {
+                    continue;
+                }
+                for &tt in buf.iter() {
+                    self.control.record(si, tt);
+                }
+                self.metrics.source_emitted[si] += n as u64;
+                self.metrics.input_rate.samples[sec] += n as f64;
+                for _ in &self.source_out[si] {
+                    self.pushed += (n * self.k) as u64;
+                }
+            }
+            if let Some(p) = profile.as_deref_mut() {
+                clock.lap(&mut p.emission_secs);
+            }
+
+            // Parallel phase 1: source offers + GPS water-filling, one
+            // task per disjoint host range.
+            {
+                let host_offsets = &self.host_offsets;
+                let capacity = &self.placement_capacity;
+                let src_routes = &src_routes;
+                let arrival_bufs = &arrival_bufs;
+                let mut rep_rest = &mut self.replicas[..];
+                let mut util_rest = &mut self.metrics.host_utilization[..];
+                let mut tasks: Vec<Task<'_>> = Vec::with_capacity(chunks.len());
+                for (&(lo, hi), scratch) in chunks.iter().zip(scratches.iter_mut()) {
+                    let base = host_offsets[lo];
+                    let (chunk, rest) = rep_rest.split_at_mut(host_offsets[hi] - base);
+                    rep_rest = rest;
+                    let (util_chunk, urest) = util_rest.split_at_mut(hi - lo);
+                    util_rest = urest;
+                    tasks.push(Box::new(move || {
+                        schedule_chunk(
+                            chunk,
+                            util_chunk,
+                            scratch,
+                            src_routes,
+                            arrival_bufs,
+                            host_offsets,
+                            capacity,
+                            (lo, hi, base),
+                            t,
+                            dt,
+                            sec,
+                        );
+                    }));
+                }
+                pool.scope_run(tasks);
+            }
+            if let Some(p) = profile.as_deref_mut() {
+                clock.lap(&mut p.scheduling_secs);
+            }
+
+            // Stage forwarding on the coordinator in ascending PE order:
+            // take each primary's birth buffer, drop secondaries' buffers,
+            // and fold the ledger/sink/latency accounting exactly as the
+            // sequential engine does.
+            let mut forwarded = 0usize;
+            for (pe, stage) in staged.iter_mut().enumerate() {
+                let primary = self.proxy.primary(pe);
+                stage.clear();
+                for r in 0..self.k {
+                    let idx = self.slot_of[pe * self.k + r];
+                    if self.replicas[idx].out_births.is_empty() {
+                        continue;
+                    }
+                    if primary == Some(r) {
+                        std::mem::swap(&mut self.replicas[idx].out_births, stage);
+                    } else {
+                        self.replicas[idx].out_births.clear();
+                    }
+                }
+                let births: &[f64] = stage;
+                if births.is_empty() {
+                    continue;
+                }
+                forwarded += births.len() * self.pe_out[pe].len();
+                for _ in &self.pe_out[pe] {
+                    self.pushed += (births.len() * self.k) as u64;
+                }
+                for &snk in &self.pe_sink_out[pe] {
+                    self.metrics.sink_received[snk] += births.len() as u64;
+                    self.metrics.output_rate.samples[sec] += births.len() as f64;
+                    for &b in births {
+                        self.metrics.latency.record(te - b);
+                    }
+                }
+            }
+
+            // Parallel phase 2: destination-side offers of the staged
+            // births. Skipped entirely when nothing was forwarded.
+            if forwarded > 0 {
+                let host_offsets = &self.host_offsets;
+                let fwd_routes = &fwd_routes;
+                let staged = &staged;
+                let mut rep_rest = &mut self.replicas[..];
+                let mut tasks: Vec<Task<'_>> = Vec::with_capacity(chunks.len());
+                for &(lo, hi) in &chunks {
+                    let base = host_offsets[lo];
+                    let (chunk, rest) = rep_rest.split_at_mut(host_offsets[hi] - base);
+                    rep_rest = rest;
+                    tasks.push(Box::new(move || {
+                        for routes in &fwd_routes[lo..hi] {
+                            for &(src_pe, idx, port) in routes {
+                                let births = &staged[src_pe as usize];
+                                if births.is_empty() {
+                                    continue;
+                                }
+                                chunk[idx as usize - base].offer(port as usize, births, te);
+                            }
+                        }
+                    }));
+                }
+                pool.scope_run(tasks);
+            }
+            if let Some(p) = profile.as_deref_mut() {
+                clock.lap(&mut p.forwarding_secs);
+            }
+
+            self.attribute_and_snapshot();
+
+            step = if event_driven {
+                self.next_step(step, dt)
+            } else {
+                step + 1
+            };
+            if let Some(p) = profile.as_deref_mut() {
+                clock.lap(&mut p.accounting_secs);
+            }
+        }
+
+        self.finalize()
+    }
+
+    /// Per-quantum control plane, identical for both engines: failure-plan
+    /// transitions, due HAController commands, primary election, and the
+    /// monitor poll — all routed through the shared proxy protocol against
+    /// the arena.
+    fn control_plane(&mut self, t: f64) {
+        self.apply_failures(t);
+        for cmd in self.control.take_due(t) {
+            self.metrics.commands_applied += 1;
+            let mut view = ArenaSlots {
+                arena: &mut self.replicas,
+                slot_of: &self.slot_of,
+            };
+            self.proxy
+                .apply_command(&mut view, &cmd, t, self.cfg.sync_delay);
+        }
+        self.proxy.elect(
+            &ArenaSlots {
+                arena: &mut self.replicas,
+                slot_of: &self.slot_of,
+            },
+            t,
+        );
+        self.control.poll(t);
+    }
+
+    /// Attribute logical work to the current primaries, then re-arm the
+    /// per-quantum processed snapshots.
+    fn attribute_and_snapshot(&mut self) {
+        for pe in 0..self.num_pes {
+            if let Some(r) = self.proxy.primary(pe) {
+                let rep = &self.replicas[self.slot_of[pe * self.k + r]];
+                self.metrics.pe_processed[pe] += rep.processed - rep.processed_snapshot;
+            }
+        }
+        for rep in &mut self.replicas {
+            rep.processed_snapshot = rep.processed;
+        }
+    }
+
+    /// Final accounting: fold every replica into the conservation ledger
+    /// (synchronous offers mean the transport terms stay zero). Replicas
+    /// are visited in dense PE-major order so the exported per-replica
+    /// vectors and the per-host f64 accumulation keep the historical
+    /// order.
+    fn finalize(mut self) -> SimMetrics {
         let mut conservation = Conservation {
             pushed: self.pushed,
             ..Default::default()
         };
-        for rep in &self.replicas {
+        for &idx in &self.slot_of {
+            let rep = &self.replicas[idx];
             conservation.tally_replica(rep);
             self.metrics.host_cpu_seconds[rep.host] +=
                 rep.cycles_used / self.placement_capacity[rep.host];
@@ -521,9 +932,11 @@ impl Simulation {
 
     /// Consult the failure plan and route state changes through the shared
     /// proxy protocol. Detection is delayed: the proxy blocks re-election
-    /// of a failed primary's PE until `t + detection_delay`.
+    /// of a failed primary's PE until `t + detection_delay`. Slots are
+    /// visited in dense PE-major order, matching the historical sweep.
     fn apply_failures(&mut self, t: f64) {
-        for i in 0..self.replicas.len() {
+        for s in 0..self.slot_of.len() {
+            let i = self.slot_of[s];
             let pe = self.replicas[i].pe_dense;
             let r = self.replicas[i].replica;
             let dead = {
@@ -538,13 +951,115 @@ impl Simulation {
                 }
             };
             if dead && self.replicas[i].state.alive {
+                let mut view = ArenaSlots {
+                    arena: &mut self.replicas,
+                    slot_of: &self.slot_of,
+                };
                 self.proxy
-                    .fail_slot(&mut self.replicas, pe, r, t + self.cfg.detection_delay);
+                    .fail_slot(&mut view, pe, r, t + self.cfg.detection_delay);
             } else if !dead && !self.replicas[i].state.alive {
+                let mut view = ArenaSlots {
+                    arena: &mut self.replicas,
+                    slot_of: &self.slot_of,
+                };
                 self.proxy
-                    .recover_slot(&mut self.replicas, pe, r, t, self.cfg.sync_delay);
+                    .recover_slot(&mut view, pe, r, t, self.cfg.sync_delay);
             }
         }
+    }
+}
+
+/// Partition hosts into `nchunks` contiguous ranges balanced by replica
+/// count (prefix thresholds over the arena offsets). Every returned range
+/// is non-empty and together they cover all hosts.
+fn chunk_hosts(host_offsets: &[usize], nchunks: usize) -> Vec<(usize, usize)> {
+    let num_hosts = host_offsets.len() - 1;
+    let total = host_offsets[num_hosts];
+    let mut out = Vec::with_capacity(nchunks);
+    let mut lo = 0usize;
+    for c in 0..nchunks {
+        if lo >= num_hosts {
+            break;
+        }
+        let threshold = total * (c + 1) / nchunks;
+        let mut hi = lo + 1;
+        while hi < num_hosts && host_offsets[hi] < threshold {
+            hi += 1;
+        }
+        // Leave at least one host per remaining chunk.
+        let max_hi = num_hosts - (nchunks - c - 1).min(num_hosts - hi - (hi < num_hosts) as usize);
+        let hi = hi.min(max_hi.max(lo + 1));
+        out.push((lo, hi));
+        lo = hi;
+    }
+    if let Some(last) = out.last_mut() {
+        last.1 = num_hosts;
+    }
+    out
+}
+
+/// Parallel phase 1 for one host range: replay the range's source-offer
+/// routes against the per-source arrival buffers, then run GPS
+/// water-filling host by host — the same per-host loop as the sequential
+/// engine, over chunk-local indices.
+#[allow(clippy::too_many_arguments)]
+fn schedule_chunk(
+    chunk: &mut [Replica],
+    util: &mut [TimeSeries],
+    busy: &mut Vec<usize>,
+    src_routes: &[Vec<RouteEntry>],
+    arrival_bufs: &[Vec<f64>],
+    host_offsets: &[usize],
+    capacity: &[f64],
+    (lo, hi, base): (usize, usize, usize),
+    t: f64,
+    dt: f64,
+    sec: usize,
+) {
+    for routes in &src_routes[lo..hi] {
+        for &(si, idx, port) in routes {
+            let arrivals = &arrival_bufs[si as usize];
+            if arrivals.is_empty() {
+                continue;
+            }
+            chunk[idx as usize - base].offer(port as usize, arrivals, t);
+        }
+    }
+    for h in lo..hi {
+        let budget = capacity[h] * dt;
+        let mut remaining = budget;
+        let (h0, h1) = (host_offsets[h] - base, host_offsets[h + 1] - base);
+        busy.clear();
+        busy.extend((h0..h1).filter(|&i| chunk[i].eligible(t) && chunk[i].has_work()));
+        let mut len = busy.len();
+        loop {
+            if len == 0 || remaining <= budget * 1e-12 {
+                break;
+            }
+            let share = remaining / len as f64;
+            let mut progressed = false;
+            for &i in &busy[..len] {
+                let used = chunk[i].process(share);
+                remaining -= used;
+                if used > 0.0 {
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+            let mut w = 0;
+            for r in 0..len {
+                let i = busy[r];
+                if chunk[i].has_work() {
+                    busy[w] = i;
+                    w += 1;
+                }
+            }
+            len = w;
+        }
+        let used = budget - remaining;
+        util[h - lo].samples[sec] += used / budget / (1.0 / dt);
     }
 }
 
@@ -934,5 +1449,76 @@ mod tests {
         let m = sim.run();
         assert_eq!(m.config_switches, 0);
         assert_eq!(m.commands_applied, 0);
+    }
+
+    #[test]
+    fn threads_produce_bit_identical_metrics() {
+        // The fig2 pipeline has 2 hosts — the smallest fixture the parallel
+        // engine actually splits. The full-scale sweep lives in
+        // tests/equivalence.rs; this is the fast in-module guard.
+        let p = fig2_problem(0.6);
+        let run = |threads: usize| {
+            Simulation::new(
+                &p.app,
+                &p.placement,
+                fig2_strategy_laar(),
+                &short_trace(),
+                FailurePlan::host_crash(laar_model::HostId(0), 20.0),
+                SimConfig {
+                    threads,
+                    ..SimConfig::default()
+                },
+            )
+            .run()
+        };
+        let seq = run(1);
+        for threads in [2, 3] {
+            let par = run(threads);
+            assert_eq!(seq, par, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn profiled_run_metrics_match_plain_run() {
+        let p = fig2_problem(0.6);
+        let build = |threads: usize| {
+            Simulation::new(
+                &p.app,
+                &p.placement,
+                fig2_strategy_laar(),
+                &short_trace(),
+                FailurePlan::None,
+                SimConfig {
+                    threads,
+                    ..SimConfig::default()
+                },
+            )
+        };
+        for threads in [1, 2] {
+            let plain = build(threads).run();
+            let (profiled, profile) = build(threads).run_profiled();
+            assert_eq!(plain, profiled, "threads={threads}");
+            assert!(profile.quanta_executed > 0);
+            assert!(profile.scheduling_secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn chunk_hosts_partitions_cover_everything() {
+        // 5 hosts with uneven replica counts.
+        let offsets = vec![0usize, 8, 10, 11, 19, 24];
+        for nchunks in 1..=5 {
+            let chunks = chunk_hosts(&offsets, nchunks);
+            assert!(!chunks.is_empty());
+            assert_eq!(chunks[0].0, 0);
+            assert_eq!(chunks.last().unwrap().1, 5);
+            for w in chunks.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous cover: {chunks:?}");
+            }
+            for &(lo, hi) in &chunks {
+                assert!(lo < hi, "non-empty ranges: {chunks:?}");
+            }
+            assert!(chunks.len() <= nchunks);
+        }
     }
 }

@@ -1,9 +1,13 @@
-//! Golden-equivalence suite: the event-driven time-advance engine must
-//! produce **bit-identical** [`SimMetrics`] to the fixed-quantum reference
-//! on every workload — same drops, sink counts, latency histogram,
-//! utilization samples, and conservation ledger. This is the correctness
-//! bar that lets the fast path be the default without perturbing the
-//! paper figures or the live-runtime parity suite.
+//! Golden-equivalence suite: the event-driven time-advance engine and the
+//! host-parallel engine (`SimConfig::threads > 1`) must produce
+//! **bit-identical** [`SimMetrics`] to the fixed-quantum sequential
+//! reference on every workload — same drops, sink counts, latency
+//! histogram, utilization samples, and conservation ledger. This is the
+//! correctness bar that lets the fast paths be defaults without perturbing
+//! the paper figures or the live-runtime parity suite.
+//!
+//! Thread counts {1, 2} are always exercised; set `LAAR_EQ_THREADS=N` to
+//! add another count (CI runs the suite a second time with it set).
 
 use laar_core::testutil::fig2_problem;
 use laar_dsps::trace::ArrivalProcess;
@@ -12,8 +16,23 @@ use laar_gen::{generator::generate_app, GenParams};
 use laar_model::{ActivationStrategy, Application, ConfigId, HostId, Placement};
 use proptest::prelude::*;
 
-/// Run the same problem under both time-advance engines and assert the
-/// metrics agree exactly.
+/// Thread counts every fixture is held to: the sequential reference, the
+/// smallest parallel split, and (when `LAAR_EQ_THREADS` is set) whatever
+/// the CI matrix asks for.
+fn thread_axis() -> Vec<usize> {
+    let mut axis = vec![1, 2];
+    if let Ok(v) = std::env::var("LAAR_EQ_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 && !axis.contains(&n) {
+                axis.push(n);
+            }
+        }
+    }
+    axis
+}
+
+/// Run the same problem under both time-advance engines and across the
+/// thread axis, and assert the metrics agree exactly.
 fn assert_equivalent(
     app: &Application,
     placement: &Placement,
@@ -22,7 +41,7 @@ fn assert_equivalent(
     plan: &FailurePlan,
     base: &SimConfig,
 ) -> SimMetrics {
-    let run = |advance: TimeAdvance| {
+    let run = |advance: TimeAdvance, threads: usize| {
         Simulation::new(
             app,
             placement,
@@ -31,17 +50,30 @@ fn assert_equivalent(
             plan.clone(),
             SimConfig {
                 advance,
+                threads,
                 ..base.clone()
             },
         )
         .run()
     };
-    let reference = run(TimeAdvance::FixedQuantum);
-    let event = run(TimeAdvance::EventDriven);
+    let reference = run(TimeAdvance::FixedQuantum, 1);
+    let event = run(TimeAdvance::EventDriven, 1);
     assert_eq!(
         reference, event,
         "event-driven metrics diverged from the fixed-quantum reference"
     );
+    for threads in thread_axis().into_iter().skip(1) {
+        let par_fixed = run(TimeAdvance::FixedQuantum, threads);
+        assert_eq!(
+            reference, par_fixed,
+            "fixed-quantum metrics diverged at threads={threads}"
+        );
+        let par_event = run(TimeAdvance::EventDriven, threads);
+        assert_eq!(
+            reference, par_event,
+            "event-driven metrics diverged at threads={threads}"
+        );
+    }
     assert!(event.conservation.is_balanced(), "{:?}", event.conservation);
     event
 }
@@ -222,19 +254,21 @@ proptest! {
             },
             ..SimConfig::default()
         };
-        let run = |advance: TimeAdvance| {
+        let run = |advance: TimeAdvance, threads: usize| {
             Simulation::new(
                 &gen.app,
                 &gen.placement,
                 strategy.clone(),
                 &trace,
                 plan.clone(),
-                SimConfig { advance, ..cfg.clone() },
+                SimConfig { advance, threads, ..cfg.clone() },
             )
             .run()
         };
-        let reference = run(TimeAdvance::FixedQuantum);
-        let event = run(TimeAdvance::EventDriven);
-        prop_assert_eq!(reference, event);
+        let reference = run(TimeAdvance::FixedQuantum, 1);
+        let event = run(TimeAdvance::EventDriven, 1);
+        prop_assert_eq!(&reference, &event);
+        let par = run(TimeAdvance::EventDriven, 2);
+        prop_assert_eq!(&reference, &par);
     }
 }

@@ -40,5 +40,5 @@ pub mod replica;
 pub use conservation::Conservation;
 pub use control::{ControlConfig, ControlLoop};
 pub use failure::{strategy_after_worst_case, FailurePlan};
-pub use proxy::{apply_to_slot, HaSlot, ProxyState, ReplicaStatus, SlotState};
+pub use proxy::{apply_to_slot, HaSlot, ProxyState, ReplicaStatus, SlotMap, SlotState};
 pub use replica::{InPort, Replica};

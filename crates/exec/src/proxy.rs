@@ -160,6 +160,48 @@ pub fn apply_to_slot<S: HaSlot>(slot: &mut S, cmd: &Command, now: f64, sync_dela
     }
 }
 
+/// A dense `pe * k + r` view over a backend's replica slots.
+///
+/// The protocol below addresses slots by that dense index; how the index
+/// maps onto storage is the backend's business. Plain slices and vectors
+/// (both engines' historical layout) implement it with identity indexing;
+/// the simulator's host-major replica arena implements it through its
+/// slot-permutation table, so the proxy drives the arena replicas directly
+/// — same transitions, same side effects — without the layouts having to
+/// agree.
+pub trait SlotMap {
+    /// The slot type behind the view.
+    type Slot: HaSlot;
+    /// The slot at dense index `i = pe * k + r`.
+    fn slot(&self, i: usize) -> &Self::Slot;
+    /// The slot at dense index `i = pe * k + r`, mutably.
+    fn slot_mut(&mut self, i: usize) -> &mut Self::Slot;
+}
+
+impl<S: HaSlot> SlotMap for [S] {
+    type Slot = S;
+    #[inline]
+    fn slot(&self, i: usize) -> &S {
+        &self[i]
+    }
+    #[inline]
+    fn slot_mut(&mut self, i: usize) -> &mut S {
+        &mut self[i]
+    }
+}
+
+impl<S: HaSlot> SlotMap for Vec<S> {
+    type Slot = S;
+    #[inline]
+    fn slot(&self, i: usize) -> &S {
+        &self[i]
+    }
+    #[inline]
+    fn slot_mut(&mut self, i: usize) -> &mut S {
+        &mut self[i]
+    }
+}
+
 /// Per-PE primary election and fail-over accounting — the proxy protocol's
 /// control half, shared verbatim by the simulator and the live engine.
 ///
@@ -230,16 +272,16 @@ impl ProxyState {
     /// command-handling path of the protocol. A deactivation of the current
     /// primary demotes it immediately — a graceful, controller-coordinated
     /// switch has no detection blackout.
-    pub fn apply_command<S: HaSlot>(
+    pub fn apply_command<M: SlotMap + ?Sized>(
         &mut self,
-        slots: &mut [S],
+        slots: &mut M,
         cmd: &Command,
         now: f64,
         sync_delay: f64,
     ) {
         let s = cmd.slot();
         apply_to_slot(
-            &mut slots[s.pe_dense * self.k + s.replica],
+            slots.slot_mut(s.pe_dense * self.k + s.replica),
             cmd,
             now,
             sync_delay,
@@ -254,8 +296,14 @@ impl ProxyState {
     /// `detected_at` (the simulator passes `now + detection_delay`; the live
     /// engine passes `now`, because heartbeat staleness already *is* the
     /// detection delay).
-    pub fn fail_slot<S: HaSlot>(&mut self, slots: &mut [S], pe: usize, r: usize, detected_at: f64) {
-        slots[pe * self.k + r].kill();
+    pub fn fail_slot<M: SlotMap + ?Sized>(
+        &mut self,
+        slots: &mut M,
+        pe: usize,
+        r: usize,
+        detected_at: f64,
+    ) {
+        slots.slot_mut(pe * self.k + r).kill();
         if self.primary[pe] == Some(r) {
             self.primary[pe] = None;
             self.blocked_until[pe] = detected_at;
@@ -265,15 +313,15 @@ impl ProxyState {
 
     /// Replica `r` of `pe` recovered at `now`: it re-synchronizes for
     /// `sync_delay` seconds before becoming electable again.
-    pub fn recover_slot<S: HaSlot>(
+    pub fn recover_slot<M: SlotMap + ?Sized>(
         &mut self,
-        slots: &mut [S],
+        slots: &mut M,
         pe: usize,
         r: usize,
         now: f64,
         sync_delay: f64,
     ) {
-        slots[pe * self.k + r].recover(now, sync_delay);
+        slots.slot_mut(pe * self.k + r).recover(now, sync_delay);
     }
 
     /// Elect primaries at time `now`: a primary that lost eligibility
@@ -282,10 +330,10 @@ impl ProxyState {
     /// replica wins — the deterministic tie-break every backend shares, so
     /// the simulator and the live engine promote the same replica when
     /// several become eligible at the same timestamp.
-    pub fn elect<S: HaSlot>(&mut self, slots: &[S], now: f64) {
+    pub fn elect<M: SlotMap + ?Sized>(&mut self, slots: &M, now: f64) {
         for pe in 0..self.primary.len() {
             if let Some(r) = self.primary[pe] {
-                if slots[pe * self.k + r].eligible(now) {
+                if slots.slot(pe * self.k + r).eligible(now) {
                     continue;
                 }
                 self.primary[pe] = None;
@@ -293,7 +341,7 @@ impl ProxyState {
             if now < self.blocked_until[pe] {
                 continue; // failure not yet detected
             }
-            if let Some(r) = (0..self.k).find(|&r| slots[pe * self.k + r].eligible(now)) {
+            if let Some(r) = (0..self.k).find(|&r| slots.slot(pe * self.k + r).eligible(now)) {
                 self.primary[pe] = Some(r);
                 if self.pending_failover[pe] {
                     self.failovers += 1;

@@ -2,10 +2,11 @@
 //! growing IC constraints and collect outcome labels, first-vs-optimal
 //! ratios, and pruning-effectiveness statistics.
 
-use laar_core::ftsearch::{solve, FtSearchConfig, PruneKind, SearchStats};
+use laar_core::ftsearch::{solve, solve_parallel, FtSearchConfig, PruneKind, SearchStats};
 use laar_core::Problem;
 use laar_gen::solver_corpus;
 use rayon::prelude::*;
+use serde::Serialize;
 use std::time::Duration;
 
 /// Configuration of the solver evaluation.
@@ -104,6 +105,114 @@ pub fn evaluate_solver_corpus(cfg: &SolverEvalConfig) -> Vec<SolverRun> {
         .collect()
 }
 
+/// Configuration of the `laar bench-solver` comparison (sequential vs
+/// [`solve_parallel`] on a slice of the solver corpus).
+#[derive(Debug, Clone)]
+pub struct SolverBenchConfig {
+    /// Number of corpus instances to run.
+    pub num_instances: usize,
+    /// Corpus seed (same generator as [`SolverEvalConfig`]).
+    pub seed: u64,
+    /// The IC constraint every run solves for.
+    pub ic_constraint: f64,
+    /// Per-run wall-clock limit.
+    pub time_limit: Duration,
+    /// Thread count for the parallel runs (the sequential runs always use
+    /// one).
+    pub threads: usize,
+}
+
+impl Default for SolverBenchConfig {
+    fn default() -> Self {
+        Self {
+            num_instances: 8,
+            seed: 0xF7_5EA7C4,
+            ic_constraint: 0.7,
+            time_limit: Duration::from_secs(30),
+            threads: 4,
+        }
+    }
+}
+
+/// One `laar bench-solver` row: a single FT-Search run on one instance.
+#[derive(Debug, Clone, Serialize)]
+pub struct SolverBenchRow {
+    /// Index of the instance in the corpus.
+    pub instance: usize,
+    /// Hosts in the instance.
+    pub num_hosts: usize,
+    /// PEs per host in the instance.
+    pub pes_per_host: usize,
+    /// The IC constraint solved for.
+    pub ic_constraint: f64,
+    /// `"sequential"` or `"parallel"`.
+    pub mode: &'static str,
+    /// Worker threads of this run.
+    pub threads: usize,
+    /// Outcome label: BST / SOL / NUL / TMO.
+    pub label: &'static str,
+    /// Nodes visited (schedule-dependent for parallel runs).
+    pub nodes: u64,
+    /// Milliseconds to the first feasible solution, when one was found.
+    pub time_to_first_ms: Option<f64>,
+    /// Milliseconds to the final incumbent.
+    pub time_to_best_ms: Option<f64>,
+    /// Total wall-clock milliseconds.
+    pub elapsed_ms: f64,
+    /// Cost-rate of the final incumbent, when one was found.
+    pub best_cost: Option<f64>,
+    /// Whether the tree was exhausted within the limits.
+    pub proved: bool,
+}
+
+/// Run the solver benchmark: each instance solved sequentially and with
+/// [`solve_parallel`] under identical options, so `BENCH_solver.json`
+/// tracks time-to-first/time-to-optimum and node counts for both engines
+/// over time. Cold-start (no incumbent seeding), matching the Fig. 5
+/// first-solution semantics.
+pub fn benchmark_solver(cfg: &SolverBenchConfig) -> Vec<SolverBenchRow> {
+    let corpus = solver_corpus(cfg.num_instances, cfg.seed);
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let mut rows = Vec::with_capacity(corpus.len() * 2);
+    for (i, inst) in corpus.iter().enumerate() {
+        let problem = Problem::new(
+            inst.gen.app.clone(),
+            inst.gen.placement.clone(),
+            cfg.ic_constraint,
+        )
+        .expect("valid problem");
+        for (mode, threads) in [("sequential", 1usize), ("parallel", cfg.threads)] {
+            let opts = FtSearchConfig {
+                seed_incumbent: false,
+                threads,
+                ..FtSearchConfig::with_time_limit(cfg.time_limit)
+            };
+            let report = if mode == "sequential" {
+                solve(&problem, &opts)
+            } else {
+                solve_parallel(&problem, &opts)
+            }
+            .expect("k = 2");
+            rows.push(SolverBenchRow {
+                instance: i,
+                num_hosts: inst.num_hosts,
+                pes_per_host: inst.pes_per_host,
+                ic_constraint: cfg.ic_constraint,
+                mode,
+                threads,
+                label: report.outcome.label(),
+                nodes: report.stats.nodes,
+                time_to_first_ms: report.stats.time_to_first.map(ms),
+                time_to_best_ms: report.stats.time_to_best.map(ms),
+                elapsed_ms: ms(report.stats.elapsed),
+                best_cost: report.stats.best_cost,
+                proved: report.stats.proved,
+            });
+        }
+    }
+    rows
+}
+
 /// Fig. 4 aggregation: per IC constraint, the fraction of runs per outcome
 /// label, in the order `[BST, SOL, NUL, TMO]`.
 pub fn outcome_shares(runs: &[SolverRun], ic: f64) -> [f64; 4] {
@@ -198,6 +307,34 @@ mod tests {
         let total: f64 = summary.iter().map(|(_, s, _)| s).sum();
         if total > 0.0 {
             assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn benchmark_rows_pair_up_and_agree_on_cost() {
+        let cfg = SolverBenchConfig {
+            num_instances: 4,
+            seed: 11,
+            ic_constraint: 0.5,
+            time_limit: Duration::from_secs(5),
+            threads: 2,
+        };
+        let rows = benchmark_solver(&cfg);
+        assert_eq!(rows.len(), 8);
+        for pair in rows.chunks(2) {
+            let (seq, par) = (&pair[0], &pair[1]);
+            assert_eq!(seq.mode, "sequential");
+            assert_eq!(par.mode, "parallel");
+            assert_eq!(seq.instance, par.instance);
+            if seq.proved && par.proved {
+                assert_eq!(seq.label, par.label);
+                match (seq.best_cost, par.best_cost) {
+                    (Some(a), Some(b)) => {
+                        assert!((a - b).abs() < 1e-6 * a.abs().max(1.0), "{a} vs {b}")
+                    }
+                    (a, b) => assert_eq!(a.is_some(), b.is_some()),
+                }
+            }
         }
     }
 

@@ -63,6 +63,25 @@ impl Default for GenParams {
     }
 }
 
+impl GenParams {
+    /// Scale the fixture by `factor`: host and PE counts multiply (rounded,
+    /// floored at 1) and the source-rate range scales linearly so per-host
+    /// pressure tracks the bigger population. Cost calibration re-derives
+    /// `α` against the scaled deployment, so scaled fixtures keep the
+    /// paper's shape — Low fits, High overloads — at any size. Used by
+    /// `laar generate --scale` and the `bench-sim` scale sweep.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let scale = |v: usize| ((v as f64 * factor).round() as usize).max(1);
+        Self {
+            num_pes: scale(self.num_pes),
+            num_hosts: scale(self.num_hosts),
+            rate_range: (self.rate_range.0 * factor, self.rate_range.1 * factor),
+            ..self.clone()
+        }
+    }
+}
+
 /// One generated application: the contract plus its replicated placement.
 #[derive(Debug, Clone)]
 pub struct GeneratedApp {
@@ -444,6 +463,23 @@ mod tests {
         let g = generate_app(&params, 9);
         assert_eq!(g.app.graph().num_pes(), 4);
         assert!(max_host_utilization(&g, ConfigId(1)) > 1.0);
+    }
+
+    #[test]
+    fn scaled_params_preserve_calibration_shape() {
+        let base = GenParams::default();
+        let p8 = base.scaled(8.0);
+        assert_eq!(p8.num_pes, 192);
+        assert_eq!(p8.num_hosts, 32);
+        assert!((p8.rate_range.0 - 8.0).abs() < 1e-12);
+        let g = generate_app(&p8, 21);
+        assert_eq!(g.app.graph().num_pes(), 192);
+        assert_eq!(g.placement.num_hosts(), 32);
+        assert!(max_host_utilization(&g, ConfigId(0)) < 1.0);
+        assert!(max_host_utilization(&g, ConfigId(1)) > 1.0);
+        // Fractional factors floor at one host/PE.
+        let tiny = base.scaled(0.01);
+        assert_eq!(tiny.num_pes.max(tiny.num_hosts), 1);
     }
 
     #[test]

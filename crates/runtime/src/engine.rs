@@ -164,6 +164,7 @@ impl RuntimeConfig {
             controller_enabled: self.controller_enabled,
             arrivals: self.arrivals,
             advance: laar_dsps::TimeAdvance::default(),
+            threads: 1,
         }
     }
 }
