@@ -1,0 +1,151 @@
+//! Warm-started, anytime re-planning.
+//!
+//! When drift is confirmed, the subsystem re-runs FT-Search on the
+//! re-estimated problem, *warm-started* from the incumbent strategy: the
+//! incumbent (when still feasible under the corrected descriptor) becomes
+//! the initial shared incumbent, so pruning is tight from the first node
+//! and the search degrades gracefully into "return the best improvement
+//! found so far" under its budget. The budget is a deterministic *node
+//! limit* rather than a wall-clock limit — both engines re-plan the same
+//! problem to the same node count and therefore install the identical
+//! strategy, machine speed notwithstanding.
+//!
+//! When the corrected descriptor admits no strategy at the contracted IC
+//! at all (drift pushed some configuration past the cluster's CPU), the
+//! re-planner falls back to the exact penalty model
+//! ([`laar_core::ftsearch::solve_soft`]): the SLA becomes a priced
+//! objective term and the least-violating strategy is returned, which
+//! still beats riding the stale strategy into queue overflow.
+
+use laar_core::ftsearch::{self, FtSearchConfig};
+use laar_core::Problem;
+use laar_model::ActivationStrategy;
+use std::time::Duration;
+
+/// Budgets of one re-planning pass.
+#[derive(Debug, Clone)]
+pub struct ReplanConfig {
+    /// Deterministic anytime budget: FT-Search stops after this many
+    /// search-tree nodes (reproducible across machines and engines).
+    pub node_limit: u64,
+    /// Wall-clock backstop; sized so the node limit binds first.
+    pub time_limit: Duration,
+    /// Penalty rate (cost units per tuple/s of FIC shortfall) for the
+    /// soft fallback when the re-estimated problem is infeasible.
+    pub soft_penalty: f64,
+}
+
+impl Default for ReplanConfig {
+    fn default() -> Self {
+        Self {
+            node_limit: 200_000,
+            time_limit: Duration::from_secs(10),
+            soft_penalty: 1.0e6,
+        }
+    }
+}
+
+/// The outcome of one re-planning pass.
+#[derive(Debug, Clone)]
+pub struct ReplanResult {
+    /// Best strategy found within the budget.
+    pub strategy: ActivationStrategy,
+    /// Its cost (eq. 13, CPU cycles over `T`) under the re-estimated
+    /// descriptor.
+    pub planned_cost: f64,
+    /// Its guaranteed IC (eq. 14) under the re-estimated descriptor.
+    pub planned_ic: f64,
+    /// FT-Search outcome label (`BST`/`SOL`), or `SFT` for the soft
+    /// fallback.
+    pub label: &'static str,
+    /// Search-tree nodes visited.
+    pub nodes: u64,
+    /// Wall-clock time of the pass (reporting only — never feeds back
+    /// into control decisions, which stay deterministic).
+    pub wall: Duration,
+    /// Wall-clock time at which the returned strategy was found.
+    pub time_to_best: Duration,
+    /// `true` when the soft (penalty-model) fallback produced the result.
+    pub soft: bool,
+}
+
+/// Re-plan `problem` (already built on the re-estimated descriptor),
+/// warm-starting from `incumbent`. Returns `None` when even the soft
+/// fallback finds nothing within budget (e.g. some configuration cannot
+/// fit on the cluster under any activation).
+pub fn replan(
+    problem: &Problem,
+    incumbent: &ActivationStrategy,
+    cfg: &ReplanConfig,
+) -> Option<ReplanResult> {
+    let opts = FtSearchConfig {
+        node_limit: Some(cfg.node_limit),
+        time_limit: cfg.time_limit,
+        ..FtSearchConfig::default()
+    };
+    let report = ftsearch::solve_with_warm_start(problem, &opts, Some(incumbent)).ok()?;
+    if let Some(sol) = report.outcome.solution() {
+        return Some(ReplanResult {
+            strategy: sol.strategy.clone(),
+            planned_cost: sol.cost_cycles,
+            planned_ic: sol.ic,
+            label: report.outcome.label(),
+            nodes: report.stats.nodes,
+            wall: report.stats.elapsed,
+            time_to_best: report.stats.time_to_best.unwrap_or(report.stats.elapsed),
+            soft: false,
+        });
+    }
+    // Hard-infeasible (or budget exhausted with nothing): price the SLA
+    // instead and install the least-violating strategy.
+    let soft = ftsearch::solve_soft(problem, cfg.soft_penalty, cfg.time_limit).ok()??;
+    Some(ReplanResult {
+        strategy: soft.solution.strategy.clone(),
+        planned_cost: soft.solution.cost_cycles,
+        planned_ic: soft.solution.ic,
+        label: "SFT",
+        nodes: report.stats.nodes,
+        wall: report.stats.elapsed,
+        time_to_best: report.stats.elapsed,
+        soft: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laar_core::testutil::fig2_problem;
+
+    #[test]
+    fn warm_start_from_optimum_returns_it() {
+        let p = fig2_problem(0.6);
+        let full = ftsearch::solve(&p, &FtSearchConfig::default()).unwrap();
+        let opt = full.outcome.solution().unwrap();
+        let r = replan(
+            &p,
+            &opt.strategy,
+            &ReplanConfig {
+                node_limit: 50,
+                ..ReplanConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(r.planned_cost <= opt.cost_cycles + 1e-6);
+        assert!(!r.soft);
+    }
+
+    #[test]
+    fn infeasible_problem_takes_the_soft_fallback() {
+        // IC 1.0 with the fig2 cluster at High is impossible with hard
+        // constraints (all-active overloads both hosts).
+        let p = fig2_problem(1.0);
+        let sr = laar_core::static_replication(&p);
+        let r = replan(&p, &sr, &ReplanConfig::default()).unwrap();
+        assert!(r.soft);
+        assert_eq!(r.label, "SFT");
+        assert!(
+            p.check(&r.strategy).len() <= 1,
+            "only the IC may fall short"
+        );
+    }
+}

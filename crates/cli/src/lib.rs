@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+use laar_adapt::{AdaptConfig, AdaptReport};
 use laar_core::ftsearch::{self, FtSearchConfig, Outcome};
 use laar_core::variants::VariantKind;
 use laar_core::{greedy, non_replicated, static_replication, PessimisticFailure, Problem};
@@ -190,7 +191,9 @@ pub fn parse_failure(
 
 /// The `simulate` command: one run on the simulated cluster. `threads > 1`
 /// schedules hosts in parallel; the metrics are bit-identical to a
-/// single-threaded run by construction.
+/// single-threaded run by construction. `adapt` enables the `laar-adapt`
+/// online re-optimization loop; its report comes back alongside the
+/// metrics.
 pub fn cmd_simulate(
     app: &Application,
     placement: &Placement,
@@ -198,7 +201,8 @@ pub fn cmd_simulate(
     trace: &InputTrace,
     plan: FailurePlan,
     threads: usize,
-) -> Result<SimMetrics, CliError> {
+    adapt: Option<AdaptConfig>,
+) -> Result<(SimMetrics, Option<AdaptReport>), CliError> {
     if threads == 0 {
         return Err(CliError::Message("--threads must be at least 1".to_owned()));
     }
@@ -207,14 +211,16 @@ pub fn cmd_simulate(
         .map_err(message)?;
     let cfg = SimConfig {
         threads,
+        adapt,
         ..SimConfig::default()
     };
-    Ok(Simulation::new(app, placement, strategy, trace, plan, cfg).run())
+    Ok(Simulation::new(app, placement, strategy, trace, plan, cfg).run_adaptive())
 }
 
 /// The `run-live` command: execute the deployment on the live threaded
 /// engine at `speed`× real time. Same inputs as [`cmd_simulate`]; returns
-/// the metrics plus the engine's conservation ledger.
+/// the metrics plus the engine's conservation ledger (and, with `adapt`,
+/// the adaptation report inside the [`LiveReport`]).
 pub fn cmd_run_live(
     app: &Application,
     placement: &Placement,
@@ -222,6 +228,7 @@ pub fn cmd_run_live(
     trace: &InputTrace,
     plan: FailurePlan,
     speed: f64,
+    adapt: Option<AdaptConfig>,
 ) -> Result<LiveReport, CliError> {
     strategy
         .validate(app.graph(), app.configs().num_configs(), placement.k())
@@ -231,11 +238,12 @@ pub fn cmd_run_live(
             "bad --speed {speed}: must be a positive number"
         )));
     }
-    let cfg = if speed == 1.0 {
+    let mut cfg = if speed == 1.0 {
         RuntimeConfig::default()
     } else {
         RuntimeConfig::accelerated(speed)
     };
+    cfg.adapt = adapt;
     Ok(LiveRuntime::new(app, placement, strategy, trace, plan, cfg).run())
 }
 
@@ -852,6 +860,171 @@ pub fn cmd_bench_runtime(
     Ok(rows)
 }
 
+/// One row of the `bench-adapt` report: the online re-optimization loop
+/// measured end to end on a drifting trace — how fast drift is detected,
+/// how fast the warm-started re-plan converges, how disruptive the live
+/// hot-swap is, and how much the adapted strategy beats riding the stale
+/// one.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct BenchAdaptRow {
+    /// Fixture name.
+    pub name: String,
+    /// Trace length (seconds).
+    pub trace_secs: f64,
+    /// Trace time at which the source rate departs the declared descriptor.
+    pub drift_at: f64,
+    /// Seconds of trace time from the drift onset to the detector's first
+    /// confirmed detection (simulator run).
+    pub time_to_detect_secs: f64,
+    /// Trace time of the hot-swap (simulator run).
+    pub swap_at: f64,
+    /// Search-tree nodes of the re-plan.
+    pub replan_nodes: u64,
+    /// Wall-clock milliseconds of the re-plan.
+    pub replan_wall_ms: f64,
+    /// Wall-clock milliseconds until the re-plan found its best strategy.
+    pub replan_time_to_best_ms: f64,
+    /// FT-Search re-plans that fell back to the exact penalty model.
+    pub soft_fallbacks: u64,
+    /// Hot-swaps performed in the simulator run.
+    pub swaps: u64,
+    /// Control-plane passes during a swap in which some PE had no primary
+    /// (0 = the two-phase protocol held the union active throughout).
+    pub swap_downtime_quanta: u64,
+    /// Source tuples emitted during those degraded passes.
+    pub swap_downtime_tuples: u64,
+    /// Tuples processed riding the stale strategy to the end (no adapt).
+    pub stale_processed: u64,
+    /// Queue drops riding the stale strategy.
+    pub stale_drops: u64,
+    /// Tuples processed with adaptation enabled (simulator).
+    pub adapted_processed: u64,
+    /// Queue drops with adaptation enabled (simulator).
+    pub adapted_drops: u64,
+    /// `1 − adapted_drops / stale_drops` (0 when the stale run dropped
+    /// nothing).
+    pub drop_reduction: f64,
+    /// Hot-swaps performed by the live threaded engine under the same
+    /// configuration (parity expects this to equal `swaps`).
+    pub live_swaps: u64,
+    /// Live-engine drops (queue + transport).
+    pub live_drops: u64,
+    /// `|live processed − sim processed| / sim processed`, both adapted.
+    pub live_sim_delta: f64,
+}
+
+/// The drifting fixture `bench-adapt` runs: the paper's Fig. 2 deployment
+/// on double-capacity hosts, so the strategy that is optimal under the
+/// declared descriptor (all replicas active, IC 1) overloads the cluster
+/// once the High rate drifts 8 → 12 t/s, while staggered single replicas
+/// still fit — adaptation has a strictly better strategy to find.
+fn drift_fixture() -> (Application, Placement) {
+    let p = laar_core::testutil::fig2_problem(0.7);
+    let hosts = p
+        .placement
+        .hosts()
+        .iter()
+        .map(|h| laar_model::Host {
+            id: h.id,
+            name: h.name.clone(),
+            capacity: 2000.0,
+        })
+        .collect();
+    let assignment = (0..4).map(|i| p.placement.host_of(i / 2, i % 2)).collect();
+    let placement = Placement::new(p.app.graph(), 2, hosts, assignment)
+        .expect("fig2 placement reshapes cleanly");
+    (p.app.clone(), placement)
+}
+
+/// The `bench-adapt` command: measure the observation → re-plan → hot-swap
+/// loop end to end. One drifting fixture is run three ways — stale
+/// strategy on the simulator (the control), adapted on the simulator, and
+/// adapted on the live threaded engine — and the detector/re-planner/swap
+/// accounting is folded into one row. `smoke` shrinks the trace and speeds
+/// the live clock for CI.
+pub fn cmd_bench_adapt(smoke: bool) -> Result<Vec<BenchAdaptRow>, CliError> {
+    let duration = if smoke { 30.0 } else { 120.0 };
+    let drift_at = duration / 3.0;
+    let (app, placement) = drift_fixture();
+    let trace = InputTrace {
+        schedules: vec![laar_dsps::RateSchedule::from_segments(vec![
+            (0.0, 4.0),
+            (drift_at, 12.0),
+        ])],
+        duration,
+    };
+    // The declared-optimal strategy at IC 0.7: all replicas active.
+    let problem = Problem::new(app.clone(), placement.clone(), 0.7).map_err(message)?;
+    let stale = ftsearch::solve(&problem, &FtSearchConfig::default())
+        .map_err(message)?
+        .outcome
+        .solution()
+        .ok_or_else(|| CliError::Message("drift fixture must be feasible".to_owned()))?
+        .strategy
+        .clone();
+    let adapt = AdaptConfig::new(0.7);
+
+    let sim = |adapt: Option<AdaptConfig>| {
+        Simulation::new(
+            &app,
+            &placement,
+            stale.clone(),
+            &trace,
+            FailurePlan::None,
+            SimConfig {
+                adapt,
+                ..SimConfig::default()
+            },
+        )
+        .run_adaptive()
+    };
+    let (stale_m, _) = sim(None);
+    let (adapted_m, report) = sim(Some(adapt.clone()));
+    let report = report.expect("adapt was enabled");
+
+    let scale = if smoke { 200.0 } else { 20.0 };
+    let mut rt = RuntimeConfig::accelerated(scale);
+    // OS jitter of J wall-seconds looks like J × scale trace-seconds of
+    // heartbeat staleness; tolerate ~20 ms of scheduler jitter.
+    rt.detection_delay = rt.detection_delay.max(0.02 * scale);
+    rt.adapt = Some(adapt);
+    let live = LiveRuntime::new(&app, &placement, stale, &trace, FailurePlan::None, rt).run();
+    let live_report = live.adapt.as_ref().expect("adapt was enabled");
+
+    let detect = report
+        .detected_at
+        .map_or(f64::NAN, |t| (t - drift_at).max(0.0));
+    let adapted_processed = adapted_m.total_processed();
+    let live_processed = live.metrics.total_processed();
+    Ok(vec![BenchAdaptRow {
+        name: "fig2_drift_high_8_to_12".to_owned(),
+        trace_secs: duration,
+        drift_at,
+        time_to_detect_secs: detect,
+        swap_at: report.last_swap_at.unwrap_or(f64::NAN),
+        replan_nodes: report.replan_nodes,
+        replan_wall_ms: report.replan_wall_ms,
+        replan_time_to_best_ms: report.replan_time_to_best_ms,
+        soft_fallbacks: report.soft_fallbacks,
+        swaps: report.swaps,
+        swap_downtime_quanta: adapted_m.swap_downtime_quanta,
+        swap_downtime_tuples: adapted_m.swap_downtime_tuples,
+        stale_processed: stale_m.total_processed(),
+        stale_drops: stale_m.queue_drops,
+        adapted_processed,
+        adapted_drops: adapted_m.queue_drops,
+        drop_reduction: if stale_m.queue_drops > 0 {
+            1.0 - adapted_m.queue_drops as f64 / stale_m.queue_drops as f64
+        } else {
+            0.0
+        },
+        live_swaps: live_report.swaps,
+        live_drops: live.metrics.queue_drops + live.conservation.transport_dropped,
+        live_sim_delta: (live_processed as f64 - adapted_processed as f64).abs()
+            / (adapted_processed as f64).max(1.0),
+    }])
+}
+
 /// One `profile` row: PE name, per-port selectivities, per-port costs, and
 /// the worst relative error against the contract (NaN when per-port
 /// attribution is unidentifiable).
@@ -919,32 +1092,36 @@ mod tests {
         let solved = cmd_solve(&app, &placement, 0.5, Duration::from_secs(10), None).unwrap();
         assert!(solved.ic >= 0.5 - 1e-9);
         assert!(solved.label == "BST" || solved.label == "SOL");
-        let metrics = cmd_simulate(
+        let (metrics, no_report) = cmd_simulate(
             &app,
             &placement,
             solved.strategy.clone(),
             &trace,
             FailurePlan::None,
             1,
+            None,
         )
         .unwrap();
+        assert!(no_report.is_none());
         assert!(metrics.total_processed() > 0);
 
         // A multi-threaded run is bit-identical to the single-threaded one.
-        let par = cmd_simulate(
+        let (par, _) = cmd_simulate(
             &app,
             &placement,
             solved.strategy.clone(),
             &trace,
             FailurePlan::None,
             3,
+            None,
         )
         .unwrap();
         assert_eq!(metrics, par);
 
         // Worst-case run through the same interface.
         let plan = parse_failure("worst", &app, &solved.strategy).unwrap();
-        let worst = cmd_simulate(&app, &placement, solved.strategy, &trace, plan, 1).unwrap();
+        let (worst, _) =
+            cmd_simulate(&app, &placement, solved.strategy, &trace, plan, 1, None).unwrap();
         assert!(worst.total_processed() <= metrics.total_processed());
     }
 
@@ -953,13 +1130,21 @@ mod tests {
         let (app, placement, trace) = artifacts();
         let np = app.graph().num_pes();
         let strategy = ActivationStrategy::all_active(np, placement.k(), 2);
-        let report =
-            cmd_run_live(&app, &placement, strategy, &trace, FailurePlan::None, 60.0).unwrap();
+        let report = cmd_run_live(
+            &app,
+            &placement,
+            strategy,
+            &trace,
+            FailurePlan::None,
+            60.0,
+            None,
+        )
+        .unwrap();
         assert!(report.metrics.total_processed() > 0);
         assert!(report.conservation.is_balanced());
         // Rejects nonsense speeds.
         let s2 = ActivationStrategy::all_active(np, placement.k(), 2);
-        assert!(cmd_run_live(&app, &placement, s2, &trace, FailurePlan::None, 0.0).is_err());
+        assert!(cmd_run_live(&app, &placement, s2, &trace, FailurePlan::None, 0.0, None).is_err());
     }
 
     #[test]
@@ -1030,6 +1215,6 @@ mod tests {
     fn invalid_strategy_is_rejected_by_simulate() {
         let (app, placement, trace) = artifacts();
         let bad = ActivationStrategy::all_inactive(6, 2, 2);
-        assert!(cmd_simulate(&app, &placement, bad, &trace, FailurePlan::None, 1).is_err());
+        assert!(cmd_simulate(&app, &placement, bad, &trace, FailurePlan::None, 1, None).is_err());
     }
 }

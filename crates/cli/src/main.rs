@@ -1,9 +1,10 @@
 //! The `laar` command-line tool: the deployment workflow of the paper's
 //! Fig. 7 as JSON-file plumbing. Run `laar help` for usage.
 
+use laar_adapt::{AdaptConfig, AdaptReport};
 use laar_cli::{
-    cmd_bench_runtime, cmd_bench_sim, cmd_bench_solver, cmd_generate, cmd_profile, cmd_run_live,
-    cmd_simulate, cmd_solve, cmd_variants, parse_failure, CliError,
+    cmd_bench_adapt, cmd_bench_runtime, cmd_bench_sim, cmd_bench_solver, cmd_generate, cmd_profile,
+    cmd_run_live, cmd_simulate, cmd_solve, cmd_variants, parse_failure, CliError,
 };
 use laar_dsps::InputTrace;
 use laar_model::{ActivationStrategy, Application, Placement};
@@ -16,8 +17,8 @@ laar — Load-Adaptive Active Replication pipeline (EDBT 2014 reproduction)
 USAGE:
   laar generate --pes N --hosts N [--seed N] [--scale X] --contract OUT --placement OUT --trace OUT
   laar solve    --contract F --placement F --ic X [--time-limit SECS] [--soft LAMBDA] --strategy OUT
-  laar simulate --contract F --placement F --strategy F --trace F [--failure none|worst|host:<id>@<secs>] [--threads N] [--metrics OUT]
-  laar run-live --contract F --placement F --strategy F --trace F [--failure ...] [--speed X] [--metrics OUT]
+  laar simulate --contract F --placement F --strategy F --trace F [--failure none|worst|host:<id>@<secs>] [--threads N] [--adapt --ic X] [--metrics OUT]
+  laar run-live --contract F --placement F --strategy F --trace F [--failure ...] [--speed X] [--adapt --ic X] [--metrics OUT]
   laar variants --contract F --placement F --trace F [--time-limit SECS]
   laar profile  --contract F --placement F [--probes N]
   laar bench-sim [--iters N] [--threads N,M,..] [--out BENCH_sim.json]
@@ -25,6 +26,7 @@ USAGE:
                     [--time-limit SECS] [--out BENCH_solver.json]
   laar bench-runtime [--scales X,Y,..] [--baseline F] [--test]
                      [--out BENCH_runtime.json]
+  laar bench-adapt [--test] [--out BENCH_adapt.json]
 
 Artifacts are JSON: the contract (application graph + descriptor + billing
 period), the replicated placement, the input trace, the HAController
@@ -66,6 +68,47 @@ fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, CliError> 
 fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError> {
     std::fs::write(path, serde_json::to_string_pretty(value)?)?;
     Ok(())
+}
+
+/// `--adapt [--ic X]` → an [`AdaptConfig`] (None without `--adapt`).
+fn parse_adapt(flags: &HashMap<String, String>) -> Result<Option<AdaptConfig>, CliError> {
+    if flags.get("adapt").map(String::as_str) != Some("true") {
+        return Ok(None);
+    }
+    let ic: f64 = flags
+        .get("ic")
+        .ok_or_else(|| {
+            CliError::Message("--adapt needs --ic (the IC requirement to re-plan for)".to_owned())
+        })?
+        .parse()
+        .map_err(|e| CliError::Message(format!("bad --ic: {e}")))?;
+    if !(0.0..1.0).contains(&ic) {
+        return Err(CliError::Message(format!(
+            "bad --ic {ic}: must be in [0, 1)"
+        )));
+    }
+    Ok(Some(AdaptConfig::new(ic)))
+}
+
+/// One summary line of an adaptation report.
+fn print_adapt_report(r: &AdaptReport) {
+    println!(
+        "adaptation: {} checks, {} re-plans, {} swaps{}{}{}",
+        r.checks,
+        r.replans,
+        r.swaps,
+        r.detected_at
+            .map(|t| format!(", drift detected at {t:.1}s"))
+            .unwrap_or_default(),
+        r.last_swap_at
+            .map(|t| format!(", last swap at {t:.1}s"))
+            .unwrap_or_default(),
+        if r.soft_fallbacks > 0 {
+            format!(" ({} soft fallbacks)", r.soft_fallbacks)
+        } else {
+            String::new()
+        },
+    );
 }
 
 fn run() -> Result<(), CliError> {
@@ -155,7 +198,9 @@ fn run() -> Result<(), CliError> {
                 .transpose()
                 .map_err(|e| CliError::Message(format!("bad --threads: {e}")))?
                 .unwrap_or(1);
-            let metrics = cmd_simulate(&app, &placement, strategy, &trace, plan, threads)?;
+            let adapt = parse_adapt(&flags)?;
+            let (metrics, adapt_report) =
+                cmd_simulate(&app, &placement, strategy, &trace, plan, threads, adapt)?;
             println!(
                 "processed {} tuples, {} sink outputs, {} drops, {:.1} CPU-s, \
                  mean latency {:.0} ms (p99 {:.0} ms), {} fail-overs",
@@ -167,6 +212,9 @@ fn run() -> Result<(), CliError> {
                 1e3 * metrics.latency.quantile(0.99),
                 metrics.failovers,
             );
+            if let Some(r) = &adapt_report {
+                print_adapt_report(r);
+            }
             if let Some(path) = flags.get("metrics") {
                 write_json(path, &metrics)?;
                 println!("metrics written to {path}");
@@ -187,7 +235,8 @@ fn run() -> Result<(), CliError> {
                 .transpose()
                 .map_err(|e| CliError::Message(format!("bad --speed: {e}")))?
                 .unwrap_or(1.0);
-            let report = cmd_run_live(&app, &placement, strategy, &trace, plan, speed)?;
+            let adapt = parse_adapt(&flags)?;
+            let report = cmd_run_live(&app, &placement, strategy, &trace, plan, speed, adapt)?;
             let metrics = &report.metrics;
             println!(
                 "live run at {speed}x: processed {} tuples, {} sink outputs, {} drops, \
@@ -206,6 +255,9 @@ fn run() -> Result<(), CliError> {
                     "UNBALANCED"
                 },
             );
+            if let Some(r) = &report.adapt {
+                print_adapt_report(r);
+            }
             if let Some(path) = flags.get("metrics") {
                 write_json(path, metrics)?;
                 println!("metrics written to {path}");
@@ -430,6 +482,45 @@ fn run() -> Result<(), CliError> {
                 .unwrap_or("BENCH_runtime.json");
             write_json(out, &rows)?;
             println!("runtime data-plane report written to {out}");
+        }
+        "bench-adapt" => {
+            let smoke = flags.get("test").map(String::as_str) == Some("true");
+            let rows = cmd_bench_adapt(smoke)?;
+            println!(
+                "{:<24} {:>9} {:>8} {:>10} {:>9} {:>6} {:>9} {:>11} {:>11} {:>8}",
+                "fixture",
+                "detect(s)",
+                "swap(s)",
+                "replan(ms)",
+                "nodes",
+                "swaps",
+                "down(q/t)",
+                "stale drops",
+                "adapt drops",
+                "live Δ"
+            );
+            for r in &rows {
+                println!(
+                    "{:<24} {:>9.1} {:>8.1} {:>10.1} {:>9} {:>6} {:>5}/{:<3} {:>11} {:>11} {:>7.2}%",
+                    r.name,
+                    r.time_to_detect_secs,
+                    r.swap_at,
+                    r.replan_wall_ms,
+                    r.replan_nodes,
+                    r.swaps,
+                    r.swap_downtime_quanta,
+                    r.swap_downtime_tuples,
+                    r.stale_drops,
+                    r.adapted_drops,
+                    100.0 * r.live_sim_delta,
+                );
+            }
+            let out = flags
+                .get("out")
+                .map(String::as_str)
+                .unwrap_or("BENCH_adapt.json");
+            write_json(out, &rows)?;
+            println!("adaptation loop report written to {out}");
         }
         "help" | "--help" | "-h" => println!("{USAGE}"),
         other => {

@@ -140,6 +140,35 @@ impl HaController {
             .collect()
     }
 
+    /// Replace the activation strategy in place (a *hot swap*, §4.6 taken
+    /// online): the controller keeps its current configuration id — the new
+    /// descriptor must declare the same configuration lattice, re-estimated
+    /// levels included — and rebuilds the R-tree index from `space` so
+    /// subsequent selections use the re-estimated rate levels. Returns the
+    /// old strategy so the caller can diff old-vs-new activation and emit
+    /// the minimal command set (see `laar-exec`'s `plan_swap`).
+    ///
+    /// # Panics
+    ///
+    /// If the new strategy's shape (PEs, configurations, `k`) differs from
+    /// the incumbent's.
+    pub fn swap_strategy(
+        &mut self,
+        space: &ConfigSpace,
+        new: ActivationStrategy,
+    ) -> ActivationStrategy {
+        assert_eq!(new.num_pes(), self.strategy.num_pes(), "swap shape: PEs");
+        assert_eq!(
+            new.num_configs(),
+            self.strategy.num_configs(),
+            "swap shape: configs"
+        );
+        assert_eq!(new.k(), self.strategy.k(), "swap shape: k");
+        assert_eq!(space.num_configs(), new.num_configs(), "swap shape: space");
+        self.index = ConfigIndex::new(space);
+        std::mem::replace(&mut self.strategy, new)
+    }
+
     /// Feed a measured rate vector; if the selected configuration changes,
     /// returns the activation/deactivation commands for exactly the replicas
     /// whose state differs between the two configurations.
@@ -258,6 +287,33 @@ mod tests {
         let react: Vec<_> = back_low.iter().map(|c| c.slot()).collect();
         assert_eq!(deact, react);
         assert_eq!(ctl.switches(), 3);
+    }
+
+    #[test]
+    fn swap_strategy_keeps_config_and_reindexes() {
+        let mut ctl = HaController::new(&space(), fig2b_strategy());
+        ctl.on_measured_rates(&[3.5]);
+        assert_eq!(ctl.current_config(), ConfigId(0));
+        // Re-estimated descriptor: the High level drifted from 8 to 12.
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("s");
+        let p1 = b.add_pe("p1");
+        let p2 = b.add_pe("p2");
+        let k = b.add_sink("k");
+        b.connect(s, p1, 1.0, 100.0).unwrap();
+        b.connect(p1, p2, 1.0, 100.0).unwrap();
+        b.connect_sink(p2, k).unwrap();
+        let g = b.build().unwrap();
+        let est = ConfigSpace::new(&g, vec![vec![4.0, 12.0]], vec![0.8, 0.2]).unwrap();
+        let old = ctl.swap_strategy(&est, ActivationStrategy::all_active(2, 2, 2));
+        assert_eq!(old, fig2b_strategy());
+        assert_eq!(ctl.current_config(), ConfigId(0), "config id preserved");
+        assert_eq!(ctl.switches(), 1, "a swap is not a config switch");
+        // Selection now uses the re-estimated levels: 10 t/s dominates
+        // nothing in the stale space but is within the new High level.
+        assert_eq!(ctl.index.select(&[10.0]), ConfigId(1));
+        ctl.on_measured_rates(&[10.0]);
+        assert_eq!(ctl.current_config(), ConfigId(1));
     }
 
     #[test]

@@ -510,7 +510,7 @@ fn enumerate_prefixes(depth: usize) -> Vec<Vec<Val>> {
 /// incumbent, so every exact-minimal-cost leaf is visited regardless of
 /// how fast other workers tighten the bound) and all merging — worker
 /// locals in prefix order, then the shared incumbent — uses the
-/// [`better_solution`] total order. Worker statistics are merged;
+/// `better_solution` total order. Worker statistics are merged;
 /// `time_to_first`/`time_to_best` reflect the earliest/cheapest across
 /// workers and, like node counts, remain schedule-dependent.
 pub fn solve_parallel(problem: &Problem, opts: &FtSearchConfig) -> Result<SearchReport, CoreError> {

@@ -19,6 +19,10 @@ pub struct RateMonitor {
     cur_bucket: i64,
     /// Timestamp of the most recent event/advance seen.
     last_time: f64,
+    /// Start of the current measurement epoch: estimates only cover
+    /// `[origin, now]`. Re-anchored by [`reset_at`](Self::reset_at) so a
+    /// strategy swap does not leave pre-swap traffic in the denominator.
+    origin: f64,
 }
 
 impl RateMonitor {
@@ -35,6 +39,7 @@ impl RateMonitor {
             counts: vec![0; num_sources * num_buckets],
             cur_bucket: 0,
             last_time: 0.0,
+            origin: 0.0,
         }
     }
 
@@ -84,29 +89,46 @@ impl RateMonitor {
     }
 
     /// Estimated rate (tuples/second) of each source over the window ending
-    /// at `now`. Divides by the *elapsed* window (from time 0 until the
-    /// window fills) so early estimates aren't biased low.
+    /// at `now`. Divides by the *elapsed* window (from the epoch origin
+    /// until the window fills) so early estimates aren't biased low, but
+    /// never by less than one bucket width — a lone tuple landing moments
+    /// after the epoch start must not be extrapolated into a huge rate.
+    /// Before the epoch has any elapsed time at all (`now` at or before the
+    /// origin, including before the first `record`) every estimate is 0.
     pub fn rates(&mut self, now: f64) -> Vec<f64> {
         self.advance(now);
-        let full_window = self.window();
-        // Elapsed time covered by the ring: from max(0, now - window) to now.
-        let covered = if now < full_window { now } else { full_window };
+        // Elapsed time covered by the ring: from max(origin, now - window)
+        // to now.
+        let covered = (now - self.origin).min(self.window());
         if covered <= 0.0 {
             return vec![0.0; self.num_sources];
         }
+        let denom = covered.max(self.bucket_width);
         (0..self.num_sources)
             .map(|s| {
                 let total: u64 = self.counts[s * self.num_buckets..(s + 1) * self.num_buckets]
                     .iter()
                     .sum();
-                total as f64 / covered
+                total as f64 / denom
             })
             .collect()
     }
 
-    /// Clear all counters.
+    /// Clear all counters without moving the epoch origin.
     pub fn reset(&mut self) {
         self.counts.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Clear all counters *and* re-anchor the measurement epoch at `now`:
+    /// subsequent estimates cover only traffic recorded from `now` on.
+    /// Called on a strategy hot-swap so post-swap rate estimates are not
+    /// polluted by pre-swap traffic (and are not divided by a window that
+    /// started before the swap).
+    pub fn reset_at(&mut self, now: f64) {
+        self.reset();
+        self.origin = now;
+        self.cur_bucket = self.bucket_index(now);
+        self.last_time = self.last_time.max(now);
     }
 }
 
@@ -186,5 +208,59 @@ mod tests {
         m.record(0, 0.05);
         m.reset();
         assert_eq!(m.rates(0.5)[0], 0.0);
+    }
+
+    #[test]
+    fn rates_before_any_record_are_zero() {
+        let mut m = RateMonitor::new(2, 0.25, 8);
+        assert_eq!(m.rates(0.0), vec![0.0, 0.0]);
+        assert_eq!(m.rates(0.1), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn partial_first_bucket_is_not_extrapolated() {
+        // One tuple 50 ms into the run must not read as 20 t/s: the
+        // denominator is floored at one bucket width.
+        let mut m = RateMonitor::new(1, 0.25, 8);
+        m.record(0, 0.05);
+        let r = m.rates(0.05);
+        assert!(r[0] <= 1.0 / 0.25 + 1e-9, "rate = {}", r[0]);
+        assert!(r[0] > 0.0);
+    }
+
+    #[test]
+    fn reset_at_reanchors_the_window() {
+        let mut m = RateMonitor::new(1, 0.25, 8);
+        // 40 t/s of pre-swap traffic for 2 s.
+        let mut t = 0.0;
+        while t < 2.0 {
+            m.record(0, t);
+            t += 0.025;
+        }
+        m.reset_at(2.0);
+        assert_eq!(m.rates(2.0)[0], 0.0, "no post-swap traffic yet");
+        // 10 t/s of post-swap traffic for 1 s: the estimate must reflect
+        // only the new epoch, not be averaged with (or divided by) the
+        // pre-swap window.
+        while t < 3.0 {
+            m.record(0, t);
+            t += 0.1;
+        }
+        let r = m.rates(3.0);
+        assert!((r[0] - 10.0).abs() < 1.5, "rate = {}", r[0]);
+    }
+
+    #[test]
+    fn reset_at_partial_epoch_uses_bucket_floor() {
+        let mut m = RateMonitor::new(1, 0.25, 8);
+        let mut t = 0.0;
+        while t < 5.0 {
+            m.record(0, t);
+            t += 0.1;
+        }
+        m.reset_at(5.0);
+        m.record(0, 5.01);
+        let r = m.rates(5.01);
+        assert!(r[0] <= 1.0 / 0.25 + 1e-9, "rate = {}", r[0]);
     }
 }

@@ -191,6 +191,17 @@ pub struct SimMetrics {
     pub replica_emitted: Vec<u64>,
     /// Per replica: CPU cycles consumed.
     pub replica_cycles: Vec<f64>,
+    /// Strategy hot-swaps performed by the online adaptation subsystem
+    /// (`laar-adapt`), when enabled.
+    pub strategy_swaps: u64,
+    /// Control-plane passes during an in-flight swap in which some PE had
+    /// no elected primary. The two-phase swap protocol keeps the union of
+    /// the old and new activations live, so this should stay zero unless
+    /// failures overlap the swap window.
+    pub swap_downtime_quanta: u64,
+    /// Source tuples emitted during those degraded passes — the tuple-
+    /// denominated swap downtime reported by `laar bench-adapt`.
+    pub swap_downtime_tuples: u64,
     /// The full tuple-conservation ledger of the run. For the simulator the
     /// transport terms (`transport_dropped`, `ring_residual`) are zero by
     /// construction and the ledger balances exactly; the live runtime fills

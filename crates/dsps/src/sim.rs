@@ -20,6 +20,7 @@ use crate::metrics::{SimMetrics, TimeSeries};
 use crate::pool::{Task, WorkerPool};
 use crate::profiler::PhaseProfile;
 use crate::trace::{ArrivalProcess, InputTrace, SourceEmitter};
+use laar_adapt::{AdaptConfig, AdaptReport, AdaptiveController};
 use laar_core::controller::HaController;
 use laar_core::monitor::RateMonitor;
 use laar_exec::failure::FailurePlan;
@@ -89,6 +90,11 @@ pub struct SimConfig {
     /// order. Pays off on saturated fixtures with many hosts; on small or
     /// quiescent fixtures the per-quantum dispatch overhead dominates.
     pub threads: usize,
+    /// Online adaptation (`laar-adapt`): drift detection over the rate
+    /// monitor, warm-started re-planning, and live strategy hot-swaps.
+    /// `None` (the default) freezes the deployed strategy, as the paper
+    /// does.
+    pub adapt: Option<AdaptConfig>,
 }
 
 impl Default for SimConfig {
@@ -106,6 +112,7 @@ impl Default for SimConfig {
             arrivals: ArrivalProcess::Deterministic,
             advance: TimeAdvance::EventDriven,
             threads: 1,
+            adapt: None,
         }
     }
 }
@@ -206,6 +213,11 @@ pub struct Simulation {
     emitters: Vec<SourceEmitter>,
     control: ControlLoop,
     proxy: ProxyState,
+    adapt: Option<AdaptiveController>,
+    /// `true` while a swap is in flight *and* the last control-plane pass
+    /// left some PE without a primary — tuples emitted in such quanta are
+    /// counted as swap downtime.
+    swap_degraded: bool,
     plan: FailurePlan,
     /// Tuples handed to replicas (offers are synchronous: every offer is a
     /// successful push in the conservation ledger's sense).
@@ -364,6 +376,11 @@ impl Simulation {
             ..Default::default()
         };
 
+        let adapt = cfg
+            .adapt
+            .clone()
+            .map(|a| AdaptiveController::new(app, placement, a));
+
         let mut sim = Self {
             cfg,
             placement_capacity: placement.hosts().iter().map(|h| h.capacity).collect(),
@@ -380,6 +397,8 @@ impl Simulation {
             emitters,
             control,
             proxy: ProxyState::new(np, k),
+            adapt,
+            swap_degraded: false,
             plan,
             pushed: 0,
             metrics,
@@ -409,6 +428,14 @@ impl Simulation {
 
     /// Run the simulation to the end of the trace and return the metrics.
     pub fn run(self) -> SimMetrics {
+        self.run_inner(None).0
+    }
+
+    /// Run the simulation and additionally return the adaptation report
+    /// (`None` unless [`SimConfig::adapt`] was set). The report carries
+    /// wall-clock re-planning timings, which is why it lives *outside*
+    /// [`SimMetrics`] — the metrics stay bit-reproducible.
+    pub fn run_adaptive(self) -> (SimMetrics, Option<AdaptReport>) {
         self.run_inner(None)
     }
 
@@ -417,11 +444,11 @@ impl Simulation {
     /// the profile is measurement, not simulation state.
     pub fn run_profiled(self) -> (SimMetrics, PhaseProfile) {
         let mut profile = PhaseProfile::default();
-        let metrics = self.run_inner(Some(&mut profile));
+        let (metrics, _) = self.run_inner(Some(&mut profile));
         (metrics, profile)
     }
 
-    fn run_inner(self, profile: Option<&mut PhaseProfile>) -> SimMetrics {
+    fn run_inner(self, profile: Option<&mut PhaseProfile>) -> (SimMetrics, Option<AdaptReport>) {
         // The parallel engine needs at least two hosts to split; anything
         // else runs the sequential reference (identical metrics either way).
         if self.cfg.threads > 1 && self.host_offsets.len() > 2 {
@@ -432,7 +459,10 @@ impl Simulation {
     }
 
     /// The sequential reference engine (`threads = 1`).
-    fn run_seq(mut self, mut profile: Option<&mut PhaseProfile>) -> SimMetrics {
+    fn run_seq(
+        mut self,
+        mut profile: Option<&mut PhaseProfile>,
+    ) -> (SimMetrics, Option<AdaptReport>) {
         let dt = self.cfg.quantum;
         let steps = (self.duration / dt).round() as u64;
         let event_driven = self.cfg.advance == TimeAdvance::EventDriven;
@@ -480,6 +510,9 @@ impl Simulation {
                 }
                 self.metrics.source_emitted[si] += n as u64;
                 self.metrics.input_rate.samples[sec] += n as f64;
+                if self.swap_degraded {
+                    self.metrics.swap_downtime_tuples += n as u64;
+                }
                 for &(pe, port) in &self.source_out[si] {
                     for r in 0..self.k {
                         let idx = self.slot_of[pe * self.k + r];
@@ -588,7 +621,8 @@ impl Simulation {
             }
         }
 
-        self.finalize()
+        let report = self.adapt.take().map(|a| a.into_report());
+        (self.finalize(), report)
     }
 
     /// The host-parallel engine (`threads > 1`): per quantum, the
@@ -615,7 +649,10 @@ impl Simulation {
     /// each worker, and everything cross-host is coordinator-sequential —
     /// which is why the metrics are bit-identical to [`Self::run_seq`],
     /// and why `tests/equivalence.rs` can assert exact equality.
-    fn run_par(mut self, mut profile: Option<&mut PhaseProfile>) -> SimMetrics {
+    fn run_par(
+        mut self,
+        mut profile: Option<&mut PhaseProfile>,
+    ) -> (SimMetrics, Option<AdaptReport>) {
         let dt = self.cfg.quantum;
         let steps = (self.duration / dt).round() as u64;
         let event_driven = self.cfg.advance == TimeAdvance::EventDriven;
@@ -693,6 +730,9 @@ impl Simulation {
                 }
                 self.metrics.source_emitted[si] += n as u64;
                 self.metrics.input_rate.samples[sec] += n as f64;
+                if self.swap_degraded {
+                    self.metrics.swap_downtime_tuples += n as u64;
+                }
                 for _ in &self.source_out[si] {
                     self.pushed += (n * self.k) as u64;
                 }
@@ -817,13 +857,14 @@ impl Simulation {
             }
         }
 
-        self.finalize()
+        let report = self.adapt.take().map(|a| a.into_report());
+        (self.finalize(), report)
     }
 
     /// Per-quantum control plane, identical for both engines: failure-plan
-    /// transitions, due HAController commands, primary election, and the
-    /// monitor poll — all routed through the shared proxy protocol against
-    /// the arena.
+    /// transitions, due HAController commands, primary election, the
+    /// monitor poll, and (when enabled) the adaptation check — all routed
+    /// through the shared proxy protocol against the arena.
     fn control_plane(&mut self, t: f64) {
         self.apply_failures(t);
         for cmd in self.control.take_due(t) {
@@ -843,6 +884,24 @@ impl Simulation {
             t,
         );
         self.control.poll(t);
+        if let Some(ad) = self.adapt.as_mut() {
+            if ad.due(t) {
+                let rates = self.control.measured_rates(t);
+                let incumbent = self.control.controller().strategy().clone();
+                if let Some(out) = ad.observe(t, &rates, &incumbent) {
+                    self.control
+                        .swap_strategy(&out.space, out.strategy, t, self.cfg.sync_delay);
+                }
+            }
+            // Downtime audit: a correctly phased swap keeps the union of
+            // the old and new activations live, so a primary-less PE while
+            // a swap is in flight is measured (and should stay at zero).
+            self.swap_degraded = self.control.swap_in_flight(t)
+                && (0..self.num_pes).any(|pe| self.proxy.primary(pe).is_none());
+            if self.swap_degraded {
+                self.metrics.swap_downtime_quanta += 1;
+            }
+        }
     }
 
     /// Attribute logical work to the current primaries, then re-arm the
@@ -884,6 +943,7 @@ impl Simulation {
         self.metrics.idle_discards = conservation.idle_discards;
         self.metrics.conservation = conservation;
         self.metrics.config_switches = self.control.switches();
+        self.metrics.strategy_swaps = self.control.swaps();
         self.metrics.failovers = self.proxy.failovers();
         let _ = self.num_sinks;
         self.metrics
@@ -917,6 +977,9 @@ impl Simulation {
         }
         consider(self.control.next_due());
         consider(self.control.next_poll());
+        if let Some(a) = &self.adapt {
+            consider(Some(a.next_check()));
+        }
         consider(self.plan.next_transition(t));
         consider(self.proxy.next_unblock(t));
         for r in &self.replicas {

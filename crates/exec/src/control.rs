@@ -13,8 +13,10 @@
 //! oversleep), while a live engine re-anchors to the wall clock so an
 //! overslept coordinator does not burst several polls back-to-back.
 
+use crate::swap::{plan_swap, SwapPlan};
 use laar_core::controller::{Command, HaController};
 use laar_core::monitor::RateMonitor;
+use laar_model::{ActivationStrategy, ConfigSpace};
 
 /// Cadence and latency parameters of the control loop.
 #[derive(Debug, Clone)]
@@ -44,6 +46,10 @@ pub struct ControlLoop {
     pending: Vec<(f64, Command)>,
     next_monitor: f64,
     cfg: ControlConfig,
+    /// Strategy hot-swaps performed so far.
+    swaps: u64,
+    /// A swap's phased commands are in flight until this instant.
+    swap_until: f64,
 }
 
 impl ControlLoop {
@@ -56,6 +62,8 @@ impl ControlLoop {
             pending: Vec::new(),
             next_monitor: cfg.monitor_interval,
             cfg,
+            swaps: 0,
+            swap_until: 0.0,
         }
     }
 
@@ -135,6 +143,61 @@ impl ControlLoop {
     #[inline]
     pub fn controller(&self) -> &HaController {
         &self.controller
+    }
+
+    /// The monitor's current rate estimates at `now`, without running a
+    /// decision step — the drift detector's observation channel.
+    #[inline]
+    pub fn measured_rates(&mut self, now: f64) -> Vec<f64> {
+        self.monitor.rates(now)
+    }
+
+    /// Hot-swap the activation strategy (see [`crate::swap`]): replace the
+    /// controller's table (rebuilding its configuration index from `space`,
+    /// normally the *re-estimated* descriptor), queue the phased command
+    /// set — activations due after the command latency, deactivations one
+    /// `sync_delay` later, so every newly activated replica is eligible
+    /// before its predecessor retires — and re-anchor the rate monitor at
+    /// `now` so post-swap estimates are not polluted by pre-swap traffic.
+    /// Returns the plan for accounting.
+    pub fn swap_strategy(
+        &mut self,
+        space: &ConfigSpace,
+        new: ActivationStrategy,
+        now: f64,
+        sync_delay: f64,
+    ) -> SwapPlan {
+        let old = self.controller.swap_strategy(space, new);
+        let plan = plan_swap(
+            &old,
+            self.controller.strategy(),
+            self.controller.current_config(),
+        );
+        let activate_at = now + self.cfg.command_latency;
+        let deactivate_at = activate_at + sync_delay;
+        for cmd in &plan.activate {
+            self.pending.push((activate_at, *cmd));
+        }
+        for cmd in &plan.deactivate {
+            self.pending.push((deactivate_at, *cmd));
+        }
+        self.monitor.reset_at(now);
+        self.swaps += 1;
+        self.swap_until = self.swap_until.max(deactivate_at);
+        plan
+    }
+
+    /// Strategy hot-swaps performed so far.
+    #[inline]
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// `true` while a swap's phased commands are still in flight at `now` —
+    /// the window over which engines account swap downtime.
+    #[inline]
+    pub fn swap_in_flight(&self, now: f64) -> bool {
+        now < self.swap_until
     }
 }
 
@@ -237,5 +300,121 @@ mod tests {
         assert_eq!(cmds.len(), 2);
         assert!(cmds.iter().all(|c| matches!(c, Command::Deactivate(_))));
         assert_eq!(cl.controller().current_config(), ConfigId(1));
+    }
+
+    #[test]
+    fn take_due_is_inclusive_and_ordered_at_simultaneous_due_times() {
+        // Two decision steps whose commands land at the same instant must
+        // drain together, in issue order, and exactly once.
+        let mut cl = loop_with(true, false);
+        feed(&mut cl, 3, 0.0, 1.0); // Low
+        cl.poll(1.0); // High->Low commands due at 1.5
+        assert_eq!(cl.next_due(), Some(1.5));
+        feed(&mut cl, 9, 1.0, 2.0); // High again
+        cl.poll(2.0); // Low->High commands due at 2.5
+                      // Both batches pending; the earliest due time wins.
+        assert_eq!(cl.next_due(), Some(1.5));
+        // Draining exactly *at* a due time is inclusive, and the two
+        // simultaneous commands of one batch come out in issue (PE-major)
+        // order.
+        let first = cl.take_due(1.5);
+        assert_eq!(first.len(), 2);
+        assert!(first.iter().all(|c| matches!(c, Command::Activate(_))));
+        let slots: Vec<_> = first
+            .iter()
+            .map(|c| (c.slot().pe_dense, c.slot().replica))
+            .collect();
+        assert_eq!(slots, vec![(0, 1), (1, 0)]);
+        assert_eq!(cl.next_due(), Some(2.5));
+        let second = cl.take_due(2.5);
+        assert_eq!(second.len(), 2);
+        assert!(second.iter().all(|c| matches!(c, Command::Deactivate(_))));
+        assert_eq!(cl.next_due(), None);
+        assert!(cl.take_due(f64::INFINITY).is_empty(), "nothing left");
+    }
+
+    #[test]
+    fn next_poll_tracks_interval_boundaries() {
+        let mut cl = loop_with(true, false);
+        assert_eq!(cl.next_poll(), Some(1.0));
+        cl.poll(0.999_999); // strictly before the boundary: no step
+        assert_eq!(cl.next_poll(), Some(1.0));
+        cl.poll(1.0); // exactly at the boundary: the step runs
+        assert_eq!(cl.next_poll(), Some(2.0));
+        // Fixed cadence advances by exactly one interval even when polled
+        // late; catch-up cadence re-anchors instead.
+        cl.poll(3.7);
+        assert_eq!(cl.next_poll(), Some(3.0), "fixed cadence never skips");
+        let mut cu = loop_with(true, true);
+        cu.poll(3.7);
+        assert_eq!(cu.next_poll(), Some(4.0), "catch-up re-anchors");
+        let off = loop_with(false, false);
+        assert_eq!(off.next_poll(), None);
+    }
+
+    #[test]
+    fn next_due_none_until_a_decision_queues_commands() {
+        let mut cl = loop_with(true, false);
+        assert_eq!(cl.next_due(), None);
+        feed(&mut cl, 3, 0.0, 1.0);
+        cl.poll(1.0);
+        let due = cl.next_due().unwrap();
+        assert!(due > 1.0, "commands respect the latency");
+        assert!(cl.take_due(due - 1e-9).is_empty(), "not due yet");
+        assert_eq!(cl.take_due(due).len(), 2);
+    }
+
+    fn est_space(high: f64) -> ConfigSpace {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("s");
+        let p1 = b.add_pe("p1");
+        let p2 = b.add_pe("p2");
+        let k = b.add_sink("k");
+        b.connect(s, p1, 1.0, 100.0).unwrap();
+        b.connect(p1, p2, 1.0, 100.0).unwrap();
+        b.connect_sink(p2, k).unwrap();
+        let g = b.build().unwrap();
+        ConfigSpace::new(&g, vec![vec![4.0, high]], vec![0.8, 0.2]).unwrap()
+    }
+
+    #[test]
+    fn swap_phases_activations_before_deactivations() {
+        let mut cl = loop_with(true, false);
+        // Move to Low so the staggered replicas are all active.
+        feed(&mut cl, 3, 0.0, 1.0);
+        cl.poll(1.0);
+        cl.take_due(1.5);
+        assert_eq!(cl.controller().current_config(), ConfigId(0));
+        // Swap to a strategy staggering at Low too: at the current config
+        // two replicas deactivate; nothing needs activating.
+        let mut next = fig2b_strategy();
+        next.set_active(0, ConfigId(0), 0, false);
+        next.set_active(1, ConfigId(0), 1, false);
+        let plan = cl.swap_strategy(&est_space(8.0), next.clone(), 2.0, 0.25);
+        assert_eq!(plan.activate.len(), 0);
+        assert_eq!(plan.deactivate.len(), 2);
+        assert_eq!(cl.swaps(), 1);
+        assert!(cl.swap_in_flight(2.5));
+        assert!(!cl.swap_in_flight(2.75));
+        // Deactivations are held back one sync window past the latency.
+        assert!(cl.take_due(2.5).is_empty());
+        assert_eq!(cl.take_due(2.75).len(), 2);
+        assert_eq!(cl.controller().strategy(), &next);
+    }
+
+    #[test]
+    fn swap_resets_the_monitor_epoch() {
+        let mut cl = loop_with(true, false);
+        feed(&mut cl, 9, 0.0, 1.0); // heavy pre-swap traffic
+        cl.poll(1.0);
+        cl.swap_strategy(&est_space(8.0), fig2b_strategy(), 1.0, 0.25);
+        assert_eq!(
+            cl.measured_rates(1.0),
+            vec![0.0],
+            "pre-swap traffic no longer measured"
+        );
+        feed(&mut cl, 3, 1.0, 2.0);
+        let r = cl.measured_rates(2.0);
+        assert!((r[0] - 3.0).abs() < 1.0, "rate = {}", r[0]);
     }
 }

@@ -27,7 +27,10 @@
 //!   command latency ([`ControlLoop`]);
 //! * [`failure`] — the failure scenarios of §5.3 ([`FailurePlan`]);
 //! * [`conservation`] — the tuple-accounting ledger and its
-//!   [`is_balanced`](Conservation::is_balanced) identity.
+//!   [`is_balanced`](Conservation::is_balanced) identity;
+//! * [`swap`] — the strategy hot-swap protocol: the minimal phased
+//!   Activate/Deactivate diff installing a re-optimized strategy into a
+//!   running engine without draining it ([`SwapPlan`]).
 
 #![warn(missing_docs)]
 
@@ -36,9 +39,11 @@ pub mod control;
 pub mod failure;
 pub mod proxy;
 pub mod replica;
+pub mod swap;
 
 pub use conservation::Conservation;
 pub use control::{ControlConfig, ControlLoop};
 pub use failure::{strategy_after_worst_case, FailurePlan};
 pub use proxy::{apply_to_slot, HaSlot, ProxyState, ReplicaStatus, SlotMap, SlotState};
 pub use replica::{InPort, Replica};
+pub use swap::{plan_swap, SwapPlan};

@@ -1,0 +1,172 @@
+//! The strategy hot-swap protocol: installing a re-optimized activation
+//! strategy into a *running* engine without draining it.
+//!
+//! A swap replaces the HAController's activation table while tuples are in
+//! flight. The protocol diffs old-vs-new activation at the configuration
+//! the controller currently assumes and emits the minimal Activate /
+//! Deactivate command set, *phased*:
+//!
+//! 1. **Activations first.** Replicas that the new strategy activates are
+//!    commanded immediately (subject to the usual command latency). They
+//!    enter their sync window and become eligible `sync_delay` seconds
+//!    later.
+//! 2. **Deactivations after the sync window.** Replicas the new strategy
+//!    turns off are commanded one sync window later, when every newly
+//!    activated replica is already eligible for primary election.
+//!
+//! Because both the old and the new strategy satisfy eq. 12 (at least one
+//! active replica of every PE in every configuration), the phasing keeps
+//! the *union* of old and new activation in force during the overlap — so
+//! no PE is ever left with zero active replicas mid-swap, and a PE whose
+//! primary is being retired always has an eligible successor by the time
+//! the Deactivate lands. The commands travel the engines' ordinary
+//! command path (`ProxyState::apply_command`), so the Conservation ledger
+//! stays balanced through the swap: tuples queued on a retiring replica
+//! are accounted as idle discards exactly as in a configuration switch.
+//!
+//! Activations for *other* configurations need no commands at all: the
+//! swapped table itself is consulted on the next configuration switch.
+
+use laar_core::controller::{Command, ReplicaSlot};
+use laar_model::{ActivationStrategy, ConfigId};
+
+/// The minimal phased command set installing a new strategy at one
+/// configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SwapPlan {
+    /// Replicas to activate (phase 1, due after the command latency).
+    pub activate: Vec<Command>,
+    /// Replicas to deactivate (phase 2, due one sync window after phase 1).
+    pub deactivate: Vec<Command>,
+}
+
+impl SwapPlan {
+    /// `true` when the swap changes nothing at the current configuration
+    /// (the strategies may still differ elsewhere in the table).
+    pub fn is_noop(&self) -> bool {
+        self.activate.is_empty() && self.deactivate.is_empty()
+    }
+
+    /// Total number of commands in the plan.
+    pub fn len(&self) -> usize {
+        self.activate.len() + self.deactivate.len()
+    }
+
+    /// `true` when the plan carries no commands.
+    pub fn is_empty(&self) -> bool {
+        self.is_noop()
+    }
+}
+
+/// Diff two activation strategies at configuration `current` and return the
+/// minimal phased command set turning `old`'s activation into `new`'s.
+/// Replicas whose state agrees between the two strategies are untouched.
+///
+/// # Panics
+///
+/// If the strategies' shapes (PEs, configurations, `k`) differ.
+pub fn plan_swap(
+    old: &ActivationStrategy,
+    new: &ActivationStrategy,
+    current: ConfigId,
+) -> SwapPlan {
+    assert_eq!(old.num_pes(), new.num_pes(), "swap shape: PEs");
+    assert_eq!(old.num_configs(), new.num_configs(), "swap shape: configs");
+    assert_eq!(old.k(), new.k(), "swap shape: k");
+    let mut plan = SwapPlan::default();
+    for pe in 0..old.num_pes() {
+        for r in 0..old.k() {
+            let slot = ReplicaSlot {
+                pe_dense: pe,
+                replica: r,
+            };
+            match (old.is_active(pe, current, r), new.is_active(pe, current, r)) {
+                (false, true) => plan.activate.push(Command::Activate(slot)),
+                (true, false) => plan.deactivate.push(Command::Deactivate(slot)),
+                _ => {}
+            }
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2b() -> ActivationStrategy {
+        let mut s = ActivationStrategy::all_active(2, 2, 2);
+        s.set_active(0, ConfigId(1), 1, false);
+        s.set_active(1, ConfigId(1), 0, false);
+        s
+    }
+
+    #[test]
+    fn identical_strategies_are_a_noop() {
+        let s = fig2b();
+        let plan = plan_swap(&s, &s, ConfigId(1));
+        assert!(plan.is_noop());
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+    }
+
+    #[test]
+    fn diff_is_minimal_and_phased() {
+        // all-active -> staggered singles at High: exactly the two retired
+        // replicas are commanded, both as (phase 2) deactivations.
+        let old = ActivationStrategy::all_active(2, 2, 2);
+        let new = fig2b();
+        let plan = plan_swap(&old, &new, ConfigId(1));
+        assert!(plan.activate.is_empty());
+        assert_eq!(plan.deactivate.len(), 2);
+        let slots: Vec<_> = plan
+            .deactivate
+            .iter()
+            .map(|c| (c.slot().pe_dense, c.slot().replica))
+            .collect();
+        assert_eq!(slots, vec![(0, 1), (1, 0)]);
+        // The reverse swap activates the same two replicas in phase 1.
+        let back = plan_swap(&new, &old, ConfigId(1));
+        assert_eq!(back.activate.len(), 2);
+        assert!(back.deactivate.is_empty());
+    }
+
+    #[test]
+    fn changes_at_other_configs_emit_no_commands() {
+        let old = fig2b();
+        let mut new = old.clone();
+        // Flip activation only at Low; swapping while at High needs no
+        // commands — the table swap itself covers the next switch.
+        new.set_active(0, ConfigId(0), 1, false);
+        let plan = plan_swap(&old, &new, ConfigId(1));
+        assert!(plan.is_noop());
+        assert!(!plan_swap(&old, &new, ConfigId(0)).is_noop());
+    }
+
+    #[test]
+    fn union_keeps_every_pe_covered_mid_swap() {
+        // For any pair of eq.12-valid strategies, the overlap state
+        // (old ∪ new at the current config) has ≥ 1 active replica per PE.
+        let old = fig2b();
+        let mut new = ActivationStrategy::all_active(2, 2, 2);
+        new.set_active(0, ConfigId(1), 0, false);
+        new.set_active(1, ConfigId(1), 1, false);
+        for c in [ConfigId(0), ConfigId(1)] {
+            let plan = plan_swap(&old, &new, c);
+            for pe in 0..old.num_pes() {
+                let union = (0..old.k())
+                    .filter(|&r| old.is_active(pe, c, r) || new.is_active(pe, c, r))
+                    .count();
+                assert!(union >= 1);
+                // Phase 1 only ever grows the active set; phase 2 shrinks
+                // it to exactly the new strategy's set.
+                for cmd in &plan.activate {
+                    assert!(matches!(cmd, Command::Activate(_)));
+                }
+                for cmd in &plan.deactivate {
+                    assert!(matches!(cmd, Command::Deactivate(_)));
+                }
+            }
+        }
+    }
+}

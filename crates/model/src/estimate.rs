@@ -1,0 +1,160 @@
+//! Descriptor re-estimation: a measured replacement for the declared
+//! input-configuration distribution.
+//!
+//! The contract descriptor (§3) declares per-source rate *levels* and a pmf
+//! over the resulting configurations; everything the optimizer computes —
+//! rates `Δ` (eq. 5), CPU loads (eq. 11), cost (eq. 13), the IC bound
+//! (eq. 14) — is evaluated against those declared numbers. When production
+//! traffic drifts, a [`DescriptorEstimate`] captures what the monitor
+//! *measured* in the same shape (one re-estimated rate per declared level,
+//! one re-estimated probability per configuration) so the whole analysis
+//! stack can be re-run unchanged on the corrected descriptor.
+//!
+//! Because the load model is linear in the source rates (every `Δ(x, c)` is
+//! a fixed linear combination of the configuration's source rates), a
+//! relative error of at most `ε` on every rate level bounds the relative
+//! error of every derived per-configuration rate, load, and cost term by
+//! the same `ε` — which is what lets a drift detector translate
+//! [`max_rate_drift`](DescriptorEstimate::max_rate_drift) directly into a
+//! bound on how wrong the incumbent strategy's cost/IC numbers have become.
+
+use crate::app::Application;
+use crate::config::ConfigSpace;
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// A re-estimated descriptor: measured rate levels and configuration
+/// probabilities in the declared descriptor's shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DescriptorEstimate {
+    /// Re-estimated rate levels, `rates[source][level]`, same cardinality
+    /// as the declared rate sets.
+    pub rates: Vec<Vec<f64>>,
+    /// Re-estimated configuration probabilities (same indexing as the
+    /// declared configuration space). Need not be exactly normalized;
+    /// [`apply`](Self::apply) renormalizes.
+    pub probs: Vec<f64>,
+}
+
+impl DescriptorEstimate {
+    /// The identity estimate: exactly the declared descriptor.
+    pub fn declared(space: &ConfigSpace) -> Self {
+        Self {
+            rates: (0..space.num_sources())
+                .map(|s| space.rate_set(s).to_vec())
+                .collect(),
+            probs: space.configs().map(|c| space.prob(c)).collect(),
+        }
+    }
+
+    /// Largest relative deviation of any re-estimated rate level from its
+    /// declared value: `max |est − decl| / decl`. Under the linear load
+    /// model this bounds the relative error of every rate/load/cost term
+    /// the incumbent strategy was optimized against.
+    pub fn max_rate_drift(&self, space: &ConfigSpace) -> f64 {
+        let mut worst = 0.0f64;
+        for s in 0..space.num_sources().min(self.rates.len()) {
+            let declared = space.rate_set(s);
+            for (l, &est) in self.rates[s].iter().enumerate().take(declared.len()) {
+                let d = declared[l];
+                if d > 0.0 {
+                    worst = worst.max((est - d).abs() / d);
+                }
+            }
+        }
+        worst
+    }
+
+    /// Total-variation distance between the re-estimated and the declared
+    /// configuration pmf (`½ Σ |p̂ − p|`, after normalizing the estimate).
+    pub fn prob_drift(&self, space: &ConfigSpace) -> f64 {
+        let sum: f64 = self.probs.iter().sum();
+        if sum <= 0.0 || self.probs.len() != space.num_configs() {
+            return 0.0;
+        }
+        0.5 * self
+            .probs
+            .iter()
+            .zip(space.configs())
+            .map(|(&p, c)| (p / sum - space.prob(c)).abs())
+            .sum::<f64>()
+    }
+
+    /// Build the re-estimated application: the same graph and billing
+    /// period with the configuration space rebuilt from the estimate
+    /// (probabilities renormalized). Fails if the estimate's shape does not
+    /// match the graph or any value is invalid.
+    pub fn apply(&self, app: &Application) -> Result<Application, ModelError> {
+        let sum: f64 = self.probs.iter().sum();
+        if !(sum.is_finite() && sum > 0.0) {
+            return Err(ModelError::ProbabilityMass(sum));
+        }
+        let probs: Vec<f64> = self.probs.iter().map(|p| p / sum).collect();
+        let cs = ConfigSpace::new(app.graph(), self.rates.clone(), probs)?;
+        Application::new(&app.name, app.graph().clone(), cs, app.billing_period())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn app() -> Application {
+        let mut b = GraphBuilder::new();
+        let s = b.add_source("s");
+        let p = b.add_pe("p");
+        let k = b.add_sink("k");
+        b.connect(s, p, 1.0, 100.0).unwrap();
+        b.connect_sink(p, k).unwrap();
+        let g = b.build().unwrap();
+        let cs = ConfigSpace::new(&g, vec![vec![4.0, 8.0]], vec![0.8, 0.2]).unwrap();
+        Application::new("demo", g, cs, 300.0).unwrap()
+    }
+
+    #[test]
+    fn declared_estimate_is_driftless() {
+        let a = app();
+        let e = DescriptorEstimate::declared(a.configs());
+        assert_eq!(e.max_rate_drift(a.configs()), 0.0);
+        assert_eq!(e.prob_drift(a.configs()), 0.0);
+        let a2 = e.apply(&a).unwrap();
+        assert_eq!(a2.configs(), a.configs());
+    }
+
+    #[test]
+    fn rate_drift_is_max_relative_deviation() {
+        let a = app();
+        let mut e = DescriptorEstimate::declared(a.configs());
+        e.rates[0][1] = 12.0; // High drifted 8 -> 12: 50 %
+        assert!((e.max_rate_drift(a.configs()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prob_drift_is_total_variation() {
+        let a = app();
+        let mut e = DescriptorEstimate::declared(a.configs());
+        e.probs = vec![0.5, 0.5];
+        assert!((e.prob_drift(a.configs()) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_renormalizes_probabilities() {
+        let a = app();
+        let mut e = DescriptorEstimate::declared(a.configs());
+        e.probs = vec![3.0, 1.0]; // occupancy counts, not a pmf
+        e.rates[0][1] = 10.0;
+        let a2 = e.apply(&a).unwrap();
+        assert!((a2.configs().prob(crate::config::ConfigId(0)) - 0.75).abs() < 1e-12);
+        assert_eq!(a2.configs().rate_set(0), &[4.0, 10.0]);
+        assert_eq!(a2.billing_period(), a.billing_period());
+    }
+
+    #[test]
+    fn apply_rejects_degenerate_probabilities() {
+        let a = app();
+        let mut e = DescriptorEstimate::declared(a.configs());
+        e.probs = vec![0.0, 0.0];
+        assert!(e.apply(&a).is_err());
+    }
+}

@@ -29,6 +29,7 @@
 pub mod app;
 pub mod config;
 pub mod error;
+pub mod estimate;
 pub mod graph;
 pub mod placement;
 pub mod rates;
@@ -37,6 +38,7 @@ pub mod strategy;
 pub use app::Application;
 pub use config::{ConfigId, ConfigSpace};
 pub use error::ModelError;
+pub use estimate::DescriptorEstimate;
 pub use graph::{
     ApplicationGraph, Component, ComponentId, ComponentKind, Edge, EdgeId, GraphBuilder,
 };

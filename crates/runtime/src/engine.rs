@@ -46,6 +46,7 @@
 
 use crate::clock::ScaledClock;
 use crate::spsc::{self, Consumer, Producer};
+use laar_adapt::{AdaptConfig, AdaptReport, AdaptiveController};
 use laar_core::controller::{Command, HaController};
 use laar_core::monitor::RateMonitor;
 use laar_dsps::metrics::{LatencyStats, SimMetrics, TimeSeries};
@@ -115,6 +116,10 @@ pub struct RuntimeConfig {
     /// Hot-path implementation (batched/adaptive by default; the reference
     /// fixed-tick loop is kept for benchmarking and as a parity control).
     pub data_plane: DataPlane,
+    /// Online adaptation (`laar-adapt`): drift detection over the rate
+    /// monitor, warm-started re-planning, and live strategy hot-swaps.
+    /// `None` (the default) freezes the deployed strategy.
+    pub adapt: Option<AdaptConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -132,6 +137,7 @@ impl Default for RuntimeConfig {
             controller_enabled: true,
             arrivals: ArrivalProcess::Deterministic,
             data_plane: DataPlane::default(),
+            adapt: None,
         }
     }
 }
@@ -165,6 +171,7 @@ impl RuntimeConfig {
             arrivals: self.arrivals,
             advance: laar_dsps::TimeAdvance::default(),
             threads: 1,
+            adapt: self.adapt.clone(),
         }
     }
 }
@@ -215,6 +222,9 @@ pub struct LiveReport {
     /// fixed-tick run wakes `duration/tick` times per thread regardless of
     /// load; the adaptive data plane collapses that on quiescent hosts.
     pub loop_passes: u64,
+    /// The adaptation subsystem's accounting (`None` unless
+    /// [`RuntimeConfig::adapt`] was set).
+    pub adapt: Option<AdaptReport>,
 }
 
 /// State shared between the coordinator and all host workers.
@@ -545,6 +555,11 @@ pub struct LiveRuntime {
     proxy: ProxyState,
     plan: FailurePlan,
     cmd_txs: Vec<Producer<Command>>,
+    adapt: Option<AdaptiveController>,
+    /// `true` while a swap is in flight *and* the last control-plane pass
+    /// left some PE without a primary — tuples emitted in such passes are
+    /// counted as swap downtime.
+    swap_degraded: bool,
     /// The coordinator's shadow of the worker-owned replica states: the
     /// control plane never inspects data-plane structures directly, it
     /// mirrors every command/failure it issues or detects onto these slots
@@ -773,6 +788,11 @@ impl LiveRuntime {
             proxy: ProxyState::new(np, k),
             plan,
             cmd_txs: Vec::new(),
+            adapt: cfg
+                .adapt
+                .clone()
+                .map(|a| AdaptiveController::new(app, placement, a)),
+            swap_degraded: false,
             shadow: vec![SlotState::default(); np * k],
             commands_applied: 0,
             cfg,
@@ -925,6 +945,9 @@ impl LiveRuntime {
         if let Some(t) = self.plan.next_transition(now) {
             consider(t);
         }
+        if let Some(a) = &self.adapt {
+            consider(a.next_check());
+        }
         horizon.max(floor).min(self.duration)
     }
 
@@ -1035,6 +1058,30 @@ impl LiveRuntime {
 
             // 6. The LAAR control loop: measured rates → HAController.
             self.control.poll(now);
+
+            // 7. Online adaptation: due drift checks feed the measured
+            // rates to the adaptive controller; a swap decision re-indexes
+            // the HAController and queues the two-phase activation diff
+            // through the normal delayed-command path (step 3 above).
+            if let Some(ad) = self.adapt.as_mut() {
+                if ad.due(now) {
+                    let rates = self.control.measured_rates(now);
+                    let incumbent = self.control.controller().strategy().clone();
+                    if let Some(out) = ad.observe(now, &rates, &incumbent) {
+                        self.control.swap_strategy(
+                            &out.space,
+                            out.strategy,
+                            now,
+                            self.cfg.sync_delay,
+                        );
+                    }
+                }
+                self.swap_degraded = self.control.swap_in_flight(now)
+                    && (0..self.num_pes).any(|pe| self.proxy.primary(pe).is_none());
+                if self.swap_degraded {
+                    metrics.swap_downtime_quanta += 1;
+                }
+            }
 
             match self.cfg.data_plane {
                 DataPlane::Reference => clock.sleep(self.cfg.tick),
@@ -1153,6 +1200,7 @@ impl LiveRuntime {
         metrics.queue_drops = conservation.queue_drops;
         metrics.idle_discards = conservation.idle_discards;
         metrics.config_switches = self.control.switches();
+        metrics.strategy_swaps = self.control.swaps();
         metrics.commands_applied = self.commands_applied;
         metrics.failovers = self.proxy.failovers();
         metrics.conservation = conservation.clone();
@@ -1175,6 +1223,7 @@ impl LiveRuntime {
             metrics,
             transport_edges: self.routes,
             loop_passes,
+            adapt: self.adapt.take().map(|a| a.into_report()),
         }
     }
 
@@ -1202,6 +1251,9 @@ impl LiveRuntime {
                 metrics.input_rate.samples[sec] += 1.0;
             }
             metrics.source_emitted[si] += times.len() as u64;
+            if self.swap_degraded {
+                metrics.swap_downtime_tuples += times.len() as u64;
+            }
             for (oi, ring) in self.src_producers[si].iter_mut().enumerate() {
                 let route = self.src_routes[si][oi];
                 if batched {

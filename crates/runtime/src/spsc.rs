@@ -8,7 +8,7 @@
 //! the protocol:
 //!
 //! * **Cache-line padding.** `head` and `tail` live on separate cache
-//!   lines ([`CachePadded`]), so the producer's tail stores never
+//!   lines (`CachePadded`), so the producer's tail stores never
 //!   invalidate the line the consumer is spinning on (and vice versa).
 //! * **Cached remote indices.** Each end keeps a private copy of its own
 //!   index (only it ever writes it) plus a *cached* snapshot of the remote

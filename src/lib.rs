@@ -23,6 +23,9 @@
 //!   replica/HA state machine, HAProxy command/election protocol, the
 //!   monitor/controller decision loop, failure plans, and the tuple
 //!   conservation ledger, written once and shared by both engines;
+//! * [`adapt`] (`laar-adapt`) — online re-optimization: drift detection
+//!   over measured source rates, warm-started anytime FT-Search
+//!   re-planning, and the decision logic behind live strategy hot-swaps;
 //! * [`dsps`] (`laar-dsps`) — a deterministic discrete-event cluster
 //!   simulator standing in for IBM InfoSphere Streams®;
 //! * [`gen`] (`laar-gen`) — the synthetic application/corpus generator of
@@ -71,6 +74,7 @@
 
 #![warn(missing_docs)]
 
+pub use laar_adapt as adapt;
 pub use laar_core as core;
 pub use laar_dsps as dsps;
 pub use laar_exec as exec;
@@ -81,6 +85,9 @@ pub use laar_runtime as runtime;
 
 /// The most common imports for working with LAAR.
 pub mod prelude {
+    pub use laar_adapt::{
+        AdaptConfig, AdaptOutcome, AdaptReport, AdaptiveController, DriftConfig, DriftDetector,
+    };
     pub use laar_core::ftsearch::{self, FtSearchConfig, Outcome, SearchReport, Solution};
     pub use laar_core::{
         greedy, non_replicated, static_replication, Command, CostModel, FailureModel, HaController,

@@ -1,0 +1,121 @@
+//! Property tests for warm-started FT-Search — the contract `laar-adapt`'s
+//! re-planner relies on:
+//!
+//! * seeding the search with a **feasible incumbent** can never end worse
+//!   than a cold search under the same anytime budget, and never worse
+//!   than the incumbent itself;
+//! * seeding with the **known optimum** returns it immediately, even under
+//!   a node budget far too small to rediscover it.
+
+use laar::prelude::*;
+use laar_core::ftsearch::{solve_with_warm_start, FtSearchConfig};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Small random instances from the paper-style generator (§5.2 knobs).
+fn arb_instance() -> impl Strategy<Value = (u64, usize, usize, f64)> {
+    (any::<u64>(), 3usize..8, 2usize..4, 0.0f64..0.8)
+}
+
+fn make_problem(seed: u64, num_pes: usize, num_hosts: usize, ic: f64) -> Problem {
+    let gen = laar_gen::generator::generate_app(
+        &GenParams {
+            num_pes,
+            num_hosts,
+            duration: 30.0,
+            ..GenParams::default()
+        },
+        seed,
+    );
+    Problem::new(gen.app, gen.placement, ic).unwrap()
+}
+
+/// A feasible incumbent when one is cheap to construct: greedy if it
+/// happens to satisfy the IC requirement, else full static replication.
+fn feasible_incumbent(problem: &Problem) -> Option<ActivationStrategy> {
+    let g = greedy(problem);
+    if problem.is_feasible(&g.strategy) {
+        return Some(g.strategy);
+    }
+    let sr = static_replication(problem);
+    problem.is_feasible(&sr).then_some(sr)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn feasible_warm_start_never_ends_worse_than_cold(
+        (seed, np, nh, ic) in arb_instance(),
+        budget in 20u64..200,
+    ) {
+        let p = make_problem(seed, np, nh, ic);
+        let Some(incumbent) = feasible_incumbent(&p) else {
+            // No cheap feasible seed for this instance; the property is
+            // about feasible warm starts only.
+            return Ok(());
+        };
+        let opts = FtSearchConfig {
+            node_limit: Some(budget),
+            time_limit: Duration::from_secs(10),
+            ..FtSearchConfig::default()
+        };
+        let warm = solve_with_warm_start(&p, &opts, Some(&incumbent)).unwrap();
+        let cold = solve_with_warm_start(&p, &opts, None).unwrap();
+
+        // A feasible seed guarantees a solution whatever the budget…
+        let wsol = warm.outcome.solution().expect("feasible warm start must survive");
+        prop_assert!(p.is_feasible(&wsol.strategy), "{:?}", p.check(&wsol.strategy));
+        // …that is never worse than the seed itself…
+        let cm = p.cost_model();
+        prop_assert!(
+            wsol.cost_cycles <= cm.cost_cycles(&incumbent) + 1e-6,
+            "warm {} vs incumbent {}",
+            wsol.cost_cycles,
+            cm.cost_cycles(&incumbent)
+        );
+        // …nor worse than the cold search under the identical budget.
+        if let Some(csol) = cold.outcome.solution() {
+            prop_assert!(
+                wsol.cost_cycles <= csol.cost_cycles + 1e-6,
+                "warm {} vs cold {} at budget {budget}",
+                wsol.cost_cycles,
+                csol.cost_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn optimum_warm_start_survives_a_tiny_budget((seed, np, nh, ic) in arb_instance()) {
+        let p = make_problem(seed, np, nh, ic);
+        let full = laar_core::ftsearch::solve(
+            &p,
+            &FtSearchConfig::with_time_limit(Duration::from_secs(10)),
+        )
+        .unwrap();
+        if !full.stats.proved {
+            return Ok(());
+        }
+        let Some(opt) = full.outcome.solution() else {
+            // Proved infeasible: nothing to warm-start from.
+            return Ok(());
+        };
+        let tiny = FtSearchConfig {
+            node_limit: Some(50),
+            time_limit: Duration::from_secs(10),
+            ..FtSearchConfig::default()
+        };
+        let warm = solve_with_warm_start(&p, &tiny, Some(&opt.strategy)).unwrap();
+        let sol = warm
+            .outcome
+            .solution()
+            .expect("the optimum seed must be returned under any budget");
+        prop_assert!(
+            (sol.cost_cycles - opt.cost_cycles).abs() <= 1e-9,
+            "warm-from-optimum {} vs optimum {}",
+            sol.cost_cycles,
+            opt.cost_cycles
+        );
+        prop_assert!(sol.ic >= ic - 1e-9);
+    }
+}
