@@ -22,7 +22,9 @@ use laar_core::ftsearch::{self, FtSearchConfig, Outcome};
 use laar_core::variants::VariantKind;
 use laar_core::{greedy, non_replicated, static_replication, PessimisticFailure, Problem};
 use laar_dsps::profiler::{descriptor_error, profile_application};
-use laar_dsps::{FailurePlan, InputTrace, PhaseProfile, SimConfig, SimMetrics, Simulation};
+use laar_dsps::{
+    FailurePlan, InputTrace, PhaseProfile, ReplicaLayout, SimConfig, SimMetrics, Simulation,
+};
 use laar_experiments::{benchmark_solver, SolverBenchConfig, SolverBenchRow};
 use laar_gen::{generator::generate_app, GenParams};
 use laar_model::{ActivationStrategy, Application, HostId, Placement};
@@ -336,11 +338,19 @@ pub fn cmd_variants(
 pub struct BenchSimRow {
     /// Fixture name.
     pub name: String,
+    /// Replica layout the timed runs used (`"soa"` or `"legacy"`).
+    pub layout: String,
     /// Worker threads of this row (`SimConfig::threads`).
     pub threads: usize,
     /// Hardware threads of the machine the row was measured on — parallel
     /// speedups are only meaningful when `host_cores > 1`.
     pub host_cores: usize,
+    /// `threads > host_cores`: the workers time-slice one another on this
+    /// machine, so `speedup_vs_single_thread` measures oversubscription
+    /// overhead, not parallel scaling. Read such rows accordingly.
+    pub oversubscribed: bool,
+    /// PEs in the simulated application (replicas = `2 ×` this).
+    pub num_pes: usize,
     /// Hosts in the simulated deployment (the parallel grain: one quantum
     /// fans out at most `num_hosts` ways).
     pub num_hosts: usize,
@@ -381,21 +391,119 @@ pub struct BenchSimRow {
     pub phase_forwarding_secs: f64,
     /// Wall seconds attributing metrics and snapshotting, same profiled run.
     pub phase_accounting_secs: f64,
+    /// Resident bytes of the hot replica state (SoA arena, or the legacy
+    /// `Replica` array under `--layout legacy`), from the profiled run.
+    pub arena_bytes: u64,
+    /// `arena_bytes / num_pes` — the per-PE memory budget of the hot path.
+    pub bytes_per_pe: f64,
+    /// Event-driven wall seconds of the same `(name, threads)` cell in the
+    /// `--baseline` file measured on the same machine; 0 when no baseline
+    /// row matched.
+    pub pre_pr_event_driven_wall_secs: f64,
+    /// Event-driven quanta per wall second of the matched baseline row; 0
+    /// when no baseline matched.
+    pub pre_pr_event_driven_quanta_per_sec: f64,
+    /// `event_driven_quanta_per_sec / pre_pr_event_driven_quanta_per_sec` —
+    /// the headline speedup against the engine as it shipped before this
+    /// change; 0 when no baseline matched.
+    pub speedup_vs_pre_pr: f64,
+}
+
+/// One row of a `--baseline` file for `bench-sim`: a previous `bench-sim`
+/// report (typically produced with `--layout legacy`) measured on the same
+/// machine over the same fixtures. Matched to [`BenchSimRow`]s by
+/// `(name, threads)`; unknown fields in the file are ignored, so any
+/// `BENCH_sim.json` works as a baseline.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct BenchSimBaselineRow {
+    /// Fixture name (must match a `bench-sim` fixture).
+    pub name: String,
+    /// Worker threads of the baseline row.
+    pub threads: usize,
+    /// Best-of-N event-driven wall seconds of the baseline run.
+    #[serde(default)]
+    pub event_driven_wall_secs: f64,
+    /// Event-driven quanta per wall second of the baseline run.
+    #[serde(default)]
+    pub event_driven_quanta_per_sec: f64,
+}
+
+/// One owned `bench-sim` fixture: a simulated deployment plus the trace it
+/// is driven with.
+struct SimFixture {
+    name: &'static str,
+    app: Application,
+    placement: Placement,
+    strategy: ActivationStrategy,
+    trace: InputTrace,
+}
+
+impl SimFixture {
+    /// A saturated scaled deployment from [`GenParams::scaled_bench`]:
+    /// `factor` scales the 24-PE paper deployment (so `1000.0 / 24.0` →
+    /// 1000 PEs), driven at the High rate for `secs` seconds.
+    fn scaled(name: &'static str, factor: f64, secs: f64) -> Self {
+        Self::from_gen(
+            name,
+            generate_app(&GenParams::scaled_bench(factor), 7),
+            secs,
+        )
+    }
+
+    /// A saturated scaled deployment from plain [`GenParams::scaled`],
+    /// which keeps the paper topology's full selectivity range: tuple
+    /// amplification compounds through the graph depth, so every quantum
+    /// carries millions of queued tuples and the run measures the
+    /// per-tuple scheduling path rather than per-replica bookkeeping.
+    /// Traces are short — a handful of quanta is already billions of
+    /// tuple-steps at 1k PEs.
+    fn scaled_dense(name: &'static str, factor: f64, secs: f64) -> Self {
+        Self::from_gen(
+            name,
+            generate_app(&GenParams::default().scaled(factor), 7),
+            secs,
+        )
+    }
+
+    fn from_gen(name: &'static str, gen: laar_gen::generator::GeneratedApp, secs: f64) -> Self {
+        let np = gen.app.graph().num_pes();
+        SimFixture {
+            name,
+            strategy: ActivationStrategy::all_active(np, 2, 2),
+            trace: InputTrace::constant(&[gen.high_rate], secs),
+            app: gen.app,
+            placement: gen.placement,
+        }
+    }
 }
 
 /// The `bench-sim` command: measure simulator throughput under both
 /// time-advance engines on the fixtures that anchor the evaluation — the
 /// Fig. 9 unit of work (24 PEs, 300 s, Low/High trace), a quiescent-heavy
 /// Low-rate variant (the event-driven best case), a saturated High-rate
-/// variant (the worst case: work never stops), the small Fig. 3 pipeline —
-/// plus two saturated scale-ups of the paper deployment (8× → 192 PEs on
+/// variant (the worst case: work never stops), the small Fig. 3 pipeline,
+/// two saturated scale-ups of the paper deployment (8× → 192 PEs on
 /// 32 hosts, 32× → 768 PEs on 128 hosts) where the host-parallel
-/// scheduling phase has enough grain to pay off. Every fixture runs at
-/// every `threads` count; each (fixture, engine, threads) cell is run
-/// `iters` times and the best wall time kept. Metrics equality is asserted
-/// across engines *and* across thread counts on every run — the benchmark
-/// doubles as the determinism oracle.
-pub fn cmd_bench_sim(iters: u32, threads: &[usize]) -> Result<Vec<BenchSimRow>, CliError> {
+/// scheduling phase has enough grain to pay off — plus three saturated
+/// scaled deployments at 1k, 10k, and 100k PEs (tuple-dense plain
+/// `scaled` at 1k, calibrated [`GenParams::scaled_bench`] at 10k/100k)
+/// that stress the per-tuple scheduling path and the per-replica
+/// bookkeeping the SoA hot arena exists for, reporting quanta/sec and
+/// bytes/PE. Every fixture runs at every
+/// `threads` count; each (fixture, engine, threads) cell is run `iters`
+/// times and the best wall time kept. Metrics equality is asserted across
+/// engines *and* across thread counts on every run — the benchmark
+/// doubles as the determinism oracle. `smoke` shrinks the run to the
+/// 1k-PE fixture with a short trace for CI; `layout` picks the replica
+/// layout the timed runs use (`--layout legacy` reproduces the pre-SoA
+/// engine, which is how a same-machine `--baseline` file is made).
+pub fn cmd_bench_sim(
+    iters: u32,
+    threads: &[usize],
+    smoke: bool,
+    layout: ReplicaLayout,
+    baseline: &[BenchSimBaselineRow],
+) -> Result<Vec<BenchSimRow>, CliError> {
     if iters == 0 {
         return Err(CliError::Message("--iters must be at least 1".to_owned()));
     }
@@ -405,86 +513,110 @@ pub fn cmd_bench_sim(iters: u32, threads: &[usize]) -> Result<Vec<BenchSimRow>, 
         ));
     }
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let gen = generate_app(&GenParams::default(), 7);
-    let np = gen.app.graph().num_pes();
-    let sr = ActivationStrategy::all_active(np, 2, 2);
-    let period = gen.app.billing_period();
-    let paper_trace =
-        InputTrace::low_high_centered(gen.low_rate, gen.high_rate, period, gen.p_high());
-    let quiescent_trace = InputTrace::constant(&[(gen.low_rate * 0.1).min(0.5)], period);
-    let saturated_trace = InputTrace::constant(&[gen.high_rate], period);
+    let layout_name = match layout {
+        ReplicaLayout::Legacy => "legacy",
+        ReplicaLayout::Soa => "soa",
+    };
 
-    let fig2 = laar_core::testutil::fig2_problem(0.6);
-    let fig3_trace = InputTrace::low_high_centered(4.0, 8.0, 150.0, 0.4);
-    let fig3_sr = ActivationStrategy::all_active(2, 2, 2);
+    let mut fixtures: Vec<SimFixture> = Vec::new();
+    if smoke {
+        // CI smoke: the 1k-PE scaled fixture only, with a trace short
+        // enough that one debug-or-release run finishes in seconds while
+        // still executing saturated scheduling quanta.
+        fixtures.push(SimFixture::scaled(
+            "scale1k_saturated_1000pe",
+            1000.0 / 24.0,
+            1.0,
+        ));
+    } else {
+        let gen = generate_app(&GenParams::default(), 7);
+        let np = gen.app.graph().num_pes();
+        let period = gen.app.billing_period();
+        let paper_trace =
+            InputTrace::low_high_centered(gen.low_rate, gen.high_rate, period, gen.p_high());
+        let quiescent_trace = InputTrace::constant(&[(gen.low_rate * 0.1).min(0.5)], period);
+        let saturated_trace = InputTrace::constant(&[gen.high_rate], period);
+        let sr = ActivationStrategy::all_active(np, 2, 2);
+        for (name, trace) in [
+            ("fig9_best_case_24pe_300s", paper_trace),
+            ("quiescent_low_rate_24pe_300s", quiescent_trace),
+            ("saturated_high_rate_24pe_300s", saturated_trace),
+        ] {
+            fixtures.push(SimFixture {
+                name,
+                app: gen.app.clone(),
+                placement: gen.placement.clone(),
+                strategy: sr.clone(),
+                trace,
+            });
+        }
 
-    // Scale-ups of the paper deployment, saturated so the scheduling phase
-    // dominates: shorter traces keep total work tractable while each
-    // quantum carries 8×/32× the per-quantum grain.
-    let gen8 = generate_app(&GenParams::default().scaled(8.0), 7);
-    let sr8 = ActivationStrategy::all_active(gen8.app.graph().num_pes(), 2, 2);
-    let sat8_trace = InputTrace::constant(&[gen8.high_rate], 120.0);
-    let gen32 = generate_app(&GenParams::default().scaled(32.0), 7);
-    let sr32 = ActivationStrategy::all_active(gen32.app.graph().num_pes(), 2, 2);
-    let sat32_trace = InputTrace::constant(&[gen32.high_rate], 60.0);
+        let fig2 = laar_core::testutil::fig2_problem(0.6);
+        fixtures.push(SimFixture {
+            name: "fig3_pipeline_150s",
+            app: fig2.app,
+            placement: fig2.placement,
+            strategy: ActivationStrategy::all_active(2, 2, 2),
+            trace: InputTrace::low_high_centered(4.0, 8.0, 150.0, 0.4),
+        });
 
-    let fixtures: [(
-        &str,
-        &Application,
-        &Placement,
-        &ActivationStrategy,
-        &InputTrace,
-    ); 6] = [
-        (
-            "fig9_best_case_24pe_300s",
-            &gen.app,
-            &gen.placement,
-            &sr,
-            &paper_trace,
-        ),
-        (
-            "quiescent_low_rate_24pe_300s",
-            &gen.app,
-            &gen.placement,
-            &sr,
-            &quiescent_trace,
-        ),
-        (
-            "saturated_high_rate_24pe_300s",
-            &gen.app,
-            &gen.placement,
-            &sr,
-            &saturated_trace,
-        ),
-        (
-            "fig3_pipeline_150s",
-            &fig2.app,
-            &fig2.placement,
-            &fig3_sr,
-            &fig3_trace,
-        ),
-        (
-            "scale8_saturated_192pe_32host_120s",
-            &gen8.app,
-            &gen8.placement,
-            &sr8,
-            &sat8_trace,
-        ),
-        (
-            "scale32_saturated_768pe_128host_60s",
-            &gen32.app,
-            &gen32.placement,
-            &sr32,
-            &sat32_trace,
-        ),
-    ];
+        // Scale-ups of the paper deployment, saturated so the scheduling
+        // phase dominates: shorter traces keep total work tractable while
+        // each quantum carries 8×/32× the per-quantum grain.
+        for (name, factor, secs) in [
+            ("scale8_saturated_192pe_32host_120s", 8.0, 120.0),
+            ("scale32_saturated_768pe_128host_60s", 32.0, 60.0),
+        ] {
+            let g = generate_app(&GenParams::default().scaled(factor), 7);
+            fixtures.push(SimFixture {
+                name,
+                strategy: ActivationStrategy::all_active(g.app.graph().num_pes(), 2, 2),
+                trace: InputTrace::constant(&[g.high_rate], secs),
+                app: g.app,
+                placement: g.placement,
+            });
+        }
+
+        // The 1k-PE row is the saturated scaled fixture: plain
+        // `GenParams::scaled` keeps the full selectivity range, so tuple
+        // amplification compounds through the graph and each quantum
+        // schedules millions of queued tuples — the regime the SoA
+        // process loops are built for. The 10k/100k rows use the
+        // calibrated `scaled_bench` deployments where amplification stays
+        // near-linear in PE count: they measure per-replica bookkeeping
+        // and arena footprint rather than per-tuple throughput.
+        fixtures.push(SimFixture::scaled_dense(
+            "scale1k_saturated_1000pe",
+            1000.0 / 24.0,
+            0.4,
+        ));
+        fixtures.push(SimFixture::scaled(
+            "scale10k_saturated_10000pe",
+            10_000.0 / 24.0,
+            6.0,
+        ));
+        fixtures.push(SimFixture::scaled(
+            "scale100k_saturated_100000pe",
+            100_000.0 / 24.0,
+            1.5,
+        ));
+    }
 
     let mut rows: Vec<BenchSimRow> = Vec::new();
-    for (name, app, placement, strategy, trace) in fixtures {
+    for SimFixture {
+        name,
+        app,
+        placement,
+        strategy,
+        trace,
+    } in &fixtures
+    {
+        let name = *name;
         let mut reference: Option<SimMetrics> = None;
         let mut single_thread_wall = f64::NAN;
         for &nthreads in threads {
             let make_cfg = |advance: laar_dsps::TimeAdvance| SimConfig {
+                layout,
                 advance,
                 threads: nthreads,
                 ..SimConfig::default()
@@ -544,10 +676,17 @@ pub fn cmd_bench_sim(iters: u32, threads: &[usize]) -> Result<Vec<BenchSimRow>, 
             }
             let cfg = SimConfig::default();
             let quanta = (trace.duration / cfg.quantum).round() as u64;
+            let event_qps = quanta as f64 / event_wall.max(1e-12);
+            let base = baseline
+                .iter()
+                .find(|b| b.name == name && b.threads == nthreads);
             rows.push(BenchSimRow {
                 name: name.to_owned(),
+                layout: layout_name.to_owned(),
                 threads: nthreads,
                 host_cores,
+                oversubscribed: nthreads > host_cores,
+                num_pes: app.graph().num_pes(),
                 num_hosts: placement.num_hosts(),
                 trace_secs: trace.duration,
                 quantum: cfg.quantum,
@@ -555,7 +694,7 @@ pub fn cmd_bench_sim(iters: u32, threads: &[usize]) -> Result<Vec<BenchSimRow>, 
                 fixed_quantum_wall_secs: fixed_wall,
                 fixed_quantum_quanta_per_sec: quanta as f64 / fixed_wall.max(1e-12),
                 event_driven_wall_secs: event_wall,
-                event_driven_quanta_per_sec: quanta as f64 / event_wall.max(1e-12),
+                event_driven_quanta_per_sec: event_qps,
                 speedup: fixed_wall / event_wall.max(1e-12),
                 speedup_vs_single_thread: single_thread_wall / fixed_wall.max(1e-12),
                 total_processed: event_m.total_processed(),
@@ -564,6 +703,14 @@ pub fn cmd_bench_sim(iters: u32, threads: &[usize]) -> Result<Vec<BenchSimRow>, 
                 phase_scheduling_secs: profile.scheduling_secs,
                 phase_forwarding_secs: profile.forwarding_secs,
                 phase_accounting_secs: profile.accounting_secs,
+                arena_bytes: profile.arena_bytes,
+                bytes_per_pe: profile.bytes_per_pe,
+                pre_pr_event_driven_wall_secs: base.map_or(0.0, |b| b.event_driven_wall_secs),
+                pre_pr_event_driven_quanta_per_sec: base
+                    .map_or(0.0, |b| b.event_driven_quanta_per_sec),
+                speedup_vs_pre_pr: base.map_or(0.0, |b| {
+                    event_qps / b.event_driven_quanta_per_sec.max(1e-12)
+                }),
             });
         }
     }

@@ -21,7 +21,8 @@ USAGE:
   laar run-live --contract F --placement F --strategy F --trace F [--failure ...] [--speed X] [--adapt --ic X] [--metrics OUT]
   laar variants --contract F --placement F --trace F [--time-limit SECS]
   laar profile  --contract F --placement F [--probes N]
-  laar bench-sim [--iters N] [--threads N,M,..] [--out BENCH_sim.json]
+  laar bench-sim [--iters N] [--threads N,M,..] [--layout soa|legacy]
+                 [--baseline F] [--test] [--out BENCH_sim.json]
   laar bench-solver [--instances N] [--seed N] [--ic X] [--threads N]
                     [--time-limit SECS] [--out BENCH_solver.json]
   laar bench-runtime [--scales X,Y,..] [--baseline F] [--test]
@@ -303,12 +304,13 @@ fn run() -> Result<(), CliError> {
             }
         }
         "bench-sim" => {
+            let smoke = flags.get("test").map(String::as_str) == Some("true");
             let iters: u32 = flags
                 .get("iters")
                 .map(|v| v.parse())
                 .transpose()
                 .map_err(|e| CliError::Message(format!("bad --iters: {e}")))?
-                .unwrap_or(3);
+                .unwrap_or(if smoke { 1 } else { 3 });
             let threads: Vec<usize> = match flags.get("threads") {
                 Some(list) => list
                     .split(',')
@@ -318,12 +320,34 @@ fn run() -> Result<(), CliError> {
                         })
                     })
                     .collect::<Result<_, _>>()?,
+                None if smoke => vec![1],
                 None => vec![1, 2, 4],
             };
-            let rows = cmd_bench_sim(iters, &threads)?;
+            let layout = match flags.get("layout").map(String::as_str) {
+                None | Some("soa") => laar_dsps::ReplicaLayout::Soa,
+                Some("legacy") => laar_dsps::ReplicaLayout::Legacy,
+                Some(v) => {
+                    return Err(CliError::Message(format!(
+                        "bad --layout {v:?}: expected soa or legacy"
+                    )))
+                }
+            };
+            let baseline: Vec<laar_cli::BenchSimBaselineRow> = match flags.get("baseline") {
+                Some(path) => {
+                    let data = std::fs::read_to_string(path).map_err(|e| {
+                        CliError::Message(format!("cannot read --baseline {path}: {e}"))
+                    })?;
+                    serde_json::from_str(&data).map_err(|e| {
+                        CliError::Message(format!("cannot parse --baseline {path}: {e}"))
+                    })?
+                }
+                None => Vec::new(),
+            };
+            let rows = cmd_bench_sim(iters, &threads, smoke, layout, &baseline)?;
             println!(
-                "{:<36} {:>4} {:>10} {:>10} {:>12} {:>12} {:>8} {:>8} {:>9}",
+                "{:<34} {:>6} {:>4} {:>10} {:>10} {:>12} {:>12} {:>8} {:>8} {:>9} {:>9}",
                 "fixture",
+                "layout",
                 "thr",
                 "fixed (s)",
                 "event (s)",
@@ -331,20 +355,35 @@ fn run() -> Result<(), CliError> {
                 "event q/s",
                 "speedup",
                 "vs 1thr",
-                "sched (s)"
+                "B/PE",
+                "vs prePR"
             );
             for r in &rows {
                 println!(
-                    "{:<36} {:>4} {:>10.3} {:>10.3} {:>12.0} {:>12.0} {:>7.2}x {:>7.2}x {:>9.3}",
+                    "{:<34} {:>6} {:>3}{} {:>10.3} {:>10.3} {:>12.0} {:>12.0} {:>7.2}x {:>7.2}x {:>9.0} {}",
                     r.name,
+                    r.layout,
                     r.threads,
+                    if r.oversubscribed { "*" } else { " " },
                     r.fixed_quantum_wall_secs,
                     r.event_driven_wall_secs,
                     r.fixed_quantum_quanta_per_sec,
                     r.event_driven_quanta_per_sec,
                     r.speedup,
                     r.speedup_vs_single_thread,
-                    r.phase_scheduling_secs,
+                    r.bytes_per_pe,
+                    if r.speedup_vs_pre_pr > 0.0 {
+                        format!("{:>8.2}x", r.speedup_vs_pre_pr)
+                    } else {
+                        format!("{:>9}", "-")
+                    },
+                );
+            }
+            if rows.iter().any(|r| r.oversubscribed) {
+                println!(
+                    "  * threads exceed this machine's {} hardware thread(s): the row \
+                     measures oversubscription, not parallel speedup",
+                    rows[0].host_cores
                 );
             }
             let out = flags

@@ -1,0 +1,871 @@
+//! Struct-of-arrays hot state for the simulator's per-quantum data plane.
+//!
+//! The per-quantum hot path (GPS water-filling and forwarding) touches a
+//! handful of fields per replica — eligibility, queue depth, the
+//! selectivity accumulator, per-port costs and queues — while the full
+//! [`Replica`] carries the whole protocol state machine. [`HotArena`]
+//! splits those hot fields into dense, host-major parallel `Vec`s so the
+//! scheduling sweep walks flat arrays instead of pointer-chasing
+//! heap-allocated structs through `slot_of` indirection.
+//!
+//! **Hot/cold split.** The cold [`Replica`] arena in the simulator stays
+//! the protocol source of truth: commands, failures, recoveries, and
+//! elections are applied to it through the one shared proxy state machine.
+//! The hot arena mirrors the *data-plane consequences* of those
+//! transitions at an explicit sync boundary — the `on_activate` /
+//! `on_deactivate` / `on_kill` / `on_recover` methods, called at the three
+//! places the simulator mutates slot state (due commands, failure
+//! injection, recovery). Between control events the hot arena evolves
+//! alone; in struct-of-arrays mode the cold replicas never receive offers,
+//! so their data-plane fields stay at their initial values and the hot
+//! arena owns every queue, counter, and accumulator.
+//!
+//! Eligibility is a single f64 sentinel per replica
+//! ([`SlotState::eligible_from`]): `+INF` while dead or idle, the
+//! sync-window end while syncing, `-INF` while running. The water-filling
+//! busy scan is then one branch-light compare per replica over a flat f64
+//! array — no status enum, no `Option`, no indirection.
+//!
+//! Everything here is bit-compatible with [`Replica`]: the floating-point
+//! operation order of `process`, the drop/discard bookkeeping of `offer`,
+//! and the clear-on-transition semantics are replicated operation for
+//! operation, and `tests/proptest_arena.rs` plus the golden-equivalence
+//! suite hold the two layouts to exact equality.
+
+use laar_exec::proxy::SlotState;
+use laar_exec::replica::Replica;
+
+/// A growable power-of-two ring buffer of `f64` birth timestamps — the
+/// struct-of-arrays replacement for `VecDeque<f64>` port queues, with
+/// slice-batched pushes and no per-element capacity checks on the pop
+/// path.
+#[derive(Debug, Clone, Default)]
+pub struct Ring {
+    buf: Vec<f64>,
+    head: usize,
+    len: usize,
+}
+
+impl Ring {
+    /// Number of queued entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append `vals` in order, growing (by power-of-two doubling) as
+    /// needed. The caller bounds admission; the ring itself never drops.
+    pub fn push_slice(&mut self, vals: &[f64]) {
+        if vals.is_empty() {
+            return;
+        }
+        let needed = self.len + vals.len();
+        if needed > self.buf.len() {
+            self.grow(needed);
+        }
+        let cap = self.buf.len();
+        let start = (self.head + self.len) & (cap - 1);
+        let n1 = vals.len().min(cap - start);
+        self.buf[start..start + n1].copy_from_slice(&vals[..n1]);
+        self.buf[..vals.len() - n1].copy_from_slice(&vals[n1..]);
+        self.len += vals.len();
+    }
+
+    /// Pop the head entry. Callers must check [`Ring::is_empty`] first.
+    #[inline]
+    pub fn pop_front(&mut self) -> f64 {
+        debug_assert!(self.len > 0, "pop_front on empty ring");
+        // SAFETY: a non-empty ring has a power-of-two buffer and `head`
+        // is only ever advanced under the `buf.len() - 1` mask, so it
+        // stays in bounds.
+        let v = unsafe { *self.buf.get_unchecked(self.head) };
+        self.head = (self.head + 1) & (self.buf.len() - 1);
+        self.len -= 1;
+        v
+    }
+
+    /// Drop all entries.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+
+    /// Entries front to back (for state comparisons in tests).
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        (0..self.len).map(move |i| self.buf[(self.head + i) & (self.buf.len() - 1)])
+    }
+
+    /// Heap bytes held by the backing buffer.
+    #[inline]
+    pub fn capacity_bytes(&self) -> usize {
+        self.buf.len() * std::mem::size_of::<f64>()
+    }
+
+    fn grow(&mut self, needed: usize) {
+        let new_cap = needed.next_power_of_two().max(8);
+        let mut nb = vec![0.0f64; new_cap];
+        let cap = self.buf.len();
+        for (i, slot) in nb.iter_mut().enumerate().take(self.len) {
+            *slot = self.buf[(self.head + i) & (cap - 1)];
+        }
+        self.buf = nb;
+        self.head = 0;
+    }
+}
+
+/// Reusable scratch for [`HotChunk::water_fill`]: the per-host busy
+/// list. One per engine worker, allocated once and recycled across
+/// quanta.
+#[derive(Debug, Clone, Default)]
+pub struct WfScratch {
+    busy: Vec<u32>,
+}
+
+/// Dense parallel arrays of the per-quantum hot replica state, in the
+/// simulator's host-major arena order. Per-port fields are flattened into
+/// single arrays indexed by `port_off[i]..port_off[i + 1]`.
+///
+/// Fields are public: this is engine-owned state, and the engines, the CLI
+/// benchmarks, and the divergence proptests all read it directly.
+#[derive(Debug, Clone, Default)]
+pub struct HotArena {
+    /// Eligibility sentinel per replica ([`SlotState::eligible_from`]).
+    pub eligible_from: Vec<f64>,
+    /// Total queued tuples per replica (the O(1) `has_work` counter).
+    pub queued: Vec<u32>,
+    /// Selectivity accumulator per replica.
+    pub out_acc: Vec<f64>,
+    /// Round-robin port cursor per replica.
+    pub rr: Vec<u32>,
+    /// Tuples fully processed per replica.
+    pub processed: Vec<u64>,
+    /// `processed` at the last accounting point.
+    pub processed_snapshot: Vec<u64>,
+    /// Output tuples emitted per replica.
+    pub emitted: Vec<u64>,
+    /// CPU cycles consumed per replica.
+    pub cycles_used: Vec<f64>,
+    /// Tuples discarded while idle/dead/syncing per replica.
+    pub idle_discards: Vec<u64>,
+    /// Birth timestamps of outputs since the last drain, per replica.
+    pub out_births: Vec<Vec<f64>>,
+    /// Flat port table bounds: replica `i` owns ports
+    /// `port_off[i]..port_off[i + 1]`. Length `n + 1`.
+    pub port_off: Vec<u32>,
+    /// Per-tuple CPU cost per port.
+    pub cost: Vec<f64>,
+    /// Selectivity per port.
+    pub sel: Vec<f64>,
+    /// Queue capacity per port.
+    pub cap: Vec<u32>,
+    /// Cycles invested in the head tuple per port.
+    pub head_progress: Vec<f64>,
+    /// Overflow drops per port.
+    pub drops: Vec<u64>,
+    /// Tuples fully processed per port.
+    pub port_processed: Vec<u64>,
+    /// Queued birth timestamps per port.
+    pub queues: Vec<Ring>,
+    /// Cached arena-wide index of the port the next `process` call would
+    /// draw from, per replica; `u32::MAX` marks the cache stale. Any
+    /// mutation of a replica's queues or cursor (`offer`, `process`, the
+    /// sync-boundary methods) invalidates; only `water_fill` refreshes.
+    active_port: Vec<u32>,
+    /// Cycles still needed to finish the head tuple on `active_port`
+    /// (meaningful only while the cache is fresh).
+    head_need: Vec<f64>,
+}
+
+impl HotArena {
+    /// Snapshot the complete data-plane state of a cold replica arena.
+    /// The simulator builds the hot arena right after initial commands and
+    /// election (everything empty, counters zero), but the snapshot is
+    /// faithful for any state, which is what the divergence proptests
+    /// rely on.
+    pub fn from_cold(replicas: &[Replica]) -> Self {
+        let n = replicas.len();
+        let total_ports: usize = replicas.iter().map(|r| r.ports.len()).sum();
+        assert!(
+            total_ports < u32::MAX as usize && n < u32::MAX as usize,
+            "hot arena exceeds u32 indexing"
+        );
+        let mut a = Self {
+            eligible_from: Vec::with_capacity(n),
+            queued: Vec::with_capacity(n),
+            out_acc: Vec::with_capacity(n),
+            rr: Vec::with_capacity(n),
+            processed: Vec::with_capacity(n),
+            processed_snapshot: Vec::with_capacity(n),
+            emitted: Vec::with_capacity(n),
+            cycles_used: Vec::with_capacity(n),
+            idle_discards: Vec::with_capacity(n),
+            out_births: Vec::with_capacity(n),
+            port_off: Vec::with_capacity(n + 1),
+            cost: Vec::with_capacity(total_ports),
+            sel: Vec::with_capacity(total_ports),
+            cap: Vec::with_capacity(total_ports),
+            head_progress: Vec::with_capacity(total_ports),
+            drops: Vec::with_capacity(total_ports),
+            port_processed: Vec::with_capacity(total_ports),
+            queues: Vec::with_capacity(total_ports),
+            active_port: vec![u32::MAX; n],
+            head_need: vec![0.0; n],
+        };
+        a.port_off.push(0);
+        for r in replicas {
+            a.eligible_from.push(r.state.eligible_from());
+            a.queued
+                .push(r.ports.iter().map(|p| p.queue.len()).sum::<usize>() as u32);
+            a.out_acc.push(r.out_acc);
+            a.rr.push(r.rr_cursor() as u32);
+            a.processed.push(r.processed);
+            a.processed_snapshot.push(r.processed_snapshot);
+            a.emitted.push(r.emitted);
+            a.cycles_used.push(r.cycles_used);
+            a.idle_discards.push(r.idle_discards);
+            a.out_births.push(r.out_births.clone());
+            for p in &r.ports {
+                debug_assert!(p.capacity < u32::MAX as usize);
+                a.cost.push(p.cost);
+                a.sel.push(p.sel);
+                a.cap.push(p.capacity as u32);
+                a.head_progress.push(p.head_progress);
+                a.drops.push(p.drops);
+                a.port_processed.push(p.processed);
+                let mut q = Ring::default();
+                let (front, back) = p.queue.as_slices();
+                q.push_slice(front);
+                q.push_slice(back);
+                a.queues.push(q);
+            }
+            a.port_off.push(a.cost.len() as u32);
+        }
+        a
+    }
+
+    /// Number of replicas.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.eligible_from.len()
+    }
+
+    /// `true` when the arena holds no replicas.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.eligible_from.is_empty()
+    }
+
+    /// The flat port range of replica `i`.
+    #[inline]
+    pub fn port_range(&self, i: usize) -> (usize, usize) {
+        (self.port_off[i] as usize, self.port_off[i + 1] as usize)
+    }
+
+    /// `true` if any replica holds queued work.
+    #[inline]
+    pub fn has_any_work(&self) -> bool {
+        self.queued.iter().any(|&q| q > 0)
+    }
+
+    /// Sync boundary: mirror an Activate command applied to the cold slot
+    /// (post-transition state). A dead slot bounces the command, so the
+    /// accumulator resets only when the slot is alive — exactly
+    /// `Replica::activate`.
+    pub fn on_activate(&mut self, i: usize, state: &SlotState) {
+        self.active_port[i] = u32::MAX;
+        if state.alive {
+            self.out_acc[i] = 0.0;
+        }
+        self.eligible_from[i] = state.eligible_from();
+    }
+
+    /// Sync boundary: mirror a Deactivate command (queued input is lost
+    /// and counted as discards, exactly `Replica::deactivate`).
+    pub fn on_deactivate(&mut self, i: usize, state: &SlotState) {
+        self.active_port[i] = u32::MAX;
+        self.clear_queues_as_discards(i);
+        self.eligible_from[i] = state.eligible_from();
+    }
+
+    /// Sync boundary: mirror a failure (queued input is lost and counted
+    /// as discards, exactly `Replica::kill`).
+    pub fn on_kill(&mut self, i: usize, state: &SlotState) {
+        self.active_port[i] = u32::MAX;
+        self.clear_queues_as_discards(i);
+        self.eligible_from[i] = state.eligible_from();
+    }
+
+    /// Sync boundary: mirror a recovery (accumulator and head progress
+    /// reset for state re-synchronization, exactly `Replica::recover`).
+    pub fn on_recover(&mut self, i: usize, state: &SlotState) {
+        self.active_port[i] = u32::MAX;
+        self.out_acc[i] = 0.0;
+        let (p0, p1) = self.port_range(i);
+        for p in p0..p1 {
+            self.head_progress[p] = 0.0;
+        }
+        self.eligible_from[i] = state.eligible_from();
+    }
+
+    fn clear_queues_as_discards(&mut self, i: usize) {
+        let (p0, p1) = self.port_range(i);
+        for p in p0..p1 {
+            self.idle_discards[i] += self.queues[p].len() as u64;
+            self.queues[p].clear();
+            self.head_progress[p] = 0.0;
+        }
+        self.queued[i] = 0;
+    }
+
+    /// Resident bytes of the hot arena: array lengths plus the heap held
+    /// by port rings and output buffers. Deterministic for a given run.
+    pub fn bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let n = self.len();
+        let np = self.cost.len();
+        let mut b = n * (4 * size_of::<f64>() + 3 * size_of::<u32>() + 4 * size_of::<u64>())
+            + n * size_of::<Vec<f64>>()
+            + self.port_off.len() * size_of::<u32>()
+            + np * (3 * size_of::<f64>() + size_of::<u32>() + 2 * size_of::<u64>())
+            + np * size_of::<Ring>();
+        for q in &self.queues {
+            b += q.capacity_bytes();
+        }
+        for ob in &self.out_births {
+            b += ob.capacity() * size_of::<f64>();
+        }
+        b as u64
+    }
+
+    /// A mutable view over the whole arena (the sequential engine's
+    /// working handle; local indices coincide with arena indices).
+    pub fn full(&mut self) -> HotChunk<'_> {
+        let n = self.len();
+        self.chunks(&[(0, n)]).pop().expect("one full chunk")
+    }
+
+    /// Split the arena into disjoint mutable views over the given
+    /// contiguous replica ranges (must be ascending and start at 0 — the
+    /// parallel engine's host-range chunks). Per-port arrays split at the
+    /// matching `port_off` boundaries; the read-only cost/selectivity/
+    /// capacity tables are shared.
+    pub fn chunks(&mut self, bounds: &[(usize, usize)]) -> Vec<HotChunk<'_>> {
+        let port_off = &self.port_off[..];
+        let cost = &self.cost[..];
+        let sel = &self.sel[..];
+        let cap = &self.cap[..];
+        let mut ef = &mut self.eligible_from[..];
+        let mut qd = &mut self.queued[..];
+        let mut oa = &mut self.out_acc[..];
+        let mut rr = &mut self.rr[..];
+        let mut pr = &mut self.processed[..];
+        let mut ps = &mut self.processed_snapshot[..];
+        let mut em = &mut self.emitted[..];
+        let mut cy = &mut self.cycles_used[..];
+        let mut id = &mut self.idle_discards[..];
+        let mut ob = &mut self.out_births[..];
+        let mut hp = &mut self.head_progress[..];
+        let mut dr = &mut self.drops[..];
+        let mut pp = &mut self.port_processed[..];
+        let mut qs = &mut self.queues[..];
+        let mut ap = &mut self.active_port[..];
+        let mut hn = &mut self.head_need[..];
+        let mut rep_cut = 0usize;
+        let mut out = Vec::with_capacity(bounds.len());
+        for &(lo, hi) in bounds {
+            assert_eq!(lo, rep_cut, "chunk bounds must be contiguous from 0");
+            let n = hi - lo;
+            let pbase = port_off[lo] as usize;
+            let np = port_off[hi] as usize - pbase;
+            macro_rules! take {
+                ($v:ident, $n:expr) => {{
+                    let (head, rest) = $v.split_at_mut($n);
+                    $v = rest;
+                    head
+                }};
+            }
+            out.push(HotChunk {
+                base: lo,
+                pbase,
+                port_off,
+                cost: &cost[pbase..pbase + np],
+                sel: &sel[pbase..pbase + np],
+                cap: &cap[pbase..pbase + np],
+                eligible_from: take!(ef, n),
+                queued: take!(qd, n),
+                out_acc: take!(oa, n),
+                rr: take!(rr, n),
+                processed: take!(pr, n),
+                processed_snapshot: take!(ps, n),
+                emitted: take!(em, n),
+                cycles_used: take!(cy, n),
+                idle_discards: take!(id, n),
+                out_births: take!(ob, n),
+                head_progress: take!(hp, np),
+                drops: take!(dr, np),
+                port_processed: take!(pp, np),
+                queues: take!(qs, np),
+                active_port: take!(ap, n),
+                head_need: take!(hn, n),
+            });
+            rep_cut = hi;
+        }
+        out
+    }
+}
+
+/// A disjoint mutable view over a contiguous replica range of a
+/// [`HotArena`] — what one worker (or the sequential engine, as one full
+/// chunk) operates on. Replica indices are chunk-local (`arena index -
+/// base`); the port arrays are sliced to the chunk's flat port range.
+pub struct HotChunk<'a> {
+    base: usize,
+    pbase: usize,
+    port_off: &'a [u32],
+    /// Eligibility sentinels (readable by the busy scan).
+    pub eligible_from: &'a mut [f64],
+    /// Queued-tuple counters (readable by the busy scan).
+    pub queued: &'a mut [u32],
+    out_acc: &'a mut [f64],
+    rr: &'a mut [u32],
+    /// Processed counters (read by primary-work attribution).
+    pub processed: &'a mut [u64],
+    /// Processed snapshots (re-armed by primary-work attribution).
+    pub processed_snapshot: &'a mut [u64],
+    emitted: &'a mut [u64],
+    cycles_used: &'a mut [f64],
+    idle_discards: &'a mut [u64],
+    /// Output birth buffers (drained by the forwarding phase).
+    pub out_births: &'a mut [Vec<f64>],
+    cost: &'a [f64],
+    sel: &'a [f64],
+    cap: &'a [u32],
+    head_progress: &'a mut [f64],
+    drops: &'a mut [u64],
+    port_processed: &'a mut [u64],
+    queues: &'a mut [Ring],
+    active_port: &'a mut [u32],
+    head_need: &'a mut [f64],
+}
+
+impl HotChunk<'_> {
+    /// The chunk-local flat port range of local replica `li`.
+    #[inline]
+    fn local_ports(&self, li: usize) -> (usize, usize) {
+        let g = self.base + li;
+        (
+            self.port_off[g] as usize - self.pbase,
+            self.port_off[g + 1] as usize - self.pbase,
+        )
+    }
+
+    /// Offer tuples to port `port` of local replica `li` at time `now`.
+    /// Bit-compatible with `Replica::offer`: ineligible replicas discard,
+    /// eligible ones enqueue up to capacity and drop the rest.
+    #[inline]
+    pub fn offer(&mut self, li: usize, port: usize, births: &[f64], now: f64) {
+        if births.is_empty() {
+            return;
+        }
+        if self.eligible_from[li] > now {
+            self.idle_discards[li] += births.len() as u64;
+            return;
+        }
+        self.active_port[li] = u32::MAX;
+        let (p0, _) = self.local_ports(li);
+        let p = p0 + port;
+        let space = (self.cap[p] as usize).saturating_sub(self.queues[p].len());
+        let accepted = births.len().min(space);
+        self.queues[p].push_slice(&births[..accepted]);
+        self.drops[p] += (births.len() - accepted) as u64;
+        self.queued[li] += accepted as u32;
+    }
+
+    /// The port the next `process` call on `li` would draw from — the
+    /// first non-empty port scanning round-robin from the cursor — and
+    /// the cycles still needed to finish its head tuple. Returns the
+    /// `(usize::MAX, NEG_INFINITY)` sentinel when every port is empty,
+    /// which steers [`Self::water_fill`] onto the general `process` path
+    /// (where the call is a no-op, exactly as it always was).
+    #[inline]
+    fn scan_active_port(&self, li: usize) -> (usize, f64) {
+        let (p0, p1) = self.local_ports(li);
+        let nports = p1 - p0;
+        let rr = self.rr[li] as usize;
+        for off in 0..nports {
+            let mut k = rr + off;
+            if k >= nports {
+                k -= nports;
+            }
+            let p = p0 + k;
+            if !self.queues[p].is_empty() {
+                return (p, (self.cost[p] - self.head_progress[p]).max(0.0));
+            }
+        }
+        (usize::MAX, f64::NEG_INFINITY)
+    }
+
+    /// GPS water-filling over the local replicas `lo..hi` (one host) with
+    /// `budget` CPU cycles at time `t`. Returns the unspent remainder.
+    ///
+    /// Bit-compatible with the reference loop (equal shares per round
+    /// over the busy set, `remaining -= used` in busy order, compaction
+    /// of drained replicas between rounds), but restructured for the
+    /// saturated regime where almost every call is *partial progress*:
+    /// each replica's active port and head-need are cached (persistently,
+    /// across quanta), so the common round step is a flat compare-add
+    /// over parallel arrays (`share < need` → `head_progress += share`)
+    /// instead of a per-call port scan through the round-robin cursor.
+    /// Every mutation that can move the active port — an offer, a
+    /// completion through [`Self::process`], a control transition —
+    /// invalidates the cache; the busy scan lazily re-derives only those
+    /// entries, which in a saturated steady state is a small fraction of
+    /// the busy set.
+    pub fn water_fill(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        t: f64,
+        budget: f64,
+        s: &mut WfScratch,
+    ) -> f64 {
+        s.busy.clear();
+        for i in lo..hi {
+            if self.eligible_from[i] <= t && self.queued[i] > 0 {
+                if self.active_port[i] == u32::MAX {
+                    let (p, n) = self.scan_active_port(i);
+                    if p != usize::MAX {
+                        self.active_port[i] = (self.pbase + p) as u32;
+                        self.head_need[i] = n;
+                    }
+                }
+                s.busy.push(i as u32);
+            }
+        }
+        let mut remaining = budget;
+        let mut len = s.busy.len();
+        loop {
+            if len == 0 || remaining <= budget * 1e-12 {
+                break;
+            }
+            let share = remaining / len as f64;
+            let mut progressed = false;
+            for bi in 0..len {
+                let i = s.busy[bi] as usize;
+                let ap = self.active_port[i];
+                if ap != u32::MAX && share < self.head_need[i] {
+                    // Partial progress: identical f64 ops to what
+                    // `process` performs when the share doesn't cover
+                    // the head tuple, minus the rediscovery work.
+                    let p = ap as usize - self.pbase;
+                    self.head_progress[p] += share;
+                    self.cycles_used[i] += share;
+                    remaining -= share;
+                    self.head_need[i] = (self.cost[p] - self.head_progress[p]).max(0.0);
+                    progressed = true;
+                } else {
+                    let used = self.process(i, share);
+                    remaining -= used;
+                    if used > 0.0 {
+                        progressed = true;
+                    }
+                    if self.queued[i] > 0 {
+                        let (p, n) = self.scan_active_port(i);
+                        if p != usize::MAX {
+                            self.active_port[i] = (self.pbase + p) as u32;
+                            self.head_need[i] = n;
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+            let mut w = 0;
+            for r in 0..len {
+                if self.queued[s.busy[r] as usize] > 0 {
+                    s.busy[w] = s.busy[r];
+                    w += 1;
+                }
+            }
+            len = w;
+        }
+        remaining
+    }
+
+    /// Consume up to `budget` cycles of queued work on local replica `li`,
+    /// bit-compatible with `Replica::process` (same round-robin order,
+    /// same floating-point operation sequence). The single-port case —
+    /// the overwhelming majority — skips the cursor scan and the two
+    /// modulo operations per tuple.
+    pub fn process(&mut self, li: usize, budget: f64) -> f64 {
+        self.active_port[li] = u32::MAX;
+        let (p0, p1) = self.local_ports(li);
+        if p0 == p1 {
+            return 0.0;
+        }
+        if p1 == p0 + 1 {
+            self.process_single(li, p0, budget)
+        } else {
+            self.process_rr(li, p0, p1, budget)
+        }
+    }
+
+    fn process_single(&mut self, li: usize, p: usize, budget: f64) -> f64 {
+        let cost = self.cost[p];
+        let sel = self.sel[p];
+        let mut used = 0.0;
+        let mut out_acc = self.out_acc[li];
+        let mut done = 0u32;
+        let mut emitted = 0u64;
+        let mut hp = self.head_progress[p];
+        let q = &mut self.queues[p];
+        let births = &mut self.out_births[li];
+        while used < budget {
+            if q.is_empty() {
+                break;
+            }
+            let need = (cost - hp).max(0.0);
+            let avail = budget - used;
+            if avail >= need {
+                used += need;
+                hp = 0.0;
+                let birth = q.pop_front();
+                done += 1;
+                out_acc += sel;
+                while out_acc >= 1.0 {
+                    births.push(birth);
+                    emitted += 1;
+                    out_acc -= 1.0;
+                }
+            } else {
+                hp += avail;
+                used = budget;
+                break;
+            }
+        }
+        self.head_progress[p] = hp;
+        self.out_acc[li] = out_acc;
+        self.queued[li] -= done;
+        self.processed[li] += done as u64;
+        self.port_processed[p] += done as u64;
+        self.emitted[li] += emitted;
+        self.cycles_used[li] += used;
+        used
+    }
+
+    fn process_rr(&mut self, li: usize, p0: usize, p1: usize, budget: f64) -> f64 {
+        let nports = p1 - p0;
+        let mut used = 0.0;
+        let mut rr = self.rr[li] as usize;
+        let mut done = 0u32;
+        let mut emitted = 0u64;
+        let mut out_acc = self.out_acc[li];
+        let queues = &mut self.queues[p0..p1];
+        let cost = &self.cost[p0..p1];
+        let sel = &self.sel[p0..p1];
+        let hp = &mut self.head_progress[p0..p1];
+        let pp = &mut self.port_processed[p0..p1];
+        let births = &mut self.out_births[li];
+        'outer: while used < budget {
+            // First non-empty port at or after the cursor; two linear
+            // scans instead of a wraparound branch per probe.
+            let mut found = usize::MAX;
+            for (i, q) in queues.iter().enumerate().skip(rr) {
+                if !q.is_empty() {
+                    found = i;
+                    break;
+                }
+            }
+            if found == usize::MAX {
+                for (i, q) in queues.iter().enumerate().take(rr) {
+                    if !q.is_empty() {
+                        found = i;
+                        break;
+                    }
+                }
+                if found == usize::MAX {
+                    break 'outer;
+                }
+            }
+            // SAFETY: `found` comes from a scan over `queues`, and every
+            // per-port slice sliced above has the same `nports` length.
+            unsafe {
+                let need = (*cost.get_unchecked(found) - *hp.get_unchecked(found)).max(0.0);
+                let avail = budget - used;
+                if avail >= need {
+                    used += need;
+                    *hp.get_unchecked_mut(found) = 0.0;
+                    let birth = queues.get_unchecked_mut(found).pop_front();
+                    done += 1;
+                    *pp.get_unchecked_mut(found) += 1;
+                    out_acc += *sel.get_unchecked(found);
+                    while out_acc >= 1.0 {
+                        births.push(birth);
+                        emitted += 1;
+                        out_acc -= 1.0;
+                    }
+                    rr = found + 1;
+                    if rr == nports {
+                        rr = 0;
+                    }
+                } else {
+                    *hp.get_unchecked_mut(found) += avail;
+                    used = budget;
+                    break;
+                }
+            }
+        }
+        self.rr[li] = rr as u32;
+        self.out_acc[li] = out_acc;
+        self.queued[li] -= done;
+        self.processed[li] += done as u64;
+        self.emitted[li] += emitted;
+        self.cycles_used[li] += used;
+        used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laar_exec::replica::InPort;
+
+    #[test]
+    fn ring_push_pop_wraps_and_grows() {
+        let mut r = Ring::default();
+        assert!(r.is_empty());
+        r.push_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(r.pop_front(), 1.0);
+        // Force wraparound: head has advanced, fill past the tail.
+        r.push_slice(&[4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        let drained: Vec<f64> =
+            std::iter::from_fn(|| (!r.is_empty()).then(|| r.pop_front())).collect();
+        assert_eq!(drained, vec![2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+        // Growth across a wrapped state preserves order.
+        let mut r = Ring::default();
+        r.push_slice(&[0.0; 7]);
+        for _ in 0..6 {
+            r.pop_front();
+        }
+        r.push_slice(&[10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0]);
+        let vals: Vec<f64> = r.iter().collect();
+        assert_eq!(vals, vec![0.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0]);
+    }
+
+    fn cold_pair() -> Vec<Replica> {
+        vec![
+            Replica::new(0, 0, 0, vec![InPort::new(10.0, 1.0, 4)]),
+            Replica::new(
+                1,
+                0,
+                0,
+                vec![InPort::new(5.0, 0.5, 8), InPort::new(2.0, 1.5, 8)],
+            ),
+        ]
+    }
+
+    #[test]
+    fn hot_ops_match_cold_replica_bitwise() {
+        let mut cold = cold_pair();
+        let mut hot = HotArena::from_cold(&cold);
+        let births = [0.25, 0.5, 0.75, 1.0, 1.25];
+        {
+            let mut hc = hot.full();
+            for (i, r) in cold.iter_mut().enumerate() {
+                r.offer(0, &births, 1.0);
+                hc.offer(i, 0, &births, 1.0);
+            }
+            cold[1].offer(1, &births[..3], 1.0);
+            hc.offer(1, 1, &births[..3], 1.0);
+            for (i, r) in cold.iter_mut().enumerate() {
+                for budget in [7.0, 13.0, 100.0] {
+                    let a = r.process(budget);
+                    let b = hc.process(i, budget);
+                    assert_eq!(a.to_bits(), b.to_bits(), "replica {i} budget {budget}");
+                }
+            }
+        }
+        for (i, r) in cold.iter().enumerate() {
+            assert_eq!(hot.processed[i], r.processed);
+            assert_eq!(hot.emitted[i], r.emitted);
+            assert_eq!(hot.out_acc[i].to_bits(), r.out_acc.to_bits());
+            assert_eq!(hot.cycles_used[i].to_bits(), r.cycles_used.to_bits());
+            assert_eq!(hot.out_births[i], r.out_births);
+            let (p0, _) = hot.port_range(i);
+            for (pi, port) in r.ports.iter().enumerate() {
+                let qs: Vec<f64> = hot.queues[p0 + pi].iter().collect();
+                let cold_q: Vec<f64> = port.queue.iter().copied().collect();
+                assert_eq!(qs, cold_q, "replica {i} port {pi}");
+                assert_eq!(hot.drops[p0 + pi], port.drops);
+                assert_eq!(hot.port_processed[p0 + pi], port.processed);
+                assert_eq!(
+                    hot.head_progress[p0 + pi].to_bits(),
+                    port.head_progress.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_drops_and_idle_discards_match() {
+        let mut cold = cold_pair();
+        let mut hot = HotArena::from_cold(&cold);
+        let many = [0.0f64; 10];
+        {
+            let mut hc = hot.full();
+            cold[0].offer(0, &many, 0.0);
+            hc.offer(0, 0, &many, 0.0);
+        }
+        use laar_exec::HaSlot;
+        cold[0].deactivate();
+        let state = cold[0].state;
+        hot.on_deactivate(0, &state);
+        {
+            let mut hc = hot.full();
+            cold[0].offer(0, &many, 0.0);
+            hc.offer(0, 0, &many, 0.0);
+        }
+        assert_eq!(hot.idle_discards[0], cold[0].idle_discards);
+        assert_eq!(hot.drops[0], cold[0].ports[0].drops);
+        assert_eq!(hot.queued[0], 0);
+        assert!(!cold[0].has_work());
+        assert_eq!(hot.eligible_from[0], f64::INFINITY);
+    }
+
+    #[test]
+    fn chunk_split_covers_ports_disjointly() {
+        let cold = vec![
+            Replica::new(0, 0, 0, vec![InPort::new(1.0, 1.0, 8)]),
+            Replica::new(
+                0,
+                1,
+                0,
+                vec![InPort::new(1.0, 1.0, 8), InPort::new(1.0, 1.0, 8)],
+            ),
+            Replica::new(1, 0, 1, vec![InPort::new(1.0, 1.0, 8)]),
+            Replica::new(1, 1, 1, Vec::new()),
+        ];
+        let mut hot = HotArena::from_cold(&cold);
+        let views = hot.chunks(&[(0, 2), (2, 4)]);
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].queued.len(), 2);
+        assert_eq!(views[1].queued.len(), 2);
+        assert_eq!(views[0].queues.len(), 3);
+        assert_eq!(views[1].queues.len(), 1);
+        drop(views);
+        // A zero-port replica processes nothing and uses no cycles.
+        {
+            let mut hc = hot.full();
+            assert_eq!(hc.process(3, 100.0), 0.0);
+        }
+        assert_eq!(hot.cycles_used[3], 0.0);
+    }
+}

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod metrics;
 mod pool;
 pub mod profiler;
@@ -30,10 +31,11 @@ pub mod trace;
 
 pub use laar_exec::{failure, replica};
 
+pub use arena::{HotArena, HotChunk, Ring};
 pub use laar_exec::failure::{strategy_after_worst_case, FailurePlan};
 pub use laar_exec::replica::{InPort, Replica};
 pub use laar_exec::ReplicaStatus;
 pub use metrics::{LatencyStats, SimMetrics, TimeSeries};
 pub use profiler::{profile_application, EstimatedDescriptor, PhaseProfile};
-pub use sim::{SimConfig, Simulation, TimeAdvance};
+pub use sim::{ReplicaLayout, SimConfig, Simulation, TimeAdvance};
 pub use trace::{ArrivalProcess, InputTrace, RateSchedule, SourceEmitter};

@@ -46,6 +46,28 @@ pub struct PhaseProfile {
     /// Quanta actually executed (the event-driven engine skips quiescent
     /// stretches).
     pub quanta_executed: u64,
+    /// Resident bytes of the hot replica state at the end of the run:
+    /// the [`HotArena`](crate::arena::HotArena) footprint under the
+    /// struct-of-arrays layout, or the `Replica` arena footprint (structs
+    /// plus port/queue/output heap) under the legacy layout.
+    pub arena_bytes: u64,
+    /// `arena_bytes` divided by the number of PEs — the per-PE memory
+    /// budget figure reported by `laar bench-sim`.
+    pub bytes_per_pe: f64,
+}
+
+impl PhaseProfile {
+    /// Sum of the five per-phase wall-clock attributions. The profiled
+    /// runner asserts this stays within tolerance of the engine's total
+    /// wall time, so no phase of the quantum loop can silently escape
+    /// attribution.
+    pub fn phase_sum(&self) -> f64 {
+        self.control_secs
+            + self.emission_secs
+            + self.scheduling_secs
+            + self.forwarding_secs
+            + self.accounting_secs
+    }
 }
 
 /// The estimated descriptor of one PE: per input port (in `in_edges`

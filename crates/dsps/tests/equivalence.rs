@@ -1,17 +1,22 @@
-//! Golden-equivalence suite: the event-driven time-advance engine and the
-//! host-parallel engine (`SimConfig::threads > 1`) must produce
-//! **bit-identical** [`SimMetrics`] to the fixed-quantum sequential
-//! reference on every workload — same drops, sink counts, latency
-//! histogram, utilization samples, and conservation ledger. This is the
-//! correctness bar that lets the fast paths be defaults without perturbing
-//! the paper figures or the live-runtime parity suite.
+//! Golden-equivalence suite: the event-driven time-advance engine, the
+//! host-parallel engine (`SimConfig::threads > 1`), and the
+//! struct-of-arrays hot-arena engines (`ReplicaLayout::Soa`, the default)
+//! must produce **bit-identical** [`SimMetrics`] to the legacy
+//! fixed-quantum sequential reference on every workload — same drops,
+//! sink counts, latency histogram, utilization samples, and conservation
+//! ledger. This is the correctness bar that lets the fast paths be
+//! defaults without perturbing the paper figures or the live-runtime
+//! parity suite.
 //!
 //! Thread counts {1, 2} are always exercised; set `LAAR_EQ_THREADS=N` to
-//! add another count (CI runs the suite a second time with it set).
+//! add another count (CI runs the suite a second time with `N=8` so the
+//! SoA path is pinned at 8 threads).
 
 use laar_core::testutil::fig2_problem;
 use laar_dsps::trace::ArrivalProcess;
-use laar_dsps::{FailurePlan, InputTrace, SimConfig, SimMetrics, Simulation, TimeAdvance};
+use laar_dsps::{
+    FailurePlan, InputTrace, ReplicaLayout, SimConfig, SimMetrics, Simulation, TimeAdvance,
+};
 use laar_gen::{generator::generate_app, GenParams};
 use laar_model::{ActivationStrategy, Application, ConfigId, HostId, Placement};
 use proptest::prelude::*;
@@ -31,8 +36,10 @@ fn thread_axis() -> Vec<usize> {
     axis
 }
 
-/// Run the same problem under both time-advance engines and across the
-/// thread axis, and assert the metrics agree exactly.
+/// Run the same problem under both time-advance engines, both replica
+/// layouts, and across the thread axis, and assert the metrics agree
+/// exactly. The reference is the legacy array-of-structs fixed-quantum
+/// sequential engine — the pre-SoA hot path, kept verbatim.
 fn assert_equivalent(
     app: &Application,
     placement: &Placement,
@@ -41,7 +48,7 @@ fn assert_equivalent(
     plan: &FailurePlan,
     base: &SimConfig,
 ) -> SimMetrics {
-    let run = |advance: TimeAdvance, threads: usize| {
+    let run = |layout: ReplicaLayout, advance: TimeAdvance, threads: usize| {
         Simulation::new(
             app,
             placement,
@@ -49,6 +56,7 @@ fn assert_equivalent(
             trace,
             plan.clone(),
             SimConfig {
+                layout,
                 advance,
                 threads,
                 ..base.clone()
@@ -56,23 +64,32 @@ fn assert_equivalent(
         )
         .run()
     };
-    let reference = run(TimeAdvance::FixedQuantum, 1);
-    let event = run(TimeAdvance::EventDriven, 1);
+    let reference = run(ReplicaLayout::Legacy, TimeAdvance::FixedQuantum, 1);
+    let event = run(ReplicaLayout::Legacy, TimeAdvance::EventDriven, 1);
     assert_eq!(
         reference, event,
         "event-driven metrics diverged from the fixed-quantum reference"
     );
+    for advance in [TimeAdvance::FixedQuantum, TimeAdvance::EventDriven] {
+        let soa = run(ReplicaLayout::Soa, advance, 1);
+        assert_eq!(
+            reference, soa,
+            "SoA metrics diverged from the legacy reference ({advance:?})"
+        );
+    }
     for threads in thread_axis().into_iter().skip(1) {
-        let par_fixed = run(TimeAdvance::FixedQuantum, threads);
-        assert_eq!(
-            reference, par_fixed,
-            "fixed-quantum metrics diverged at threads={threads}"
-        );
-        let par_event = run(TimeAdvance::EventDriven, threads);
-        assert_eq!(
-            reference, par_event,
-            "event-driven metrics diverged at threads={threads}"
-        );
+        for layout in [ReplicaLayout::Legacy, ReplicaLayout::Soa] {
+            let par_fixed = run(layout, TimeAdvance::FixedQuantum, threads);
+            assert_eq!(
+                reference, par_fixed,
+                "fixed-quantum metrics diverged at threads={threads} ({layout:?})"
+            );
+            let par_event = run(layout, TimeAdvance::EventDriven, threads);
+            assert_eq!(
+                reference, par_event,
+                "event-driven metrics diverged at threads={threads} ({layout:?})"
+            );
+        }
     }
     assert!(event.conservation.is_balanced(), "{:?}", event.conservation);
     event
@@ -193,6 +210,31 @@ fn paper_scale_24pe_with_failures() {
     }
 }
 
+#[test]
+fn scaled_1k_pe_matches_legacy() {
+    // The 1k-PE scaled benchmark fixture (the `bench-sim` headline), held
+    // to the same bar as the paper-scale fixtures: SoA and legacy layouts
+    // bit-identical across both time-advance modes and the thread axis
+    // (LAAR_EQ_THREADS=8 in CI), under a mid-run host crash. The trace is
+    // short — at this scale a couple of seconds of saturated input already
+    // exercises queue overflow, water-filling compaction, failover, and
+    // the sentinel sync boundary.
+    let gen = generate_app(&GenParams::scaled_bench(1000.0 / 24.0), 7);
+    let np = gen.app.graph().num_pes();
+    assert_eq!(np, 1000);
+    let sr = ActivationStrategy::all_active(np, 2, 2);
+    let trace = InputTrace::constant(&[gen.high_rate], 2.0);
+    let m = assert_equivalent(
+        &gen.app,
+        &gen.placement,
+        &sr,
+        &trace,
+        &FailurePlan::host_crash(HostId(0), 0.8),
+        &SimConfig::default(),
+    );
+    assert!(m.total_processed() > 0, "nothing processed at 1k PEs");
+}
+
 /// Deterministic strategy sampler mirroring `tests/proptest_sim.rs`.
 fn random_strategy(np: usize, nq: usize, seed: u64) -> ActivationStrategy {
     let mut s = ActivationStrategy::all_inactive(np, nq, 2);
@@ -254,21 +296,25 @@ proptest! {
             },
             ..SimConfig::default()
         };
-        let run = |advance: TimeAdvance, threads: usize| {
+        let run = |layout: ReplicaLayout, advance: TimeAdvance, threads: usize| {
             Simulation::new(
                 &gen.app,
                 &gen.placement,
                 strategy.clone(),
                 &trace,
                 plan.clone(),
-                SimConfig { advance, threads, ..cfg.clone() },
+                SimConfig { layout, advance, threads, ..cfg.clone() },
             )
             .run()
         };
-        let reference = run(TimeAdvance::FixedQuantum, 1);
-        let event = run(TimeAdvance::EventDriven, 1);
+        let reference = run(ReplicaLayout::Legacy, TimeAdvance::FixedQuantum, 1);
+        let event = run(ReplicaLayout::Legacy, TimeAdvance::EventDriven, 1);
         prop_assert_eq!(&reference, &event);
-        let par = run(TimeAdvance::EventDriven, 2);
+        let par = run(ReplicaLayout::Legacy, TimeAdvance::EventDriven, 2);
         prop_assert_eq!(&reference, &par);
+        let soa = run(ReplicaLayout::Soa, TimeAdvance::FixedQuantum, 1);
+        prop_assert_eq!(&reference, &soa);
+        let soa_event_par = run(ReplicaLayout::Soa, TimeAdvance::EventDriven, 2);
+        prop_assert_eq!(&reference, &soa_event_par);
     }
 }

@@ -1,0 +1,219 @@
+//! Property test for the struct-of-arrays hot arena: across random
+//! interleavings of commands (activate/deactivate), failures
+//! (kill/recover), offers, and processing, the [`HotArena`] mirrored at
+//! the sync boundary never diverges from the legacy [`Replica`] hot path
+//! — every counter, queue, accumulator, and round-robin cursor stays
+//! bit-identical, and the `eligible_from` sentinel always encodes exactly
+//! the cold [`SlotState`]'s eligibility.
+//!
+//! Two sides run the same op sequence:
+//! * **legacy**: protocol transitions and data ops both applied to a
+//!   `Vec<Replica>` — the pre-SoA engine's state.
+//! * **hot**: protocol transitions applied to a cold `Vec<Replica>` and
+//!   mirrored into a [`HotArena`] (exactly the simulator's sync-boundary
+//!   calls); data ops applied to the hot arena only, the cold structs
+//!   never touched — the SoA engine's split.
+
+use laar_dsps::{HotArena, InPort, Replica};
+use laar_exec::HaSlot;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Offer `n` tuples to one port of one slot.
+    Offer {
+        slot: usize,
+        port: usize,
+        n: usize,
+    },
+    /// Give one slot a CPU budget, as the water-filling loop would.
+    Process {
+        slot: usize,
+        budget: f64,
+    },
+    Activate {
+        slot: usize,
+        sync: bool,
+    },
+    Deactivate {
+        slot: usize,
+    },
+    Kill {
+        slot: usize,
+    },
+    Recover {
+        slot: usize,
+        sync: bool,
+    },
+    /// Advance virtual time (sync windows expire, offers stamp later).
+    Tick,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Weighted mix: mostly data-plane traffic (offers + processing) with a
+    // steady trickle of commands, failures, and time advancement.
+    (
+        0usize..14,
+        0usize..6,
+        0usize..6,
+        0.0f64..30.0,
+        any::<bool>(),
+    )
+        .prop_map(|(kind, slot, n, budget, sync)| match kind {
+            0..=3 => Op::Offer {
+                slot,
+                port: n % 2,
+                n,
+            },
+            4..=7 => Op::Process { slot, budget },
+            8 => Op::Activate { slot, sync },
+            9 => Op::Deactivate { slot },
+            10 => Op::Kill { slot },
+            11 => Op::Recover { slot, sync },
+            _ => Op::Tick,
+        })
+}
+
+/// 3 PEs × k=2 across two hosts, with mixed port shapes (including a
+/// fan-in PE) and small queue capacities so overflow drops happen.
+fn fixture() -> Vec<Replica> {
+    vec![
+        Replica::new(0, 0, 0, vec![InPort::new(4.0, 1.0, 4)]),
+        Replica::new(0, 1, 1, vec![InPort::new(4.0, 1.0, 4)]),
+        Replica::new(
+            1,
+            0,
+            0,
+            vec![InPort::new(2.0, 0.5, 6), InPort::new(3.0, 1.5, 3)],
+        ),
+        Replica::new(
+            1,
+            1,
+            1,
+            vec![InPort::new(2.0, 0.5, 6), InPort::new(3.0, 1.5, 3)],
+        ),
+        Replica::new(2, 0, 1, vec![InPort::new(7.0, 0.8, 5)]),
+        Replica::new(2, 1, 0, vec![InPort::new(7.0, 0.8, 5)]),
+    ]
+}
+
+/// Assert the hot arena matches the legacy replicas bit for bit, and that
+/// its sentinel matches the hot side's cold protocol state.
+fn assert_in_lockstep(hot: &HotArena, hot_cold: &[Replica], legacy: &[Replica], ctx: &str) {
+    for (i, l) in legacy.iter().enumerate() {
+        assert_eq!(
+            hot.eligible_from[i].to_bits(),
+            hot_cold[i].state.eligible_from().to_bits(),
+            "{ctx}: slot {i} sentinel diverged from cold state"
+        );
+        assert_eq!(hot_cold[i].state, l.state, "{ctx}: slot {i} protocol state");
+        assert_eq!(hot.processed[i], l.processed, "{ctx}: slot {i} processed");
+        assert_eq!(hot.emitted[i], l.emitted, "{ctx}: slot {i} emitted");
+        assert_eq!(
+            hot.idle_discards[i], l.idle_discards,
+            "{ctx}: slot {i} idle_discards"
+        );
+        assert_eq!(
+            hot.out_acc[i].to_bits(),
+            l.out_acc.to_bits(),
+            "{ctx}: slot {i} out_acc"
+        );
+        assert_eq!(
+            hot.cycles_used[i].to_bits(),
+            l.cycles_used.to_bits(),
+            "{ctx}: slot {i} cycles_used"
+        );
+        assert_eq!(hot.rr[i] as usize, l.rr_cursor(), "{ctx}: slot {i} rr");
+        assert_eq!(
+            hot.out_births[i], l.out_births,
+            "{ctx}: slot {i} out_births"
+        );
+        let (p0, _) = hot.port_range(i);
+        let mut queued = 0u32;
+        for (pi, port) in l.ports.iter().enumerate() {
+            let hot_q: Vec<f64> = hot.queues[p0 + pi].iter().collect();
+            let cold_q: Vec<f64> = port.queue.iter().copied().collect();
+            assert_eq!(hot_q, cold_q, "{ctx}: slot {i} port {pi} queue");
+            assert_eq!(
+                hot.drops[p0 + pi],
+                port.drops,
+                "{ctx}: slot {i} port {pi} drops"
+            );
+            assert_eq!(
+                hot.port_processed[p0 + pi],
+                port.processed,
+                "{ctx}: slot {i} port {pi} processed"
+            );
+            assert_eq!(
+                hot.head_progress[p0 + pi].to_bits(),
+                port.head_progress.to_bits(),
+                "{ctx}: slot {i} port {pi} head_progress"
+            );
+            queued += port.queue.len() as u32;
+        }
+        assert_eq!(hot.queued[i], queued, "{ctx}: slot {i} queued counter");
+    }
+    assert_eq!(
+        hot.has_any_work(),
+        legacy.iter().any(|r| r.has_work()),
+        "{ctx}: has_any_work"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn hot_arena_never_diverges_from_cold_state(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut legacy = fixture();
+        let mut hot_cold = fixture();
+        let mut hot = HotArena::from_cold(&hot_cold);
+        let mut now = 0.0f64;
+        let sync_delay = 0.5f64;
+
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Offer { slot, port, n } => {
+                    let nports = legacy[slot].ports.len();
+                    let port = port % nports;
+                    let births: Vec<f64> = (0..n).map(|j| now + j as f64 * 0.01).collect();
+                    legacy[slot].offer(port, &births, now);
+                    hot.full().offer(slot, port, &births, now);
+                }
+                Op::Process { slot, budget } => {
+                    let a = legacy[slot].process(budget);
+                    let b = hot.full().process(slot, budget);
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+                Op::Activate { slot, sync } => {
+                    let delay = if sync { sync_delay } else { 0.0 };
+                    legacy[slot].activate(now, delay);
+                    hot_cold[slot].activate(now, delay);
+                    let state = hot_cold[slot].state;
+                    hot.on_activate(slot, &state);
+                }
+                Op::Deactivate { slot } => {
+                    legacy[slot].deactivate();
+                    hot_cold[slot].deactivate();
+                    let state = hot_cold[slot].state;
+                    hot.on_deactivate(slot, &state);
+                }
+                Op::Kill { slot } => {
+                    legacy[slot].kill();
+                    hot_cold[slot].kill();
+                    let state = hot_cold[slot].state;
+                    hot.on_kill(slot, &state);
+                }
+                Op::Recover { slot, sync } => {
+                    let delay = if sync { sync_delay } else { 0.0 };
+                    legacy[slot].recover(now, delay);
+                    hot_cold[slot].recover(now, delay);
+                    let state = hot_cold[slot].state;
+                    hot.on_recover(slot, &state);
+                }
+                Op::Tick => now += 0.25,
+            }
+            assert_in_lockstep(&hot, &hot_cold, &legacy, &format!("step {step} ({op:?})"));
+        }
+    }
+}

@@ -93,6 +93,25 @@ impl SlotState {
         }
         self.sync_until.filter(|&s| s > now)
     }
+
+    /// Sentinel encoding of eligibility for branch-light hot paths: the
+    /// earliest time at which this slot is (or becomes) eligible.
+    /// `+INFINITY` for dead or idle slots (never eligible without an
+    /// external transition), the end of the sync window while syncing, and
+    /// `-INFINITY` for a running slot with no pending window. By
+    /// construction `eligible_from() <= now` iff [`SlotState::eligible`]
+    /// returns `true` at `now`, and a finite value `> now` is exactly
+    /// [`SlotState::next_transition`] — the struct-of-arrays simulator
+    /// arena mirrors this one f64 per replica at each control/failover
+    /// event and tests pin the equivalence.
+    #[inline]
+    pub fn eligible_from(&self) -> f64 {
+        if !self.alive || !self.active {
+            f64::INFINITY
+        } else {
+            self.sync_until.unwrap_or(f64::NEG_INFINITY)
+        }
+    }
 }
 
 /// The protocol transitions of one replica slot.

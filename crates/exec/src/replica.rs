@@ -250,6 +250,14 @@ impl Replica {
     pub fn total_drops(&self) -> u64 {
         self.ports.iter().map(|p| p.drops).sum()
     }
+
+    /// The round-robin port cursor. Exposed read-only so alternative
+    /// hot-path layouts (the simulator's struct-of-arrays arena) can
+    /// snapshot the complete data-plane state of a replica.
+    #[inline]
+    pub fn rr_cursor(&self) -> usize {
+        self.rr
+    }
 }
 
 /// The protocol transitions delegate to the embedded [`SlotState`] (the one

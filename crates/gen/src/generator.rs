@@ -6,6 +6,8 @@ use laar_model::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
 
 /// Parameters of one generated application (defaults reproduce §5.2).
 #[derive(Debug, Clone)]
@@ -80,6 +82,23 @@ impl GenParams {
             ..self.clone()
         }
     }
+
+    /// The `bench-sim` scale-sweep fixture: [`GenParams::scaled`] with the
+    /// paper's source-rate range restored and sub-unit selectivities.
+    /// The default selectivity range (0.5–1.5) makes per-PE tuple rates
+    /// grow multiplicatively along fan-out chains, so a 1k-PE graph
+    /// amplifies the source by ~10⁵ and a tuple-level simulation measures
+    /// queue pops instead of per-replica scheduling overhead. Capping the
+    /// expected branching·selectivity product below one keeps the total
+    /// tuple volume near-linear in the PE count, while cost calibration
+    /// (`high_util_target`) still saturates the hottest host at High.
+    pub fn scaled_bench(factor: f64) -> Self {
+        Self {
+            selectivity: (0.2, 0.6),
+            rate_range: (1.0, 20.0),
+            ..Self::default().scaled(factor)
+        }
+    }
 }
 
 /// One generated application: the contract plus its replicated placement.
@@ -122,14 +141,21 @@ fn generate_topology(
 
         costs_sels.clear();
         let mut edges: Vec<(ComponentId, ComponentId)> = Vec::new();
+        // Dedup set kept in lockstep with `edges`: the linear
+        // `edges.contains` scan made topology generation O(E²), which
+        // dominates wall time for the 10k/100k-PE scaled fixtures. The RNG
+        // is only consulted after a successful insert, so the draw sequence
+        // (and therefore every generated graph) is unchanged.
+        let mut edge_set: HashSet<(ComponentId, ComponentId)> = HashSet::new();
         let connect = |b: &mut GraphBuilder,
                        edges: &mut Vec<(ComponentId, ComponentId)>,
+                       edge_set: &mut HashSet<(ComponentId, ComponentId)>,
                        costs_sels: &mut Vec<(f64, f64)>,
                        rng: &mut StdRng,
                        from: ComponentId,
                        to: ComponentId|
          -> bool {
-            if edges.contains(&(from, to)) {
+            if !edge_set.insert((from, to)) {
                 return false;
             }
             let sel = rng.random_range(params.selectivity.0..params.selectivity.1);
@@ -159,7 +185,7 @@ fn generate_topology(
                     pes[j - 1]
                 }
             };
-            connect(&mut b, &mut edges, costs_sels, rng, from, pe);
+            connect(&mut b, &mut edges, &mut edge_set, costs_sels, rng, from, pe);
         }
 
         // Extra edges toward the target out-degree. The average counts
@@ -180,12 +206,11 @@ fn generate_topology(
             } else {
                 pes[rng.random_range(0..to_idx)]
             };
-            connect(&mut b, &mut edges, costs_sels, rng, from, to);
+            connect(&mut b, &mut edges, &mut edge_set, costs_sels, rng, from, to);
         }
 
         // Terminal PEs feed the sink.
-        let with_out: std::collections::HashSet<ComponentId> =
-            edges.iter().map(|&(f, _)| f).collect();
+        let with_out: HashSet<ComponentId> = edges.iter().map(|&(f, _)| f).collect();
         for &pe in &pes {
             if !with_out.contains(&pe) {
                 b.connect_sink(pe, sink).expect("sink edge");
@@ -226,18 +251,40 @@ fn balanced_placement(
             .unwrap()
     });
 
+    // Lazy-deletion min-heap over (load bits, host index): the per-PE full
+    // re-sort made placement O(P·H log H), which dominates generation for
+    // the 100k-PE scaled fixtures. Loads are non-negative, so `to_bits()`
+    // orders exactly like the f64 comparison the sort used, and the index
+    // tiebreak reproduces the stable sort's lowest-index-first choice —
+    // the produced placement is bit-identical to the sort-based one (see
+    // the oracle test below). Entries go stale when a host's load grows;
+    // they are skipped on pop by comparing against the live load table.
     let mut load = vec![0.0f64; num_hosts];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..num_hosts).map(|h| Reverse((0u64, h))).collect();
     let mut assignment = vec![HostId(0); np * 2];
     for &pe in &order {
         let l = rates.pe_input_load(pe, high);
-        let mut hosts_by_load: Vec<usize> = (0..num_hosts).collect();
-        hosts_by_load.sort_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap());
-        let h0 = hosts_by_load[0];
-        let h1 = if num_hosts > 1 { hosts_by_load[1] } else { h0 };
+        let mut pop_fresh = |load: &[f64], skip: Option<usize>| loop {
+            let Reverse((bits, h)) = heap.pop().expect("a live host entry remains");
+            if bits == load[h].to_bits() && Some(h) != skip {
+                return h;
+            }
+        };
+        let h0 = pop_fresh(&load, None);
+        let h1 = if num_hosts > 1 {
+            pop_fresh(&load, Some(h0))
+        } else {
+            h0
+        };
         assignment[pe * 2] = HostId(h0 as u32);
         assignment[pe * 2 + 1] = HostId(h1 as u32);
         load[h0] += l;
         load[h1] += l;
+        heap.push(Reverse((load[h0].to_bits(), h0)));
+        if h1 != h0 {
+            heap.push(Reverse((load[h1].to_bits(), h1)));
+        }
     }
     Placement::new(graph, 2, hosts, assignment).expect("valid placement")
 }
@@ -288,15 +335,18 @@ pub fn generate_app(params: &GenParams, seed: u64) -> GeneratedApp {
         params.host_capacity,
     );
 
-    let mut max_high_load = 0.0f64;
-    for h in placement_raw.hosts() {
-        let l: f64 = placement_raw
-            .replicas_on(h.id)
-            .into_iter()
-            .map(|(pe, _)| rates_raw.pe_input_load(pe, high))
-            .sum();
-        max_high_load = max_high_load.max(l);
+    // One pass over PEs instead of `replicas_on` per host (O(P·H) — the
+    // other wall-time cliff at 100k PEs). Each host still accumulates its
+    // replica loads in ascending (pe, replica) order, so the per-host f64
+    // sums — and therefore α and every downstream cost — are unchanged.
+    let mut host_load = vec![0.0f64; params.num_hosts];
+    for pe in 0..graph.num_pes() {
+        let l = rates_raw.pe_input_load(pe, high);
+        for r in 0..placement_raw.k() {
+            host_load[placement_raw.host_of(pe, r).index()] += l;
+        }
     }
+    let max_high_load = host_load.iter().copied().fold(0.0f64, f64::max);
     let alpha = params.high_util_target * params.host_capacity / max_high_load;
 
     // Rebuild the graph with scaled costs.
@@ -480,6 +530,68 @@ mod tests {
         // Fractional factors floor at one host/PE.
         let tiny = base.scaled(0.01);
         assert_eq!(tiny.num_pes.max(tiny.num_hosts), 1);
+    }
+
+    /// The sort-based placement `balanced_placement` replaced: per PE, a
+    /// full stable re-sort of hosts by live load, lowest two picked.
+    fn sort_oracle_placement(
+        graph: &ApplicationGraph,
+        rates: &RateTable,
+        high: ConfigId,
+        num_hosts: usize,
+        capacity: f64,
+    ) -> Placement {
+        let np = graph.num_pes();
+        let hosts: Vec<Host> = (0..num_hosts)
+            .map(|i| Host {
+                id: HostId(i as u32),
+                name: format!("host{i}"),
+                capacity,
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..np).collect();
+        order.sort_by(|&a, &b| {
+            rates
+                .pe_input_load(b, high)
+                .partial_cmp(&rates.pe_input_load(a, high))
+                .unwrap()
+        });
+        let mut load = vec![0.0f64; num_hosts];
+        let mut assignment = vec![HostId(0); np * 2];
+        for &pe in &order {
+            let l = rates.pe_input_load(pe, high);
+            let mut hosts_by_load: Vec<usize> = (0..num_hosts).collect();
+            hosts_by_load.sort_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap());
+            let h0 = hosts_by_load[0];
+            let h1 = if num_hosts > 1 { hosts_by_load[1] } else { h0 };
+            assignment[pe * 2] = HostId(h0 as u32);
+            assignment[pe * 2 + 1] = HostId(h1 as u32);
+            load[h0] += l;
+            load[h1] += l;
+        }
+        Placement::new(graph, 2, hosts, assignment).expect("valid placement")
+    }
+
+    #[test]
+    fn heap_placement_matches_sort_oracle() {
+        // The lazy-deletion heap must reproduce the historical sort-based
+        // placement bit for bit (including lowest-index tie-breaks), or
+        // every generated fixture would silently change.
+        for seed in 0..6 {
+            let g = generate_app(&GenParams::default(), seed);
+            let rates = RateTable::compute(&g.app);
+            for num_hosts in [1, 2, 4, 7] {
+                let heap = balanced_placement(g.app.graph(), &rates, ConfigId(1), num_hosts, 1.0);
+                let oracle =
+                    sort_oracle_placement(g.app.graph(), &rates, ConfigId(1), num_hosts, 1.0);
+                assert_eq!(heap, oracle, "seed {seed} hosts {num_hosts}");
+            }
+        }
+        let big = generate_app(&GenParams::default().scaled(4.0), 17);
+        let rates = RateTable::compute(&big.app);
+        let heap = balanced_placement(big.app.graph(), &rates, ConfigId(1), 16, 1.0);
+        let oracle = sort_oracle_placement(big.app.graph(), &rates, ConfigId(1), 16, 1.0);
+        assert_eq!(heap, oracle);
     }
 
     #[test]

@@ -284,6 +284,10 @@ impl ApplicationGraph {
 pub struct GraphBuilder {
     components: Vec<Component>,
     edges: Vec<Edge>,
+    /// Endpoint pairs of `edges`, for O(1) duplicate detection — the
+    /// linear scan made building an E-edge graph O(E²), which dominated
+    /// generation of the 100k-PE benchmark fixtures.
+    edge_set: std::collections::HashSet<(ComponentId, ComponentId)>,
 }
 
 impl GraphBuilder {
@@ -349,6 +353,7 @@ impl GraphBuilder {
             selectivity,
             cpu_cost,
         });
+        self.edge_set.insert((from, to));
         Ok(id)
     }
 
@@ -375,7 +380,7 @@ impl GraphBuilder {
         if self.components[from.index()].kind == ComponentKind::Sink {
             return Err(ModelError::EdgeFromSink(from.0));
         }
-        if self.edges.iter().any(|e| e.from == from && e.to == to) {
+        if self.edge_set.contains(&(from, to)) {
             return Err(ModelError::DuplicateEdge {
                 from: from.0,
                 to: to.0,

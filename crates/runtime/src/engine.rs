@@ -170,6 +170,7 @@ impl RuntimeConfig {
             controller_enabled: self.controller_enabled,
             arrivals: self.arrivals,
             advance: laar_dsps::TimeAdvance::default(),
+            layout: laar_dsps::ReplicaLayout::default(),
             threads: 1,
             adapt: self.adapt.clone(),
         }
