@@ -5,10 +5,16 @@
 //! incumbent (when still feasible under the corrected descriptor) becomes
 //! the initial shared incumbent, so pruning is tight from the first node
 //! and the search degrades gracefully into "return the best improvement
-//! found so far" under its budget. The budget is a deterministic *node
-//! limit* rather than a wall-clock limit — both engines re-plan the same
-//! problem to the same node count and therefore install the identical
-//! strategy, machine speed notwithstanding.
+//! found so far" under its budget. The pass runs the CP engine
+//! ([`laar_core::ftsearch::SearchMode::Portfolio`], sequential): geometric
+//! restarts and LNS rounds around the warm incumbent, so most of the
+//! budget is spent *improving* the installed strategy rather than
+//! re-proving the prefix the incumbent already dominates. The budget is a
+//! deterministic *node limit* rather than a wall-clock limit, and the CP
+//! engine is deterministic under node budgets (its RNG is seeded and all
+//! its restart/LNS scheduling is metered in nodes) — both engines re-plan
+//! the same problem to the same node count and therefore install the
+//! identical strategy, machine speed notwithstanding.
 //!
 //! When the corrected descriptor admits no strategy at the contracted IC
 //! at all (drift pushed some configuration past the cluster's CPU), the
@@ -17,7 +23,7 @@
 //! objective term and the least-violating strategy is returned, which
 //! still beats riding the stale strategy into queue overflow.
 
-use laar_core::ftsearch::{self, FtSearchConfig};
+use laar_core::ftsearch::{self, FtSearchConfig, SearchMode};
 use laar_core::Problem;
 use laar_model::ActivationStrategy;
 use std::time::Duration;
@@ -81,6 +87,7 @@ pub fn replan(
     let opts = FtSearchConfig {
         node_limit: Some(cfg.node_limit),
         time_limit: cfg.time_limit,
+        mode: SearchMode::Portfolio,
         ..FtSearchConfig::default()
     };
     let report = ftsearch::solve_with_warm_start(problem, &opts, Some(incumbent)).ok()?;

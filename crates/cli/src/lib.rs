@@ -25,7 +25,8 @@ use laar_dsps::profiler::{descriptor_error, profile_application};
 use laar_dsps::{
     FailurePlan, InputTrace, PhaseProfile, ReplicaLayout, SimConfig, SimMetrics, Simulation,
 };
-use laar_experiments::{benchmark_solver, SolverBenchConfig, SolverBenchRow};
+use laar_experiments::{benchmark_solver, merge_solver_baseline, SolverBenchConfig};
+pub use laar_experiments::{SolverBenchBaselineRow, SolverBenchMode, SolverBenchRow};
 use laar_gen::{generator::generate_app, GenParams};
 use laar_model::{ActivationStrategy, Application, HostId, Placement};
 use laar_runtime::{LiveReport, LiveRuntime, RuntimeConfig};
@@ -717,16 +718,23 @@ pub fn cmd_bench_sim(
     Ok(rows)
 }
 
-/// The `bench-solver` command: every corpus instance solved sequentially
-/// and with the deterministic parallel driver under identical options; the
-/// paired rows make both the cost agreement and the schedule-dependent
-/// statistics (nodes, time-to-first, time-to-optimum) visible side by side.
+/// The `bench-solver` command: every corpus instance solved under each
+/// requested engine mode (`sequential`, `parallel`, `cp`, `portfolio`)
+/// with identical limits; the grouped rows make both the cost agreement
+/// and the engine-dependent statistics (nodes, time-to-first,
+/// time-to-best) visible side by side. A `--baseline` file (a previous
+/// `BENCH_solver.json` from the same machine) fills the `pre_pr_*`
+/// columns and `speedup_vs_pre_pr`.
+#[allow(clippy::too_many_arguments)]
 pub fn cmd_bench_solver(
     instances: usize,
     seed: u64,
     ic: f64,
     time_limit: Duration,
     threads: usize,
+    modes: &[SolverBenchMode],
+    large: bool,
+    baseline: &[SolverBenchBaselineRow],
 ) -> Result<Vec<SolverBenchRow>, CliError> {
     if instances == 0 {
         return Err(CliError::Message(
@@ -741,13 +749,23 @@ pub fn cmd_bench_solver(
             "bad --ic {ic}: must be in [0, 1)"
         )));
     }
-    Ok(benchmark_solver(&SolverBenchConfig {
+    if modes.is_empty() {
+        return Err(CliError::Message(
+            "--modes needs a comma-separated list of sequential|parallel|cp|portfolio".to_owned(),
+        ));
+    }
+    let mut rows = benchmark_solver(&SolverBenchConfig {
         num_instances: instances,
         seed,
         ic_constraint: ic,
         time_limit,
         threads,
-    }))
+        modes: modes.to_vec(),
+        large,
+        ..SolverBenchConfig::default()
+    });
+    merge_solver_baseline(&mut rows, baseline);
+    Ok(rows)
 }
 
 /// One row of the `bench-runtime` report: one fixture at one `time_scale`,
@@ -1224,13 +1242,17 @@ mod tests {
 
     #[test]
     fn bench_solver_rows_pair_sequential_and_parallel() {
-        let rows = cmd_bench_solver(2, 11, 0.5, Duration::from_secs(20), 2).unwrap();
+        let modes = [SolverBenchMode::Sequential, SolverBenchMode::Parallel];
+        let rows =
+            cmd_bench_solver(2, 11, 0.5, Duration::from_secs(20), 2, &modes, false, &[]).unwrap();
         assert_eq!(rows.len(), 4);
         assert!(rows.iter().any(|r| r.mode == "sequential"));
         assert!(rows.iter().any(|r| r.mode == "parallel"));
-        assert!(cmd_bench_solver(0, 11, 0.5, Duration::from_secs(1), 2).is_err());
-        assert!(cmd_bench_solver(2, 11, 1.5, Duration::from_secs(1), 2).is_err());
-        assert!(cmd_bench_solver(2, 11, 0.5, Duration::from_secs(1), 0).is_err());
+        let limit = Duration::from_secs(1);
+        assert!(cmd_bench_solver(0, 11, 0.5, limit, 2, &modes, false, &[]).is_err());
+        assert!(cmd_bench_solver(2, 11, 1.5, limit, 2, &modes, false, &[]).is_err());
+        assert!(cmd_bench_solver(2, 11, 0.5, limit, 0, &modes, false, &[]).is_err());
+        assert!(cmd_bench_solver(2, 11, 0.5, limit, 2, &[], false, &[]).is_err());
     }
 
     #[test]

@@ -24,7 +24,8 @@ USAGE:
   laar bench-sim [--iters N] [--threads N,M,..] [--layout soa|legacy]
                  [--baseline F] [--test] [--out BENCH_sim.json]
   laar bench-solver [--instances N] [--seed N] [--ic X] [--threads N]
-                    [--time-limit SECS] [--out BENCH_solver.json]
+                    [--time-limit SECS] [--modes sequential,parallel,cp,portfolio]
+                    [--large] [--baseline F] [--test] [--out BENCH_solver.json]
   laar bench-runtime [--scales X,Y,..] [--baseline F] [--test]
                      [--out BENCH_runtime.json]
   laar bench-adapt [--test] [--out BENCH_adapt.json]
@@ -422,9 +423,51 @@ fn run() -> Result<(), CliError> {
                 .transpose()
                 .map_err(|e| CliError::Message(format!("bad --time-limit: {e}")))?
                 .unwrap_or(Duration::from_secs(30));
-            let rows = cmd_bench_solver(instances, seed, ic, limit, threads)?;
+            let smoke = flags.get("test").map(String::as_str) == Some("true");
+            let large = flags.get("large").map(String::as_str) == Some("true");
+            let modes: Vec<laar_cli::SolverBenchMode> = match flags.get("modes") {
+                Some(list) => list
+                    .split(',')
+                    .map(|v| {
+                        laar_cli::SolverBenchMode::parse(v.trim()).ok_or_else(|| {
+                            CliError::Message(format!(
+                                "bad --modes entry {v:?}: expected sequential|parallel|cp|portfolio"
+                            ))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+                None => laar_cli::SolverBenchMode::ALL.to_vec(),
+            };
+            let baseline: Vec<laar_cli::SolverBenchBaselineRow> = match flags.get("baseline") {
+                Some(path) => {
+                    let data = std::fs::read_to_string(path).map_err(|e| {
+                        CliError::Message(format!("cannot read --baseline {path}: {e}"))
+                    })?;
+                    serde_json::from_str(&data).map_err(|e| {
+                        CliError::Message(format!("cannot parse --baseline {path}: {e}"))
+                    })?
+                }
+                None => Vec::new(),
+            };
+            // CI smoke: a couple of easy instances, tight limit, the two
+            // headline engines — exercises the full path in seconds.
+            let (instances, limit, modes) = if smoke {
+                (
+                    instances.min(3),
+                    limit.min(Duration::from_secs(2)),
+                    vec![
+                        laar_cli::SolverBenchMode::Sequential,
+                        laar_cli::SolverBenchMode::Cp,
+                    ],
+                )
+            } else {
+                (instances, limit, modes)
+            };
+            let rows = cmd_bench_solver(
+                instances, seed, ic, limit, threads, &modes, large, &baseline,
+            )?;
             println!(
-                "{:<8} {:>6} {:>4} {:<10} {:>3} {:>5} {:>12} {:>10} {:>10} {:>10} {:>12}",
+                "{:<8} {:>6} {:>4} {:<10} {:>3} {:>5} {:>12} {:>10} {:>10} {:>10} {:>12} {:>8}",
                 "inst",
                 "hosts",
                 "pph",
@@ -435,12 +478,18 @@ fn run() -> Result<(), CliError> {
                 "first(ms)",
                 "best(ms)",
                 "wall(ms)",
-                "cost"
+                "cost",
+                "vs-pre"
             );
             for r in &rows {
                 let opt = |v: Option<f64>| v.map_or("-".to_owned(), |x| format!("{x:.1}"));
+                let speedup = if r.speedup_vs_pre_pr > 0.0 {
+                    format!("{:.1}x", r.speedup_vs_pre_pr)
+                } else {
+                    "-".to_owned()
+                };
                 println!(
-                    "{:<8} {:>6} {:>4} {:<10} {:>3} {:>5} {:>12} {:>10} {:>10} {:>10.1} {:>12}",
+                    "{:<8} {:>6} {:>4} {:<10} {:>3} {:>5} {:>12} {:>10} {:>10} {:>10.1} {:>12} {:>8}",
                     r.instance,
                     r.num_hosts,
                     r.pes_per_host,
@@ -452,6 +501,7 @@ fn run() -> Result<(), CliError> {
                     opt(r.time_to_best_ms),
                     r.elapsed_ms,
                     opt(r.best_cost),
+                    speedup,
                 );
             }
             let out = flags

@@ -94,8 +94,20 @@ struct ConfigSearch<'a> {
     dhat: Vec<f64>,
     fic: f64,
     cost: f64,
-    /// Suffix sums over dense PE order for bounds.
-    ic_suffix: Vec<f64>,
+    /// Chain-aware FIC bound (the per-configuration mirror of the monolithic
+    /// engine's): upper bounds on what each open PE can still receive /
+    /// forward given the singles and capacity-removals committed so far.
+    rcv_ub: Vec<f64>,
+    dhat_ub: Vec<f64>,
+    /// `Σ prob·rcv_ub` over open, non-removed PEs — `fic + ic_ub_rem` is a
+    /// valid upper bound on any completion's FIC contribution.
+    ic_ub_rem: f64,
+    /// `Both` removed (capacity can no longer host it in this subtree).
+    both_removed: Vec<bool>,
+    /// Undo log of removals: `(pe, ic credit, dhat_ub frozen)`.
+    trail: Vec<(u32, f64, f64)>,
+    prop_stack: Vec<(u32, f64)>,
+    /// Suffix sums over dense PE order for the cost lower bound.
     cost_suffix: Vec<f64>,
     /// Minimum useful fic (goal minus what other configs can contribute).
     fic_floor: f64,
@@ -109,12 +121,30 @@ impl<'a> ConfigSearch<'a> {
     fn new(prep: &'a Prep, cfg: usize, fic_floor: f64, deadline: Instant) -> Self {
         let np = prep.num_pes;
         let nq = prep.num_configs;
-        let mut ic_suffix = vec![0.0; np + 1];
         let mut cost_suffix = vec![0.0; np + 1];
         for pe in (0..np).rev() {
             let v = prep.var_index[pe * nq + cfg];
-            ic_suffix[pe] = ic_suffix[pe + 1] + prep.w_ic[v];
             cost_suffix[pe] = cost_suffix[pe + 1] + prep.w_cost[v];
+        }
+        // All-`Both` optimistic receive/Δ̂ bounds (dense index == topo rank).
+        let mut rcv_ub = vec![0.0; np];
+        let mut dhat_ub = vec![0.0; np];
+        let mut ic_ub_rem = 0.0;
+        for pe in 0..np {
+            let mut received = 0.0;
+            let mut weighted = 0.0;
+            for e in &prep.pe_in[pe] {
+                let d = if e.from_source {
+                    prep.source_rate[e.idx as usize * nq + cfg]
+                } else {
+                    dhat_ub[e.idx as usize]
+                };
+                received += d;
+                weighted += e.sel * d;
+            }
+            rcv_ub[pe] = received;
+            dhat_ub[pe] = weighted;
+            ic_ub_rem += prep.prob[cfg] * received;
         }
         Self {
             prep,
@@ -124,13 +154,103 @@ impl<'a> ConfigSearch<'a> {
             dhat: vec![0.0; np],
             fic: 0.0,
             cost: 0.0,
-            ic_suffix,
+            rcv_ub,
+            dhat_ub,
+            ic_ub_rem,
+            both_removed: vec![false; np],
+            trail: Vec::new(),
+            prop_stack: Vec::new(),
             cost_suffix,
             fic_floor,
             frontier: Frontier::default(),
             deadline,
             timed_out: false,
             nodes: 0,
+        }
+    }
+
+    /// Propagate a change `delta` of `Δ̂_ub(pe)` to all descendants (see
+    /// `Engine::propagate_dhat_ub`; additive, so `-delta` undoes exactly).
+    fn propagate_dhat_ub(&mut self, pe: usize, delta: f64) {
+        let prep = self.prep;
+        let p_c = prep.prob[self.cfg];
+        let mut stack = std::mem::take(&mut self.prop_stack);
+        stack.clear();
+        stack.push((pe as u32, delta));
+        while let Some((u, d)) = stack.pop() {
+            for &(s, sel) in &prep.pe_out[u as usize] {
+                let s = s as usize;
+                self.rcv_ub[s] += d;
+                if !self.both_removed[s] {
+                    self.ic_ub_rem += p_c * d;
+                    let dd = sel * d;
+                    if dd != 0.0 {
+                        self.dhat_ub[s] += dd;
+                        stack.push((s as u32, dd));
+                    }
+                }
+            }
+        }
+        self.prop_stack = stack;
+    }
+
+    /// Remove `Both` from open PE `u`: its Δ̂ bound freezes to 0 (a single
+    /// forwards nothing) and its residual IC credit leaves the pool.
+    fn remove_both(&mut self, u: usize) {
+        self.both_removed[u] = true;
+        let credit = self.prep.prob[self.cfg] * self.rcv_ub[u];
+        self.ic_ub_rem -= credit;
+        let saved = self.dhat_ub[u];
+        self.dhat_ub[u] = 0.0;
+        if saved != 0.0 {
+            self.propagate_dhat_ub(u, -saved);
+        }
+        self.trail.push((u as u32, credit, saved));
+    }
+
+    fn undo_trail(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let (u, credit, saved) = self.trail.pop().unwrap();
+            let u = u as usize;
+            self.both_removed[u] = false;
+            if saved != 0.0 {
+                self.propagate_dhat_ub(u, saved);
+            }
+            self.dhat_ub[u] = saved;
+            self.ic_ub_rem += credit;
+        }
+    }
+
+    /// Capacity-based `Both` removal after `pe`'s loads landed: host loads
+    /// only grow deeper in this subtree, so an open PE (they all come after
+    /// `pe` in dense order) whose two replicas no longer fit loses `Both`
+    /// for good.
+    fn cap_scan(&mut self, pe: usize) {
+        let prep = self.prep;
+        let nq = prep.num_configs;
+        for hi in 0..2 {
+            let h = prep.host_of[pe][hi] as usize;
+            if hi == 1 && h == prep.host_of[pe][0] as usize {
+                break;
+            }
+            for &u in &prep.host_pes[h] {
+                let u = u as usize;
+                if u <= pe || self.both_removed[u] {
+                    continue;
+                }
+                let load = prep.replica_load[u * nq + self.cfg];
+                let h0 = prep.host_of[u][0] as usize;
+                let h1 = prep.host_of[u][1] as usize;
+                let infeasible = if h0 == h1 {
+                    self.host_load[h0] + 2.0 * load >= prep.cap[h0]
+                } else {
+                    self.host_load[h0] + load >= prep.cap[h0]
+                        || self.host_load[h1] + load >= prep.cap[h1]
+                };
+                if infeasible {
+                    self.remove_both(u);
+                }
+            }
         }
     }
 
@@ -163,7 +283,7 @@ impl<'a> ConfigSearch<'a> {
         }
 
         // Branch bounds shared by all values of this PE.
-        let fic_ub = self.fic + self.ic_suffix[pe];
+        let fic_ub = self.fic + self.ic_ub_rem;
         if fic_ub < self.fic_floor {
             return;
         }
@@ -192,8 +312,9 @@ impl<'a> ConfigSearch<'a> {
         let v = self.prep.var_index[pe * nq + self.cfg];
         let contrib = self.prep.prob[self.cfg] * received;
 
-        // `Both` is useful only when some input is alive (DOM condition).
-        let values: &[Val] = if weighted > 0.0 || received > 0.0 {
+        // `Both` is useful only when some input is alive (DOM condition)
+        // and capacity has not already ruled it out (CAP).
+        let values: &[Val] = if (weighted > 0.0 || received > 0.0) && !self.both_removed[pe] {
             &[Val::Only0, Val::Only1, Val::Both]
         } else {
             &[Val::Only0, Val::Only1]
@@ -219,6 +340,24 @@ impl<'a> ConfigSearch<'a> {
                 }
             }
             if ok {
+                let mark = self.trail.len();
+                self.cap_scan(pe);
+                // This PE leaves the open pool: drop its own credit (unless
+                // a removal already did) and, for singles, freeze its Δ̂.
+                let own_credit = if self.both_removed[pe] {
+                    0.0
+                } else {
+                    self.prep.prob[self.cfg] * self.rcv_ub[pe]
+                };
+                self.ic_ub_rem -= own_credit;
+                let mut dhat_saved = 0.0;
+                if val != Val::Both {
+                    dhat_saved = self.dhat_ub[pe];
+                    if dhat_saved != 0.0 {
+                        self.dhat_ub[pe] = 0.0;
+                        self.propagate_dhat_ub(pe, -dhat_saved);
+                    }
+                }
                 self.assign[pe] = val as u8;
                 self.dhat[pe] = phi * weighted;
                 self.fic += phi * contrib;
@@ -227,6 +366,12 @@ impl<'a> ConfigSearch<'a> {
                 self.fic -= phi * contrib;
                 self.cost -= adds.len() as f64 * self.prep.w_cost[v];
                 self.assign[pe] = 0;
+                if dhat_saved != 0.0 {
+                    self.propagate_dhat_ub(pe, dhat_saved);
+                    self.dhat_ub[pe] = dhat_saved;
+                }
+                self.ic_ub_rem += own_credit;
+                self.undo_trail(mark);
             }
             for &r in adds {
                 let h = if r == 0 { h0 } else { h1 };
@@ -497,9 +642,12 @@ pub fn solve_soft(
     }))
 }
 
-/// Convenience: decomposed solve with a default 60 s limit, falling back to
-/// the monolithic FT-Search (seeded) when the decomposition times out, so
-/// callers always get the best available strategy.
+/// Convenience: decomposed solve with half the limit, falling back to the
+/// CP-style anytime engine ([`super::SearchMode::Portfolio`], seeded, with
+/// restarts and LNS) for the other half when the decomposition times out,
+/// so callers always get the best available strategy — on instances too
+/// large for either proof, the CP fallback still returns a feasible
+/// incumbent rather than nothing.
 pub fn solve_best_effort(
     problem: &Problem,
     time_limit: Duration,
@@ -509,7 +657,13 @@ pub fn solve_best_effort(
         SearchReport {
             outcome: Outcome::Timeout,
             ..
-        } => super::solve(problem, &FtSearchConfig::with_time_limit(half)),
+        } => super::solve(
+            problem,
+            &FtSearchConfig {
+                mode: super::SearchMode::Portfolio,
+                ..FtSearchConfig::with_time_limit(half)
+            },
+        ),
         done => Ok(done),
     }
 }

@@ -21,22 +21,32 @@
 //! `SOL` (feasible, possibly suboptimal), `NUL` (proved infeasible), or
 //! `TMO` (timed out with nothing).
 //!
-//! [`solve`] is the sequential solver; [`solve_parallel`] splits the top of
-//! the tree across OS threads with a shared incumbent (the paper used the
-//! JSR-166 Fork/Join framework). The parallel solver is **deterministic in
-//! its incumbent**: identical (assignment, cost, FIC) for any thread count,
-//! because near-incumbent subtrees are never pruned (so every exact-minimal
-//! leaf is visited under any schedule) and solutions are kept under a total
-//! order (exact cost, then lexicographic assignment). Node counts and
-//! timings remain schedule-dependent.
+//! [`solve`] is the sequential solver; [`solve_parallel`] fans the search out
+//! over OS threads. Two parallel modes exist (see [`SearchMode`]):
+//!
+//! - [`SearchMode::Deterministic`] splits the top of the tree statically with
+//!   a shared incumbent (the paper used the JSR-166 Fork/Join framework) and
+//!   is **deterministic in its incumbent**: identical (assignment, cost, FIC)
+//!   for any thread count, because near-incumbent subtrees are never pruned
+//!   (so every exact-minimal leaf is visited under any schedule) and
+//!   solutions are kept under a total order (exact cost, then lexicographic
+//!   assignment). Node counts and timings remain schedule-dependent.
+//! - [`SearchMode::Portfolio`] runs differently-seeded CP-style anytime
+//!   workers (nogood learning, activity-guided ordering, geometric restarts,
+//!   LNS around the incumbent) sharing the incumbent bound and short
+//!   nogoods. It is built for throughput and anytime quality on large
+//!   instances, not for run-to-run bit-identity. Sequentially (one worker,
+//!   [`solve`]) the CP mode is deterministic under node budgets.
 
+mod cp;
 pub mod decompose;
+mod nogood;
 mod prep;
 mod search;
 pub mod stats;
 
 pub use decompose::{solve_best_effort, solve_decomposed, solve_soft, SoftSolution};
-pub use stats::{PruneKind, SearchStats};
+pub use stats::{PruneKind, SearchStats, NUM_PRUNE_KINDS};
 
 use crate::error::CoreError;
 use crate::ic::PessimisticFailure;
@@ -64,6 +74,68 @@ pub(crate) fn better_solution(a: &RawSolution, b: &RawSolution) -> bool {
     }
 }
 
+/// Which search engine drives the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// The paper-faithful branch-and-bound: static lexicographic order,
+    /// no learning, bit-identical incumbent for any thread count.
+    Deterministic,
+    /// CP-style anytime search: nogood learning, activity-guided ordering,
+    /// geometric restarts, and LNS around the incumbent. Under
+    /// [`solve_parallel`] this runs a portfolio of differently-seeded
+    /// workers sharing the incumbent bound and short nogoods. Sequentially
+    /// ([`solve`]) it is deterministic under node budgets (everything is
+    /// metered in nodes and the RNG is seeded); across thread counts it is
+    /// not bit-reproducible.
+    Portfolio,
+}
+
+/// Tunables for the CP-style engine ([`SearchMode::Portfolio`]).
+#[derive(Debug, Clone)]
+pub struct CpConfig {
+    /// Node budget of the first restart; later restarts grow geometrically.
+    pub restart_base: u64,
+    /// Geometric growth factor of the restart budget.
+    pub restart_factor: f64,
+    /// Upper clamp on the restart budget, so LNS keeps interleaving with
+    /// tree restarts on huge instances. A proof of optimality requires one
+    /// restart to finish its tree within this cap.
+    pub restart_cap: u64,
+    /// Run LNS rounds around the incumbent between restarts.
+    pub lns: bool,
+    /// Node budget of one LNS re-solve.
+    pub lns_node_budget: u64,
+    /// LNS rounds between two consecutive restarts.
+    pub lns_rounds_per_restart: u32,
+    /// Fraction of the neighborhood (hosts or variables) relaxed per LNS
+    /// round; the freeze mask fixes the rest to the incumbent.
+    pub relax_frac: f64,
+    /// Base RNG seed; portfolio workers derive per-worker seeds from it.
+    pub seed: u64,
+    /// Capacity of the nogood store; learning stops (new nogoods are
+    /// dropped) once full.
+    pub max_nogoods: usize,
+    /// Share short learned nogoods between portfolio workers.
+    pub share_nogoods: bool,
+}
+
+impl Default for CpConfig {
+    fn default() -> Self {
+        Self {
+            restart_base: 4096,
+            restart_factor: 2.0,
+            restart_cap: 1 << 26,
+            lns: true,
+            lns_node_budget: 16_384,
+            lns_rounds_per_restart: 6,
+            relax_frac: 0.3,
+            seed: 0x1AA2_C0DE,
+            max_nogoods: 65_536,
+            share_nogoods: true,
+        }
+    }
+}
+
 /// Tunables for one FT-Search run.
 #[derive(Debug, Clone)]
 pub struct FtSearchConfig {
@@ -88,7 +160,13 @@ pub struct FtSearchConfig {
     /// reproducible across machines and runs.
     pub node_limit: Option<u64>,
     /// Worker threads for [`solve_parallel`] (`0` = all available cores).
+    /// In portfolio mode `node_limit` is a per-worker budget.
     pub threads: usize,
+    /// Search engine selection; see [`SearchMode`].
+    pub mode: SearchMode,
+    /// CP-engine tunables (used only when `mode` is
+    /// [`SearchMode::Portfolio`]).
+    pub cp: CpConfig,
 }
 
 impl Default for FtSearchConfig {
@@ -102,6 +180,8 @@ impl Default for FtSearchConfig {
             seed_incumbent: true,
             node_limit: None,
             threads: 0,
+            mode: SearchMode::Deterministic,
+            cp: CpConfig::default(),
         }
     }
 }
@@ -196,6 +276,12 @@ impl SharedBest {
     #[inline]
     pub(crate) fn is_cancelled(&self) -> bool {
         self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Ask all workers to stop (used by the portfolio once one worker has
+    /// proved its run).
+    pub(crate) fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
     }
 
     /// Install `sol` if it wins the [`better_solution`] total order against
@@ -471,6 +557,22 @@ pub fn solve_with_warm_start(
     let prep = Prep::build(problem);
     let start = Instant::now();
     let deadline = start + opts.time_limit;
+    if opts.mode == SearchMode::Portfolio && prep.num_vars > 0 {
+        let warm = best_seed(&prep, opts, warm_start);
+        let params = cp::CpWorkerParams {
+            seed: opts.cp.seed,
+            restart_base: opts.cp.restart_base,
+            restart_factor: opts.cp.restart_factor,
+            relax_frac: opts.cp.relax_frac,
+            worker_id: 0,
+        };
+        let (best, stats) = cp::solve_cp(&prep, opts, start, deadline, None, None, &params, warm);
+        let timed_out = !stats.proved;
+        return Ok(SearchReport {
+            outcome: classify(problem, &prep, best, timed_out),
+            stats,
+        });
+    }
     let mut engine = Engine::new(&prep, opts, start, deadline, None);
     if let Some(seed) = best_seed(&prep, opts, warm_start) {
         engine.set_seed(seed);
@@ -525,6 +627,9 @@ pub fn solve_parallel(problem: &Problem, opts: &FtSearchConfig) -> Result<Search
     } else {
         opts.threads
     };
+    if opts.mode == SearchMode::Portfolio && prep.num_vars > 0 {
+        return Ok(solve_portfolio(problem, &prep, opts, threads));
+    }
     // Split deep enough to get a few tasks per thread, shallow enough that
     // prefix duplication stays negligible.
     let mut split_depth = 0usize;
@@ -623,6 +728,101 @@ pub fn solve_parallel(problem: &Problem, opts: &FtSearchConfig) -> Result<Search
         outcome: classify(problem, &prep, best, timed_out),
         stats,
     })
+}
+
+/// Run a portfolio of CP workers with diversified seeds, restart schedules
+/// and LNS neighborhood sizes. Workers share the incumbent cost bound (which
+/// tightens COST pruning everywhere) and, when `cp.share_nogoods` is set,
+/// publish short learned nogoods into a pool that other workers import at
+/// their restart boundaries. The first worker to prove its run (complete a
+/// restart tree within budget) cancels the rest.
+fn solve_portfolio(
+    problem: &Problem,
+    prep: &Prep,
+    opts: &FtSearchConfig,
+    threads: usize,
+) -> SearchReport {
+    let start = Instant::now();
+    let deadline = start + opts.time_limit;
+    let shared = SharedBest::new();
+    let pool = if opts.cp.share_nogoods && threads > 1 {
+        Some(cp::NogoodPool::default())
+    } else {
+        None
+    };
+    let warm = best_seed(prep, opts, None);
+
+    type WorkerResult = (Option<RawSolution>, SearchStats);
+    let results: Vec<WorkerResult> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|i| {
+                let shared = &shared;
+                let pool = pool.as_ref();
+                let warm = warm.clone();
+                s.spawn(move || {
+                    let params = cp::CpWorkerParams {
+                        seed: opts
+                            .cp
+                            .seed
+                            .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                        restart_base: opts.cp.restart_base << (i % 3),
+                        restart_factor: opts.cp.restart_factor,
+                        relax_frac: match i % 3 {
+                            0 => opts.cp.relax_frac,
+                            1 => (opts.cp.relax_frac * 1.5).min(0.9),
+                            _ => (opts.cp.relax_frac * 0.5).max(0.05),
+                        },
+                        worker_id: i,
+                    };
+                    let (best, stats) = cp::solve_cp(
+                        prep,
+                        opts,
+                        start,
+                        deadline,
+                        Some(shared),
+                        pool,
+                        &params,
+                        warm,
+                    );
+                    if stats.proved {
+                        shared.cancel();
+                    }
+                    (best, stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("portfolio worker panicked"))
+            .collect()
+    });
+
+    let mut stats = SearchStats::default();
+    let mut best: Option<RawSolution> = None;
+    let mut proved = false;
+    for (sol, st) in results {
+        proved |= st.proved;
+        stats.merge(&st);
+        if let Some(s) = sol {
+            if best.as_ref().is_none_or(|b| better_solution(&s, b)) {
+                best = Some(s);
+            }
+        }
+    }
+    if let Some(shared_sol) = shared.sol.lock().take() {
+        if best
+            .as_ref()
+            .is_none_or(|b| better_solution(&shared_sol, b))
+        {
+            best = Some(shared_sol);
+        }
+    }
+    stats.proved = proved;
+    stats.elapsed = start.elapsed();
+    SearchReport {
+        outcome: classify(problem, prep, best, !proved),
+        stats,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,417 @@
+//! Nogood store for the CP-style FT-Search.
+//!
+//! A *nogood* is a set of literals over the activation variables such that no
+//! complete assignment satisfying all of them is feasible (it necessarily
+//! violates a host CPU capacity or makes the IC goal unreachable). Nogoods are
+//! learned at CPU/COMPL bound violations, minimized to the few assignments
+//! that actually caused the violation, and consulted before descent so refuted
+//! subtrees are never re-entered — within a run, across geometric restarts,
+//! and (for short ones) across portfolio workers.
+//!
+//! The store uses SAT-style two-watched-literal propagation, adapted to the
+//! "block before descent" use: watches sit on literals that are *not yet
+//! true*; when a watched literal becomes true and no replacement watch exists,
+//! the one remaining literal is *forbidden* (assigning its value would
+//! complete the nogood). Forbidden counters are trailed and undone on
+//! backtrack. Because watch moves are never undone, the structure is
+//! backtrack-safe without per-level bookkeeping.
+//!
+//! Soundness does not depend on which pruning flags are enabled: a learned
+//! nogood only ever references values actually assigned on the branch, and the
+//! bound argument behind it holds for every completion (see `Engine::learn_*`).
+
+use super::search::Val;
+
+/// Literal codes per variable. `Eq*` pin the exact value; `Cov0`/`Cov1`
+/// generalize to "replica r is active" (used by CPU reasons: any value keeping
+/// the replica on the overloaded host contributes its load); `NotBoth`
+/// generalizes to "not fully replicated" (used by COMPL reasons: any single
+/// value loses the variable's full IC contribution).
+pub(crate) const CODE_EQ_BOTH: u32 = 0;
+pub(crate) const CODE_EQ_ONLY0: u32 = 1;
+pub(crate) const CODE_EQ_ONLY1: u32 = 2;
+pub(crate) const CODE_COV0: u32 = 3;
+pub(crate) const CODE_COV1: u32 = 4;
+pub(crate) const CODE_NOT_BOTH: u32 = 5;
+/// Literal codes per variable (the literal id is `var * CODES + code`).
+pub(crate) const CODES: u32 = 6;
+
+/// Build a literal id.
+#[inline]
+pub(crate) fn lit(var: u32, code: u32) -> u32 {
+    var * CODES + code
+}
+
+/// The variable a literal talks about.
+#[inline]
+pub(crate) fn lit_var(l: u32) -> u32 {
+    l / CODES
+}
+
+/// The (up to three) literals made true by assigning `val` to `var`.
+#[inline]
+pub(crate) fn true_lits(var: u32, val: Val) -> [u32; 3] {
+    match val {
+        Val::Both => [
+            lit(var, CODE_EQ_BOTH),
+            lit(var, CODE_COV0),
+            lit(var, CODE_COV1),
+        ],
+        Val::Only0 => [
+            lit(var, CODE_EQ_ONLY0),
+            lit(var, CODE_COV0),
+            lit(var, CODE_NOT_BOTH),
+        ],
+        Val::Only1 => [
+            lit(var, CODE_EQ_ONLY1),
+            lit(var, CODE_COV1),
+            lit(var, CODE_NOT_BOTH),
+        ],
+    }
+}
+
+/// Is literal `l` true under the partial assignment (`0` = unassigned)?
+#[inline]
+fn lit_true(l: u32, assign: &[u8]) -> bool {
+    let a = assign[lit_var(l) as usize];
+    if a == 0 {
+        return false;
+    }
+    match l % CODES {
+        CODE_EQ_BOTH => a == Val::Both as u8,
+        CODE_EQ_ONLY0 => a == Val::Only0 as u8,
+        CODE_EQ_ONLY1 => a == Val::Only1 as u8,
+        CODE_COV0 => a == Val::Both as u8 || a == Val::Only0 as u8,
+        CODE_COV1 => a == Val::Both as u8 || a == Val::Only1 as u8,
+        _ => a != Val::Both as u8,
+    }
+}
+
+/// Watched-literal nogood store. All nogoods have at most one literal per
+/// variable and length ≥ 2 (length-1 nogoods become permanent forbids).
+pub(crate) struct NogoodStore {
+    /// Literal arena; nogood `g` occupies `lits[bounds[g]..bounds[g+1]]`.
+    lits: Vec<u32>,
+    bounds: Vec<u32>,
+    /// `lit -> nogood ids currently watching it`.
+    watch: Vec<Vec<u32>>,
+    /// `nogood -> its two watched literals`.
+    watched: Vec<[u32; 2]>,
+    /// `lit -> number of active unit blocks` (assigning a value whose true
+    /// literals include this one would complete a nogood).
+    forbidden: Vec<u32>,
+    /// Blocked literals, undone by `undo_to` on backtrack.
+    trail: Vec<u32>,
+    /// Canonical (sorted) literal sets already stored — duplicate learns are
+    /// rejected (a COMPL reason not mentioning the branching variable can be
+    /// re-derived at every sibling value).
+    seen: std::collections::HashSet<Vec<u32>>,
+    /// Nogoods recorded (including permanent length-1 forbids).
+    pub learned: u64,
+    /// Total literals across learned nogoods.
+    pub learned_lits: u64,
+    /// Learn attempts dropped because the store was full.
+    pub dropped: u64,
+    max_count: usize,
+}
+
+impl NogoodStore {
+    pub(crate) fn new(num_vars: usize, max_count: usize) -> Self {
+        let nlits = num_vars * CODES as usize;
+        Self {
+            lits: Vec::new(),
+            bounds: vec![0],
+            watch: vec![Vec::new(); nlits],
+            watched: Vec::new(),
+            forbidden: vec![0; nlits],
+            trail: Vec::new(),
+            seen: std::collections::HashSet::new(),
+            learned: 0,
+            learned_lits: 0,
+            dropped: 0,
+            max_count,
+        }
+    }
+
+    /// Number of stored (length ≥ 2) nogoods.
+    #[inline]
+    pub(crate) fn count(&self) -> usize {
+        self.watched.len()
+    }
+
+    /// Room for more nogoods?
+    #[inline]
+    pub(crate) fn has_room(&self) -> bool {
+        self.count() < self.max_count
+    }
+
+    /// The literals of stored nogood `g`.
+    pub(crate) fn nogood(&self, g: usize) -> &[u32] {
+        &self.lits[self.bounds[g] as usize..self.bounds[g + 1] as usize]
+    }
+
+    /// Would assigning `val` to `var` complete a known nogood?
+    #[inline]
+    pub(crate) fn is_forbidden(&self, var: u32, val: Val) -> bool {
+        true_lits(var, val)
+            .into_iter()
+            .any(|l| self.forbidden[l as usize] > 0)
+    }
+
+    /// Current trail mark; pair with `undo_to` around an assignment.
+    #[inline]
+    pub(crate) fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Undo all unit blocks recorded since `mark`.
+    #[inline]
+    pub(crate) fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let l = self.trail.pop().unwrap();
+            self.forbidden[l as usize] -= 1;
+        }
+    }
+
+    /// Notify the store that `var` was just assigned `val` (`assign` already
+    /// reflects it). Moves watches, records unit blocks on the trail, and
+    /// returns `true` if the assignment *completes* a nogood — the caller must
+    /// treat the branch as refuted (after `undo_to` + unassign).
+    pub(crate) fn on_assign(&mut self, var: u32, val: Val, assign: &[u8]) -> bool {
+        let mut conflict = false;
+        for l in true_lits(var, val) {
+            let mut i = 0;
+            while i < self.watch[l as usize].len() {
+                let g = self.watch[l as usize][i] as usize;
+                let [w0, w1] = self.watched[g];
+                let other = if w0 == l { w1 } else { w0 };
+                let (s, e) = (self.bounds[g] as usize, self.bounds[g + 1] as usize);
+                let mut moved = false;
+                for j in s..e {
+                    let cand = self.lits[j];
+                    if cand != l && cand != other && !lit_true(cand, assign) {
+                        self.watched[g] = [cand, other];
+                        self.watch[cand as usize].push(g as u32);
+                        self.watch[l as usize].swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if !moved {
+                    // All literals but (at most) `other` are true.
+                    if lit_true(other, assign) {
+                        conflict = true;
+                    } else {
+                        self.forbidden[other as usize] += 1;
+                        self.trail.push(other);
+                    }
+                    i += 1;
+                }
+            }
+        }
+        conflict
+    }
+
+    /// Record a learned nogood. `nglits` must hold at most one literal per
+    /// variable; `depth_of[var]` is the assignment depth used to watch the two
+    /// deepest (soonest-backtracked) literals. Length-1 nogoods become
+    /// permanent forbids. Returns `false` when dropped (store full).
+    pub(crate) fn learn(&mut self, nglits: &[u32], depth_of: &[u32]) -> bool {
+        match nglits.len() {
+            0 => false,
+            1 => {
+                if !self.note_new(nglits) {
+                    return false;
+                }
+                self.forbidden[nglits[0] as usize] += 1;
+                self.learned += 1;
+                self.learned_lits += 1;
+                true
+            }
+            _ => {
+                if !self.has_room() {
+                    self.dropped += 1;
+                    return false;
+                }
+                if !self.note_new(nglits) {
+                    return false;
+                }
+                let g = self.watched.len() as u32;
+                // Two deepest-assigned literals become the watches: they are
+                // the first to become untrue on backtrack.
+                let mut d0 = 0usize; // deepest
+                let mut d1 = 1usize; // second deepest
+                let depth = |l: u32| depth_of[lit_var(l) as usize];
+                if depth(nglits[d1]) > depth(nglits[d0]) {
+                    std::mem::swap(&mut d0, &mut d1);
+                }
+                for (j, &l) in nglits.iter().enumerate().skip(2) {
+                    if depth(l) > depth(nglits[d0]) {
+                        d1 = d0;
+                        d0 = j;
+                    } else if depth(l) > depth(nglits[d1]) {
+                        d1 = j;
+                    }
+                }
+                self.push_nogood(g, nglits, nglits[d0], nglits[d1]);
+                true
+            }
+        }
+    }
+
+    /// Import a nogood learned elsewhere (portfolio pool). Must be called at a
+    /// restart boundary (empty assignment): both watches start untrue.
+    pub(crate) fn import(&mut self, nglits: &[u32]) -> bool {
+        match nglits.len() {
+            0 => false,
+            1 => {
+                if !self.note_new(nglits) {
+                    return false;
+                }
+                self.forbidden[nglits[0] as usize] += 1;
+                self.learned += 1;
+                self.learned_lits += 1;
+                true
+            }
+            _ => {
+                if !self.has_room() {
+                    self.dropped += 1;
+                    return false;
+                }
+                if !self.note_new(nglits) {
+                    return false;
+                }
+                let g = self.watched.len() as u32;
+                self.push_nogood(g, nglits, nglits[0], nglits[1]);
+                true
+            }
+        }
+    }
+
+    /// Register the canonical form of `nglits`; `false` if already stored.
+    fn note_new(&mut self, nglits: &[u32]) -> bool {
+        let mut key = nglits.to_vec();
+        key.sort_unstable();
+        self.seen.insert(key)
+    }
+
+    fn push_nogood(&mut self, g: u32, nglits: &[u32], w0: u32, w1: u32) {
+        self.lits.extend_from_slice(nglits);
+        self.bounds.push(self.lits.len() as u32);
+        self.watched.push([w0, w1]);
+        self.watch[w0 as usize].push(g);
+        self.watch[w1 as usize].push(g);
+        self.learned += 1;
+        self.learned_lits += nglits.len() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_truth_table() {
+        let assign = [Val::Both as u8, Val::Only0 as u8, Val::Only1 as u8, 0];
+        assert!(lit_true(lit(0, CODE_EQ_BOTH), &assign));
+        assert!(lit_true(lit(0, CODE_COV0), &assign));
+        assert!(lit_true(lit(0, CODE_COV1), &assign));
+        assert!(!lit_true(lit(0, CODE_NOT_BOTH), &assign));
+        assert!(lit_true(lit(1, CODE_COV0), &assign));
+        assert!(lit_true(lit(1, CODE_NOT_BOTH), &assign));
+        assert!(!lit_true(lit(1, CODE_COV1), &assign));
+        assert!(lit_true(lit(2, CODE_COV1), &assign));
+        assert!(!lit_true(lit(3, CODE_COV0), &assign));
+    }
+
+    /// Drive the store through assign/undo cycles the way the engine does and
+    /// check that completions of a learned nogood are always blocked, either
+    /// by a forbidden counter or by the conflict flag.
+    #[test]
+    fn unit_blocking_across_backtracks() {
+        let mut ng = NogoodStore::new(3, 16);
+        let mut assign = [0u8; 3];
+        let mut depth_of = [0u32; 3];
+        let mut marks = Vec::new();
+        let set = |ng: &mut NogoodStore,
+                   assign: &mut [u8; 3],
+                   depth_of: &mut [u32; 3],
+                   marks: &mut Vec<usize>,
+                   v: usize,
+                   val: Val|
+         -> bool {
+            assert!(!ng.is_forbidden(v as u32, val), "pre-check must catch");
+            assign[v] = val as u8;
+            depth_of[v] = marks.len() as u32;
+            marks.push(ng.mark());
+            ng.on_assign(v as u32, val, assign)
+        };
+        let unset =
+            |ng: &mut NogoodStore, assign: &mut [u8; 3], marks: &mut Vec<usize>, v: usize| {
+                let m = marks.pop().unwrap();
+                ng.undo_to(m);
+                assign[v] = 0;
+            };
+
+        // Assign v0=Both, v1=Only0, then learn {v0=Both, v1 covers r0}.
+        assert!(!set(
+            &mut ng,
+            &mut assign,
+            &mut depth_of,
+            &mut marks,
+            0,
+            Val::Both
+        ));
+        assert!(!set(
+            &mut ng,
+            &mut assign,
+            &mut depth_of,
+            &mut marks,
+            1,
+            Val::Only0
+        ));
+        let learned = ng.learn(&[lit(0, CODE_EQ_BOTH), lit(1, CODE_COV0)], &depth_of);
+        assert!(learned);
+
+        // Backtrack v1; re-assigning any r0-covering value must now be
+        // blocked before descent or flagged as a conflict on assignment.
+        unset(&mut ng, &mut assign, &mut marks, 1);
+        let blocked_pre = ng.is_forbidden(1, Val::Only0);
+        if !blocked_pre {
+            assign[1] = Val::Only0 as u8;
+            assert!(ng.on_assign(1, Val::Only0, &assign), "conflict must fire");
+            assign[1] = 0;
+        }
+        let blocked_pre_both = ng.is_forbidden(1, Val::Both);
+        if !blocked_pre_both {
+            assign[1] = Val::Both as u8;
+            assert!(ng.on_assign(1, Val::Both, &assign));
+            assign[1] = 0;
+        }
+        // Only1 does not cover replica 0: allowed.
+        assert!(!ng.is_forbidden(1, Val::Only1));
+
+        // Backtrack v0 as well: everything is allowed again.
+        unset(&mut ng, &mut assign, &mut marks, 0);
+        assert!(!ng.is_forbidden(1, Val::Only0));
+        assert!(!ng.is_forbidden(0, Val::Both));
+    }
+
+    #[test]
+    fn length_one_is_permanent() {
+        let mut ng = NogoodStore::new(2, 4);
+        ng.learn(&[lit(0, CODE_NOT_BOTH)], &[0, 0]);
+        assert!(ng.is_forbidden(0, Val::Only0));
+        assert!(ng.is_forbidden(0, Val::Only1));
+        assert!(!ng.is_forbidden(0, Val::Both));
+    }
+
+    #[test]
+    fn capacity_cap_drops() {
+        let mut ng = NogoodStore::new(4, 1);
+        assert!(ng.learn(&[lit(0, CODE_EQ_BOTH), lit(1, CODE_EQ_BOTH)], &[0, 1, 2, 3]));
+        assert!(!ng.learn(&[lit(2, CODE_EQ_BOTH), lit(3, CODE_EQ_BOTH)], &[0, 1, 2, 3]));
+        assert_eq!(ng.dropped, 1);
+        assert_eq!(ng.count(), 1);
+    }
+}

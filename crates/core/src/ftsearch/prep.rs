@@ -60,12 +60,27 @@ pub(crate) struct Prep {
     pub pe_in: Vec<Vec<InEdge>>,
     /// PE successors of each PE (dense indices).
     pub pe_succ: Vec<Vec<u32>>,
+    /// Outgoing PE->PE edges of each PE with their selectivity (one entry
+    /// per edge, parallel edges kept) — the chain-aware IC bound propagates
+    /// Δ̂ upper-bound changes along these.
+    pub pe_out: Vec<Vec<(u32, f64)>>,
+    /// PE predecessors of each PE (dense indices, deduplicated) — the edge
+    /// set used by the per-restart topological re-ordering.
+    pub pe_pred: Vec<Vec<u32>>,
+    /// `host -> PEs with a replica placed on it` (deduplicated) — the scan
+    /// set for capacity-based `Both` removal after a load change.
+    pub host_pes: Vec<Vec<u32>>,
     /// `source_dense * num_configs + cfg -> Δ(source, cfg)`.
     pub source_rate: Vec<f64>,
     /// `P_C(c)` indexed by `ConfigId`.
     pub prob: Vec<f64>,
+    /// Capacity-aware upper bound on each configuration's total FIC-rate
+    /// contribution, indexed by `ConfigId`: a per-host fractional knapsack
+    /// over half-credits (`w_ic/2` per replica host) bounds the `Both`
+    /// credit the cluster can physically host in that configuration,
+    /// independent of chain structure.
+    pub kub: Vec<f64>,
     /// `Σ_v w_ic[v]` — BIC divided by `T` (rate units).
-    #[allow(dead_code)] // read by unit tests and diagnostics
     pub bic_rate: f64,
     /// `ic_requirement · bic_rate`: the absolute FIC-rate goal.
     pub goal_fic: f64,
@@ -136,6 +151,7 @@ impl Prep {
 
         let mut pe_in = vec![Vec::new(); np];
         let mut pe_succ = vec![Vec::new(); np];
+        let mut pe_out: Vec<Vec<(u32, f64)>> = vec![Vec::new(); np];
         for (dense, &pe) in g.pes().iter().enumerate() {
             for e in g.in_edges(pe) {
                 let from = g.component(e.from);
@@ -155,8 +171,37 @@ impl Prep {
             }
             for e in g.out_edges(pe) {
                 if g.is_pe(e.to) {
-                    pe_succ[dense].push(g.pe_dense_index(e.to).unwrap() as u32);
+                    let to = g.pe_dense_index(e.to).unwrap() as u32;
+                    pe_succ[dense].push(to);
+                    pe_out[dense].push((to, e.selectivity));
                 }
+            }
+        }
+
+        let mut pe_pred: Vec<Vec<u32>> = pe_in
+            .iter()
+            .map(|ins| {
+                let mut p: Vec<u32> = ins
+                    .iter()
+                    .filter(|e| !e.from_source)
+                    .map(|e| e.idx)
+                    .collect();
+                p.sort_unstable();
+                p.dedup();
+                p
+            })
+            .collect();
+        for p in &mut pe_pred {
+            p.shrink_to_fit();
+        }
+
+        let mut host_pes: Vec<Vec<u32>> = vec![Vec::new(); nh];
+        for (pe, hosts) in host_of.iter().enumerate() {
+            let h0 = hosts[0] as usize;
+            let h1 = hosts[1] as usize;
+            host_pes[h0].push(pe as u32);
+            if h1 != h0 {
+                host_pes[h1].push(pe as u32);
             }
         }
 
@@ -169,6 +214,50 @@ impl Prep {
         }
 
         let prob: Vec<f64> = cs.configs().map(|c| cs.prob(c)).collect();
+
+        let mut kub = vec![0.0; nq];
+        for c in 0..nq {
+            let mut per_host: Vec<Vec<(f64, f64)>> = vec![Vec::new(); nh];
+            let mut max_c = 0.0;
+            let mut free = 0.0;
+            for pe in 0..np {
+                let v = var_index[pe * nq + c];
+                let w = w_ic[v];
+                max_c += w;
+                let l = replica_load[pe * nq + c];
+                let h0 = host_of[pe][0] as usize;
+                let h1 = host_of[pe][1] as usize;
+                if l <= 0.0 {
+                    free += w;
+                } else if h0 == h1 {
+                    per_host[h0].push((w, 2.0 * l));
+                } else {
+                    per_host[h0].push((w / 2.0, l));
+                    per_host[h1].push((w / 2.0, l));
+                }
+            }
+            let mut total = free;
+            for (h, items) in per_host.iter_mut().enumerate() {
+                // Density (value/load) descending, compared cross-multiplied.
+                items.sort_by(|a, b| {
+                    (b.0 * a.1)
+                        .partial_cmp(&(a.0 * b.1))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let mut left = cap[h];
+                for &(w, l) in items.iter() {
+                    if l <= left {
+                        total += w;
+                        left -= l;
+                    } else {
+                        total += w * left / l;
+                        break;
+                    }
+                }
+            }
+            kub[c] = total.min(max_c);
+        }
+
         let bic_rate: f64 = w_ic.iter().sum();
         let total_w_cost: f64 = w_cost.iter().sum();
 
@@ -186,8 +275,12 @@ impl Prep {
             cap,
             pe_in,
             pe_succ,
+            pe_out,
+            pe_pred,
+            host_pes,
             source_rate,
             prob,
+            kub,
             bic_rate,
             goal_fic: problem.ic_requirement * bic_rate,
             total_w_cost,
@@ -236,6 +329,8 @@ mod tests {
         assert_eq!(prep.pe_in[1][0].idx, 0);
         assert_eq!(prep.pe_succ[0], vec![1]);
         assert!(prep.pe_succ[1].is_empty());
+        assert!(prep.pe_pred[0].is_empty());
+        assert_eq!(prep.pe_pred[1], vec![0]);
     }
 
     #[test]

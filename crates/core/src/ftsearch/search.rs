@@ -1,6 +1,10 @@
 //! The sequential FT-Search engine (§4.5): depth-first branch-and-bound with
-//! the four pruning strategies (CPU, COMPL, COST, DOM).
+//! the four pruning strategies (CPU, COMPL, COST, DOM), extensible with the
+//! CP-style machinery (nogood store, activity-guided ordering, guided/dive
+//! value policies, LNS variable freezing) used by `cp.rs`.
 
+use super::cp::Activity;
+use super::nogood::{self, NogoodStore};
 use super::prep::Prep;
 use super::stats::{PruneKind, SearchStats};
 use super::{FtSearchConfig, SharedBest};
@@ -32,6 +36,32 @@ impl Val {
     fn is_both(self) -> bool {
         self == Val::Both
     }
+
+    /// Decode the `assign`-array encoding (panics on 0 = unassigned).
+    #[inline]
+    pub(crate) fn from_u8(x: u8) -> Val {
+        match x {
+            1 => Val::Both,
+            2 => Val::Only0,
+            3 => Val::Only1,
+            _ => unreachable!("unassigned value has no Val"),
+        }
+    }
+}
+
+/// Order in which values of a variable are tried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ValuePolicy {
+    /// Legacy order: cheaper single first, then the other single, then
+    /// `Both`. First feasible solution is close to optimal in cost (Fig. 5a).
+    CheapFirst,
+    /// `Both` first (unless DOM removed it), then the singles — a FIC-greedy
+    /// dive that reaches a high-IC (feasible) leaf quickly on large
+    /// instances where no incumbent exists yet.
+    BothFirst,
+    /// The guide assignment's value first, then the legacy order — used to
+    /// re-solve around an incumbent (LNS / warm restarts).
+    Guided,
 }
 
 /// Relative slack used in floating-point bound comparisons. Running sums are
@@ -72,17 +102,84 @@ pub(crate) struct Engine<'a> {
     fic: f64,
     cost: f64,
     /// Upper bound on the FIC-rate still obtainable from unassigned vars.
+    /// Chain-aware: the credit of each open variable is
+    /// `P_C(c) · rcv_ub[pe, c]`, not its static `w_ic` — a single upstream
+    /// zeroes the achievable receive rate of its whole descendant chain.
     ic_ub_rem: f64,
+    /// Per-configuration split of `fic` and `ic_ub_rem` (indexed by
+    /// `ConfigId`): the refined COMPL bound caps each configuration's term
+    /// at its capacity knapsack bound, `Σ_c min(fic_c + ub_c, kub_c)`.
+    fic_by_cfg: Vec<f64>,
+    ic_ub_by_cfg: Vec<f64>,
     /// Lower bound on the cost-rate still to be paid by unassigned vars.
     cost_lb_rem: f64,
+    /// Upper bound on what `(pe, cfg)` can still receive given the singles
+    /// and DOM removals committed so far (all-`Both` optimistic elsewhere).
+    rcv_ub: Vec<f64>,
+    /// Upper bound on `Δ̂(pe, cfg)` under the same assumption. Frozen to 0
+    /// (and propagated downstream) when the variable goes single or loses
+    /// `Both` to DOM.
+    dhat_ub: Vec<f64>,
+    /// `dhat_ub` value saved when a variable was assigned single (undo).
+    dhat_ub_saved: Vec<f64>,
+    /// Scratch stack for `propagate_dhat_ub` (avoids per-call allocation).
+    prop_stack: Vec<(u32, f64)>,
     /// DOM: `Both` removed from this variable's domain.
     both_removed: Vec<bool>,
-    trail: Vec<u32>,
+    trail: Vec<DomUndo>,
 
     best: Option<RawSolution>,
     pub(crate) stats: SearchStats,
     timed_out: bool,
+
+    // --- CP extensions (all default-off: the legacy DFS path is unchanged) ---
+    /// Exploration order (position -> variable); `None` = identity. Any
+    /// permutation whose per-configuration restriction is topological is
+    /// legal (incremental Δ̂ and DOM need predecessors assigned first).
+    order: Option<&'a [u32]>,
+    /// LNS freeze mask: non-zero entries pin the variable to that value.
+    fixed: Option<&'a [u8]>,
+    /// Value to try first under `ValuePolicy::Guided`.
+    guide: Option<&'a [u8]>,
+    value_policy: ValuePolicy,
+    /// Tie-keeping leaf/COST semantics (deterministic parallel mode).
+    tie_keeping: bool,
+    /// Stop as soon as any solution is installed (first-incumbent dive).
+    stop_on_solution: bool,
+    /// Per-run node budget (the CP driver meters restarts/LNS with this;
+    /// independent of `opts.node_limit`, which callers use as a global cap).
+    node_budget: Option<u64>,
+    nogoods: Option<&'a mut NogoodStore>,
+    /// Learn new nogoods at CPU/COMPL violations (store may also be consulted
+    /// read-only with learning off).
+    learn: bool,
+    activity: Option<&'a mut Activity>,
+    /// Assignment depth per variable (valid while assigned).
+    depth_of: Vec<u32>,
+    num_assigned: u32,
+    /// Σ w_ic over assigned single-valued variables, and their count —
+    /// the O(1) gate for COMPL reason extraction.
+    singles_ic: f64,
+    singles_cnt: u32,
+    /// Assigned replicas contributing to each `(host, cfg)` slot — the O(1)
+    /// gate for CPU reason extraction.
+    slot_assigned: Vec<u16>,
 }
+
+/// One DOM removal on the trail: the exact IC credit subtracted and the
+/// `dhat_ub` frozen at removal time, so undo restores bit-identical state.
+#[derive(Debug, Clone, Copy)]
+struct DomUndo {
+    var: u32,
+    credit: f64,
+    dhat_saved: f64,
+}
+
+/// Skip CPU reason extraction when more than this many replicas sit on the
+/// overloaded slot (the minimized reason would likely be long and weak).
+const MAX_CPU_REASON: usize = 24;
+/// Skip COMPL reason extraction beyond this many assigned singles.
+const MAX_COMPL_SCAN: u32 = 64;
 
 impl<'a> Engine<'a> {
     pub(crate) fn new(
@@ -93,6 +190,33 @@ impl<'a> Engine<'a> {
         shared: Option<&'a SharedBest>,
     ) -> Self {
         let nv = prep.num_vars;
+        // Chain-aware bound init: with every variable still open, the best
+        // case is all-`Both`, so receive/Δ̂ upper bounds flow unattenuated
+        // through the DAG (dense PE index == topological rank).
+        let nq = prep.num_configs;
+        let mut rcv_ub = vec![0.0; prep.num_pes * nq];
+        let mut dhat_ub = vec![0.0; prep.num_pes * nq];
+        let mut ic_ub_rem = 0.0;
+        let mut ic_ub_by_cfg = vec![0.0; nq];
+        for c in 0..nq {
+            for pe in 0..prep.num_pes {
+                let mut received = 0.0;
+                let mut weighted = 0.0;
+                for e in &prep.pe_in[pe] {
+                    let d = if e.from_source {
+                        prep.source_rate[e.idx as usize * nq + c]
+                    } else {
+                        dhat_ub[e.idx as usize * nq + c]
+                    };
+                    received += d;
+                    weighted += e.sel * d;
+                }
+                rcv_ub[pe * nq + c] = received;
+                dhat_ub[pe * nq + c] = weighted;
+                ic_ub_rem += prep.prob[c] * received;
+                ic_ub_by_cfg[c] += prep.prob[c] * received;
+            }
+        }
         Self {
             prep,
             opts,
@@ -105,14 +229,80 @@ impl<'a> Engine<'a> {
             fic_contrib: vec![0.0; nv],
             fic: 0.0,
             cost: 0.0,
-            ic_ub_rem: prep.w_ic.iter().sum(),
+            ic_ub_rem,
+            fic_by_cfg: vec![0.0; nq],
+            ic_ub_by_cfg,
             cost_lb_rem: prep.total_w_cost,
+            rcv_ub,
+            dhat_ub,
+            dhat_ub_saved: vec![0.0; nv],
+            prop_stack: Vec::new(),
             both_removed: vec![false; nv],
             trail: Vec::with_capacity(nv),
             best: None,
             stats: SearchStats::default(),
             timed_out: false,
+            order: None,
+            fixed: None,
+            guide: None,
+            value_policy: ValuePolicy::CheapFirst,
+            tie_keeping: shared.is_some(),
+            stop_on_solution: false,
+            node_budget: None,
+            nogoods: None,
+            learn: false,
+            activity: None,
+            depth_of: vec![0; nv],
+            num_assigned: 0,
+            singles_ic: 0.0,
+            singles_cnt: 0,
+            slot_assigned: vec![0; prep.num_hosts * prep.num_configs],
         }
+    }
+
+    /// Set the exploration order (must be topological per configuration).
+    pub(crate) fn set_order(&mut self, order: &'a [u32]) {
+        debug_assert_eq!(order.len(), self.prep.num_vars);
+        self.order = Some(order);
+    }
+
+    /// Freeze variables with non-zero entries to the given values (LNS).
+    pub(crate) fn set_fixed(&mut self, fixed: &'a [u8]) {
+        self.fixed = Some(fixed);
+    }
+
+    /// Guide assignment for `ValuePolicy::Guided`.
+    pub(crate) fn set_guide(&mut self, guide: &'a [u8]) {
+        self.guide = Some(guide);
+    }
+
+    pub(crate) fn set_value_policy(&mut self, policy: ValuePolicy) {
+        self.value_policy = policy;
+    }
+
+    /// Attach a nogood store; `learn` additionally records new nogoods at
+    /// CPU/COMPL violations.
+    pub(crate) fn set_nogoods(&mut self, store: &'a mut NogoodStore, learn: bool) {
+        self.nogoods = Some(store);
+        self.learn = learn;
+    }
+
+    pub(crate) fn set_activity(&mut self, act: &'a mut Activity) {
+        self.activity = Some(act);
+    }
+
+    /// Override the leaf/COST semantics chosen by `new` (portfolio workers
+    /// share an incumbent but keep the strict sequential cut).
+    pub(crate) fn set_tie_keeping(&mut self, tie_keeping: bool) {
+        self.tie_keeping = tie_keeping;
+    }
+
+    pub(crate) fn set_stop_on_solution(&mut self, stop: bool) {
+        self.stop_on_solution = stop;
+    }
+
+    pub(crate) fn set_node_budget(&mut self, nodes: u64) {
+        self.node_budget = Some(nodes);
     }
 
     /// Install a known-feasible solution as the incumbent (greedy seeding).
@@ -132,12 +322,15 @@ impl<'a> Engine<'a> {
             if self.both_removed[v] && val.is_both() {
                 return false; // dominated prefix: nothing worth searching
             }
-            if !self.try_assign(v, val) {
+            if !self.try_assign(v, val, (self.prep.num_vars - v) as u64) {
                 return false;
             }
-            if self.opts.prune_compl && self.fic + self.ic_ub_rem < self.goal_lo() {
+            if self.opts.prune_compl && self.compl_violated() {
                 self.unassign(v, val);
                 return false;
+            }
+            if self.opts.prune_cpu {
+                self.propagate_cap(v);
             }
             if val != Val::Both && self.opts.prune_dom {
                 self.propagate_dom(v);
@@ -157,6 +350,24 @@ impl<'a> Engine<'a> {
     #[inline]
     fn goal_lo(&self) -> f64 {
         self.prep.goal_fic * (1.0 - BOUND_EPS) - 1e-12
+    }
+
+    /// COMPL violation test: the cheap global chain bound first, then the
+    /// refined per-configuration form capping each term at its capacity
+    /// knapsack bound (`Σ_c min(fic_c + ub_c, kub_c)` — both are valid
+    /// upper bounds on the configuration's final contribution, so their
+    /// minimum is too).
+    #[inline]
+    fn compl_violated(&self) -> bool {
+        let lo = self.goal_lo();
+        if self.fic + self.ic_ub_rem < lo {
+            return true;
+        }
+        let mut bound = 0.0;
+        for c in 0..self.prep.num_configs {
+            bound += (self.fic_by_cfg[c] + self.ic_ub_by_cfg[c]).min(self.prep.kub[c]);
+        }
+        bound < lo
     }
 
     /// The cost of the best known solution, local or shared.
@@ -179,6 +390,9 @@ impl<'a> Engine<'a> {
         if self.opts.node_limit.is_some_and(|n| self.stats.nodes >= n) {
             self.timed_out = true;
         }
+        if self.node_budget.is_some_and(|n| self.stats.nodes >= n) {
+            self.timed_out = true;
+        }
         if let Some(s) = self.shared {
             if s.is_cancelled() {
                 self.timed_out = true;
@@ -186,47 +400,73 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn search(&mut self, v: usize) {
+    fn search(&mut self, pos: usize) {
         if self.timed_out {
             return;
         }
-        if v == self.prep.num_vars {
+        if pos == self.prep.num_vars {
             self.record_leaf();
             return;
         }
+        let v = match self.order {
+            Some(o) => o[pos] as usize,
+            None => pos,
+        };
         for val in self.value_order(v) {
             self.stats.nodes += 1;
             self.check_deadline();
             if self.timed_out {
                 return;
             }
-            if !self.try_assign(v, val) {
+            let height = (self.prep.num_vars - pos) as u64;
+            // Nogood store: would this value complete a refuted prefix?
+            if let Some(ng) = &self.nogoods {
+                if ng.is_forbidden(v as u32, val) {
+                    self.stats.record_prune(PruneKind::Nogood, height);
+                    self.bump_conflict(&[v as u32]);
+                    continue;
+                }
+            }
+            if !self.try_assign(v, val, height) {
                 continue; // CPU-pruned (recorded inside)
             }
-
-            let height = (self.prep.num_vars - v) as u64;
-            // Pruning on IC upper bound (COMPL).
-            if self.opts.prune_compl && self.fic + self.ic_ub_rem < self.goal_lo() {
-                self.stats.record_prune(PruneKind::Compl, height);
+            let ng_mark = self.nogoods.as_ref().map(|ng| ng.mark());
+            if self.ng_on_assign(v, val) {
+                // The assignment completed a nogood the pre-check could not
+                // see yet (watches were not unit before this literal).
+                self.stats.record_prune(PruneKind::Nogood, height);
+                self.bump_conflict(&[v as u32]);
+                self.ng_undo(ng_mark);
                 self.unassign(v, val);
                 continue;
             }
-            // Pruning on cost lower bound (COST). With a shared incumbent
-            // (parallel tie-keeping mode) the cut keeps an eps-slack *above*
-            // the bound instead of below it: subtrees that might contain an
-            // exact-minimal-cost leaf are always explored no matter how fast
-            // another worker tightened the incumbent, which is what makes the
-            // parallel result schedule-independent.
+
+            // Pruning on IC upper bound (COMPL).
+            if self.opts.prune_compl && self.compl_violated() {
+                self.stats.record_prune(PruneKind::Compl, height);
+                self.learn_compl(v);
+                self.ng_undo(ng_mark);
+                self.unassign(v, val);
+                continue;
+            }
+            // Pruning on cost lower bound (COST). With tie-keeping semantics
+            // (deterministic parallel mode) the cut keeps an eps-slack
+            // *above* the bound instead of below it: subtrees that might
+            // contain an exact-minimal-cost leaf are always explored no
+            // matter how fast another worker tightened the incumbent, which
+            // is what makes the parallel result schedule-independent. COST
+            // cuts are incumbent-dependent and must never become nogoods.
             if self.opts.prune_cost {
                 if let Some(best) = self.incumbent_cost() {
                     let lb = self.cost + self.cost_lb_rem;
-                    let prune = if self.shared.is_some() {
+                    let prune = if self.tie_keeping {
                         lb > best * (1.0 + BOUND_EPS)
                     } else {
                         lb >= best * (1.0 - BOUND_EPS)
                     };
                     if prune {
                         self.stats.record_prune(PruneKind::Cost, height);
+                        self.ng_undo(ng_mark);
                         self.unassign(v, val);
                         continue;
                     }
@@ -234,11 +474,25 @@ impl<'a> Engine<'a> {
             }
 
             let mark = self.trail.len();
+            if self.opts.prune_cpu {
+                self.propagate_cap(v);
+            }
             if !val.is_both() && self.opts.prune_dom {
                 self.propagate_dom(v);
             }
-            self.search(v + 1);
+            // Re-check COMPL: CAP/DOM propagation may have collapsed enough
+            // chain credit to refute the subtree before descending.
+            if self.opts.prune_compl && self.compl_violated() {
+                self.stats.record_prune(PruneKind::Compl, height);
+                self.learn_compl(v);
+                self.undo_dom(mark);
+                self.ng_undo(ng_mark);
+                self.unassign(v, val);
+                continue;
+            }
+            self.search(pos + 1);
             self.undo_dom(mark);
+            self.ng_undo(ng_mark);
             self.unassign(v, val);
             if self.timed_out {
                 return;
@@ -246,11 +500,53 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Value order: cheaper single first (the one whose host currently has
-    /// the lower load in this configuration), then the other single, then
-    /// `Both` — unless DOM removed it. Trying cheap values first makes the
-    /// first feasible solution close to optimal in cost (Fig. 5a).
+    /// Forward `on_assign` to the attached nogood store (no-op without one).
+    #[inline]
+    fn ng_on_assign(&mut self, v: usize, val: Val) -> bool {
+        match self.nogoods.as_deref_mut() {
+            Some(ng) => ng.on_assign(v as u32, val, &self.assign),
+            None => false,
+        }
+    }
+
+    #[inline]
+    fn ng_undo(&mut self, mark: Option<usize>) {
+        if let (Some(ng), Some(m)) = (self.nogoods.as_deref_mut(), mark) {
+            ng.undo_to(m);
+        }
+    }
+
+    /// Bump activity of the variables blamed for a conflict and decay.
+    #[inline]
+    fn bump_conflict(&mut self, vars: &[u32]) {
+        if let Some(act) = self.activity.as_deref_mut() {
+            for &v in vars {
+                act.bump(v as usize);
+            }
+            act.decay();
+        }
+    }
+
+    /// Value order for variable `v` under the active policy (see
+    /// [`ValuePolicy`]); a non-zero `fixed` entry pins the variable instead.
     fn value_order(&self, v: usize) -> impl Iterator<Item = Val> + 'static {
+        self.value_slots(v).into_iter().flatten()
+    }
+
+    fn value_slots(&self, v: usize) -> [Option<Val>; 3] {
+        let include_both = !self.both_removed[v];
+        if let Some(f) = self.fixed {
+            if f[v] != 0 {
+                let val = Val::from_u8(f[v]);
+                if val.is_both() && !include_both {
+                    return [None; 3]; // DOM killed the pinned value
+                }
+                return [Some(val), None, None];
+            }
+        }
+        // Cheaper single first: the one whose host currently has the lower
+        // load in this configuration. Trying cheap values first makes the
+        // first feasible solution close to optimal in cost (Fig. 5a).
         let var = self.prep.vars[v];
         let pe = var.pe as usize;
         let c = var.cfg.index();
@@ -259,15 +555,42 @@ impl<'a> Engine<'a> {
         let h1 = self.prep.host_of[pe][1] as usize;
         let l0 = self.host_load[h0 * nq + c];
         let l1 = self.host_load[h1 * nq + c];
-        let (first, second) = if l0 <= l1 {
+        let (cheap, other) = if l0 <= l1 {
             (Val::Only0, Val::Only1)
         } else {
             (Val::Only1, Val::Only0)
         };
-        let include_both = !self.both_removed[v];
-        [Some(first), Some(second), include_both.then_some(Val::Both)]
-            .into_iter()
-            .flatten()
+        match self.value_policy {
+            ValuePolicy::CheapFirst => {
+                [Some(cheap), Some(other), include_both.then_some(Val::Both)]
+            }
+            ValuePolicy::BothFirst => {
+                if include_both {
+                    [Some(Val::Both), Some(cheap), Some(other)]
+                } else {
+                    [Some(cheap), Some(other), None]
+                }
+            }
+            ValuePolicy::Guided => {
+                let g = self.guide.map_or(0, |g| g[v]);
+                if g == 0 || (g == Val::Both as u8 && !include_both) {
+                    return [Some(cheap), Some(other), include_both.then_some(Val::Both)];
+                }
+                let gval = Val::from_u8(g);
+                let mut out = [Some(gval), None, None];
+                let mut k = 1;
+                for cand in [cheap, other] {
+                    if cand != gval {
+                        out[k] = Some(cand);
+                        k += 1;
+                    }
+                }
+                if include_both && gval != Val::Both {
+                    out[k] = Some(Val::Both);
+                }
+                out
+            }
+        }
     }
 
     /// Assign `val` to variable `v`, updating loads, Δ̂, FIC, cost, and
@@ -275,7 +598,7 @@ impl<'a> Engine<'a> {
     /// CPU constraint is violated and CPU pruning is enabled. When CPU
     /// pruning is disabled the overload is tolerated here and caught at the
     /// leaf.
-    fn try_assign(&mut self, v: usize, val: Val) -> bool {
+    fn try_assign(&mut self, v: usize, val: Val, height: u64) -> bool {
         let var = self.prep.vars[v];
         let pe = var.pe as usize;
         let c = var.cfg.index();
@@ -283,23 +606,29 @@ impl<'a> Engine<'a> {
         let load = self.prep.replica_load[pe * nq + c];
 
         // CPU loads.
-        let mut overloaded = false;
+        let mut over_host: Option<usize> = None;
         for &r in val.actives() {
             let h = self.prep.host_of[pe][r] as usize;
             let slot = h * nq + c;
             self.host_load[slot] += load;
-            if self.host_load[slot] >= self.prep.cap[h] {
-                overloaded = true;
+            if self.host_load[slot] >= self.prep.cap[h] && over_host.is_none() {
+                over_host = Some(h);
             }
         }
-        if overloaded && self.opts.prune_cpu {
-            for &r in val.actives() {
-                let h = self.prep.host_of[pe][r] as usize;
-                self.host_load[h * nq + c] -= load;
+        if let Some(h) = over_host {
+            if self.opts.prune_cpu {
+                for &r in val.actives() {
+                    let hh = self.prep.host_of[pe][r] as usize;
+                    self.host_load[hh * nq + c] -= load;
+                }
+                self.stats.record_prune(PruneKind::Cpu, height);
+                self.learn_cpu(v, val, h);
+                return false;
             }
-            self.stats
-                .record_prune(PruneKind::Cpu, (self.prep.num_vars - v) as u64);
-            return false;
+        }
+        for &r in val.actives() {
+            let h = self.prep.host_of[pe][r] as usize;
+            self.slot_assigned[h * nq + c] += 1;
         }
 
         // Δ̂ and FIC (eqs. 6–7): predecessors in this configuration are
@@ -320,16 +649,34 @@ impl<'a> Engine<'a> {
         let contrib = self.prep.prob[c] * phi * received;
         self.fic_contrib[v] = contrib;
         self.fic += contrib;
+        self.fic_by_cfg[c] += contrib;
 
         // Cost and bounds.
         let mult = val.actives().len() as f64;
         self.cost += mult * self.prep.w_cost[v];
         self.cost_lb_rem -= self.prep.w_cost[v];
         if !self.both_removed[v] {
-            // If DOM removed Both earlier, w_ic[v] was already subtracted.
-            self.ic_ub_rem -= self.prep.w_ic[v];
+            // If DOM removed Both earlier, the credit was already subtracted
+            // (and `dhat_ub` frozen) at removal time.
+            let credit = self.prep.prob[c] * self.rcv_ub[pe * nq + c];
+            self.ic_ub_rem -= credit;
+            self.ic_ub_by_cfg[c] -= credit;
+        }
+        if !val.is_both() {
+            // A single contributes nothing and zeroes Δ̂: freeze this slot's
+            // Δ̂ upper bound and shrink every descendant's receive credit.
+            let saved = self.dhat_ub[pe * nq + c];
+            self.dhat_ub_saved[v] = saved;
+            if saved != 0.0 {
+                self.dhat_ub[pe * nq + c] = 0.0;
+                self.propagate_dhat_ub(pe, c, -saved);
+            }
+            self.singles_ic += self.prep.w_ic[v];
+            self.singles_cnt += 1;
         }
 
+        self.depth_of[v] = self.num_assigned;
+        self.num_assigned += 1;
         self.assign[v] = val as u8;
         true
     }
@@ -343,16 +690,160 @@ impl<'a> Engine<'a> {
         for &r in val.actives() {
             let h = self.prep.host_of[pe][r] as usize;
             self.host_load[h * nq + c] -= load;
+            self.slot_assigned[h * nq + c] -= 1;
         }
         self.fic -= self.fic_contrib[v];
+        self.fic_by_cfg[c] -= self.fic_contrib[v];
         self.fic_contrib[v] = 0.0;
         let mult = val.actives().len() as f64;
         self.cost -= mult * self.prep.w_cost[v];
         self.cost_lb_rem += self.prep.w_cost[v];
-        if !self.both_removed[v] {
-            self.ic_ub_rem += self.prep.w_ic[v];
+        if !val.is_both() {
+            // Reverse the Δ̂ freeze. Linearity of the additive propagation
+            // plus LIFO discipline makes the restore exact.
+            let saved = self.dhat_ub_saved[v];
+            if saved != 0.0 {
+                self.propagate_dhat_ub(pe, c, saved);
+                self.dhat_ub[pe * nq + c] = saved;
+            }
+            self.singles_ic -= self.prep.w_ic[v];
+            self.singles_cnt -= 1;
         }
+        if !self.both_removed[v] {
+            // `rcv_ub` of this slot is untouched while `v` is assigned
+            // (predecessors topologically precede it), so this re-adds
+            // exactly what `try_assign` subtracted.
+            let credit = self.prep.prob[c] * self.rcv_ub[pe * nq + c];
+            self.ic_ub_rem += credit;
+            self.ic_ub_by_cfg[c] += credit;
+        }
+        self.num_assigned -= 1;
         self.assign[v] = 0;
+    }
+
+    /// Learn a minimized nogood from a CPU violation: the smallest set of
+    /// currently-assigned replicas (plus the tentative `(v, val)`) whose load
+    /// alone overflows host `h` in `v`'s configuration. Any completion
+    /// keeping those replicas on `h` carries at least that load, so the
+    /// subtree is refuted regardless of everything else — sound across
+    /// restarts, LNS neighborhoods, and portfolio workers. A relative margin
+    /// on the capacity absorbs incremental-float drift.
+    fn learn_cpu(&mut self, v: usize, val: Val, h: usize) {
+        let can_learn = self.learn && self.nogoods.as_ref().is_some_and(|ng| ng.has_room());
+        let var = self.prep.vars[v];
+        let c = var.cfg.index();
+        let nq = self.prep.num_configs;
+        if !can_learn || self.slot_assigned[h * nq + c] as usize + 2 > MAX_CPU_REASON {
+            self.bump_conflict(&[v as u32]);
+            return;
+        }
+        // Gather contributors to (h, c): assigned vars with a replica there,
+        // plus the tentative assignment itself.
+        let mut cand: Vec<(f64, u32)> = Vec::with_capacity(8);
+        for pe in 0..self.prep.num_pes {
+            let u = self.prep.var_index[pe * nq + c];
+            let a = if u == v { val as u8 } else { self.assign[u] };
+            if a == 0 {
+                continue;
+            }
+            let load = self.prep.replica_load[pe * nq + c];
+            let h0 = self.prep.host_of[pe][0] as usize;
+            let h1 = self.prep.host_of[pe][1] as usize;
+            let a = Val::from_u8(a);
+            let (contrib, code) = if h0 == h && h1 == h {
+                // Both replicas live on `h`: `Both` contributes twice.
+                match a {
+                    Val::Both => (2.0 * load, nogood::CODE_EQ_BOTH),
+                    Val::Only0 => (load, nogood::CODE_COV0),
+                    Val::Only1 => (load, nogood::CODE_COV1),
+                }
+            } else if h0 == h {
+                match a {
+                    Val::Both | Val::Only0 => (load, nogood::CODE_COV0),
+                    Val::Only1 => continue,
+                }
+            } else if h1 == h {
+                match a {
+                    Val::Both | Val::Only1 => (load, nogood::CODE_COV1),
+                    Val::Only0 => continue,
+                }
+            } else {
+                continue;
+            };
+            cand.push((contrib, nogood::lit(u as u32, code)));
+        }
+        // Largest contributors first; deterministic tie-break on the literal.
+        cand.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let target = self.prep.cap[h] * (1.0 + BOUND_EPS);
+        let mut sum = 0.0;
+        let mut lits: Vec<u32> = Vec::with_capacity(cand.len().min(8));
+        for &(contrib, l) in &cand {
+            sum += contrib;
+            lits.push(l);
+            if sum >= target {
+                break;
+            }
+        }
+        if sum < target {
+            // Fresh summation fell short of the margin (drift-tight case):
+            // skip learning rather than risk an unsound nogood.
+            self.bump_conflict(&[v as u32]);
+            return;
+        }
+        // `depth_of[v]` is stale (v is unassigned); pretend it is deepest.
+        self.depth_of[v] = self.num_assigned;
+        if let Some(ng) = self.nogoods.as_deref_mut() {
+            ng.learn(&lits, &self.depth_of);
+        }
+        let vars: Vec<u32> = lits.iter().map(|&l| nogood::lit_var(l)).collect();
+        self.bump_conflict(&vars);
+    }
+
+    /// Learn a minimized nogood from a COMPL violation, when it is expressible
+    /// over assigned singles alone: if `BIC − Σ w_ic(chosen singles)` is
+    /// already below the goal (with a wide relative margin for float drift),
+    /// every completion keeping those variables single misses the IC goal.
+    fn learn_compl(&mut self, v: usize) {
+        let can_learn = self.learn && self.nogoods.as_ref().is_some_and(|ng| ng.has_room());
+        if !can_learn || self.singles_cnt == 0 || self.singles_cnt > MAX_COMPL_SCAN {
+            self.bump_conflict(&[v as u32]);
+            return;
+        }
+        let goal_margin = self.prep.goal_fic * (1.0 - 1e-6);
+        if self.prep.bic_rate - self.singles_ic >= goal_margin {
+            // Not expressible over singles alone (the violation also depends
+            // on DOM removals / unassigned structure): don't learn.
+            self.bump_conflict(&[v as u32]);
+            return;
+        }
+        let mut cand: Vec<(f64, u32)> = Vec::with_capacity(self.singles_cnt as usize);
+        for (u, &a) in self.assign.iter().enumerate() {
+            if a != 0 && a != Val::Both as u8 {
+                cand.push((
+                    self.prep.w_ic[u],
+                    nogood::lit(u as u32, nogood::CODE_NOT_BOTH),
+                ));
+            }
+        }
+        cand.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut lost = 0.0;
+        let mut lits: Vec<u32> = Vec::with_capacity(8);
+        for &(w, l) in &cand {
+            lost += w;
+            lits.push(l);
+            if self.prep.bic_rate - lost < goal_margin {
+                break;
+            }
+        }
+        if self.prep.bic_rate - lost >= goal_margin {
+            self.bump_conflict(&[v as u32]);
+            return;
+        }
+        if let Some(ng) = self.nogoods.as_deref_mut() {
+            ng.learn(&lits, &self.depth_of);
+        }
+        let vars: Vec<u32> = lits.iter().map(|&l| nogood::lit_var(l)).collect();
+        self.bump_conflict(&vars);
     }
 
     /// Forward domain propagation (DOM, §4.5): after binding `v` to a
@@ -361,9 +852,13 @@ impl<'a> Engine<'a> {
     /// and every PE input with `Δ̂ = 0` or doomed to it).
     fn propagate_dom(&mut self, v: usize) {
         let var = self.prep.vars[v];
-        let c = var.cfg.index();
+        self.dom_walk(var.pe as usize, var.cfg.index());
+    }
+
+    /// The DOM walk proper, from the successors of `pe` in configuration `c`.
+    fn dom_walk(&mut self, pe: usize, c: usize) {
         let nq = self.prep.num_configs;
-        let mut stack: Vec<u32> = self.prep.pe_succ[var.pe as usize].clone();
+        let mut stack: Vec<u32> = self.prep.pe_succ[pe].clone();
         while let Some(succ) = stack.pop() {
             let u = self.prep.var_index[succ as usize * nq + c];
             if self.assign[u] != 0 || self.both_removed[u] {
@@ -388,11 +883,7 @@ impl<'a> Engine<'a> {
                 }
             }
             if all_dead {
-                self.both_removed[u] = true;
-                self.ic_ub_rem -= self.prep.w_ic[u];
-                self.trail.push(u as u32);
-                self.stats
-                    .record_prune(PruneKind::Dom, (self.prep.num_vars - u) as u64);
+                self.remove_both(succ as usize, c, u);
                 for &s2 in &self.prep.pe_succ[succ as usize] {
                     stack.push(s2);
                 }
@@ -400,12 +891,124 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Remove `Both` from the open variable `u = (pe, c)`: freeze its Δ̂
+    /// upper bound (a single is all it can be, contributing nothing),
+    /// subtract its residual IC credit, propagate the loss downstream, and
+    /// trail the exact amounts for undo.
+    fn remove_both(&mut self, pe: usize, c: usize, u: usize) {
+        let slot = pe * self.prep.num_configs + c;
+        self.both_removed[u] = true;
+        let credit = self.prep.prob[c] * self.rcv_ub[slot];
+        self.ic_ub_rem -= credit;
+        self.ic_ub_by_cfg[c] -= credit;
+        let dhat_saved = self.dhat_ub[slot];
+        self.dhat_ub[slot] = 0.0;
+        if dhat_saved != 0.0 {
+            self.propagate_dhat_ub(pe, c, -dhat_saved);
+        }
+        self.trail.push(DomUndo {
+            var: u as u32,
+            credit,
+            dhat_saved,
+        });
+        self.stats
+            .record_prune(PruneKind::Dom, (self.prep.num_vars - u) as u64);
+    }
+
+    /// Capacity-based `Both` removal (CAP): host loads only grow down a
+    /// branch, so once both replicas of an open variable no longer fit on
+    /// their hosts in this configuration, `Both` is gone for the whole
+    /// subtree. Scans only the PEs sharing a host with the variable just
+    /// assigned (the two slots whose load changed), then lets the DOM walk
+    /// pick up any chains the removals killed.
+    fn propagate_cap(&mut self, v: usize) {
+        let prep = self.prep;
+        let var = prep.vars[v];
+        let pe = var.pe as usize;
+        let c = var.cfg.index();
+        let nq = prep.num_configs;
+        for hi in 0..2 {
+            let h = prep.host_of[pe][hi] as usize;
+            if hi == 1 && h == prep.host_of[pe][0] as usize {
+                break;
+            }
+            for &u_pe in &prep.host_pes[h] {
+                let u_pe = u_pe as usize;
+                let u = prep.var_index[u_pe * nq + c];
+                if self.assign[u] != 0 || self.both_removed[u] {
+                    continue;
+                }
+                let load = prep.replica_load[u_pe * nq + c];
+                let h0 = prep.host_of[u_pe][0] as usize;
+                let h1 = prep.host_of[u_pe][1] as usize;
+                let infeasible = if h0 == h1 {
+                    self.host_load[h0 * nq + c] + 2.0 * load >= prep.cap[h0]
+                } else {
+                    self.host_load[h0 * nq + c] + load >= prep.cap[h0]
+                        || self.host_load[h1 * nq + c] + load >= prep.cap[h1]
+                };
+                if infeasible {
+                    self.remove_both(u_pe, c, u);
+                    if self.opts.prune_dom {
+                        self.dom_walk(u_pe, c);
+                    }
+                }
+            }
+        }
+    }
+
     fn undo_dom(&mut self, mark: usize) {
         while self.trail.len() > mark {
-            let u = self.trail.pop().unwrap() as usize;
+            let t = self.trail.pop().unwrap();
+            let u = t.var as usize;
+            let var = self.prep.vars[u];
+            let pe = var.pe as usize;
+            let c = var.cfg.index();
             self.both_removed[u] = false;
-            self.ic_ub_rem += self.prep.w_ic[u];
+            if t.dhat_saved != 0.0 {
+                self.propagate_dhat_ub(pe, c, t.dhat_saved);
+            }
+            self.dhat_ub[pe * self.prep.num_configs + c] = t.dhat_saved;
+            self.ic_ub_rem += t.credit;
+            self.ic_ub_by_cfg[c] += t.credit;
         }
+    }
+
+    /// Propagate a change `delta` of `Δ̂_ub(pe, c)` to all descendants in
+    /// configuration `c`: their receive-rate upper bounds shift by the
+    /// selectivity-weighted delta, open (non-removed) descendants adjust the
+    /// global IC upper bound, and the wave continues below them. Removed or
+    /// frozen slots absorb the receive update without recursing (their own
+    /// `Δ̂_ub` is already 0 — exact, since they can only go single). Purely
+    /// additive, so re-propagating `-delta` undoes it term by term.
+    fn propagate_dhat_ub(&mut self, pe: usize, c: usize, delta: f64) {
+        let prep = self.prep;
+        let nq = prep.num_configs;
+        let mut stack = std::mem::take(&mut self.prop_stack);
+        stack.clear();
+        stack.push((pe as u32, delta));
+        while let Some((u, d)) = stack.pop() {
+            for &(s, sel) in &prep.pe_out[u as usize] {
+                let slot = s as usize * nq + c;
+                let sv = prep.var_index[slot];
+                debug_assert_eq!(
+                    self.assign[sv], 0,
+                    "descendants of an open/just-decided slot are unassigned \
+                     (per-configuration topological order)"
+                );
+                self.rcv_ub[slot] += d;
+                if !self.both_removed[sv] {
+                    self.ic_ub_rem += prep.prob[c] * d;
+                    self.ic_ub_by_cfg[c] += prep.prob[c] * d;
+                    let dd = sel * d;
+                    if dd != 0.0 {
+                        self.dhat_ub[slot] += dd;
+                        stack.push((s, dd));
+                    }
+                }
+            }
+        }
+        self.prop_stack = stack;
     }
 
     /// A complete assignment was reached: recompute FIC/cost exactly (kills
@@ -425,17 +1028,25 @@ impl<'a> Engine<'a> {
             Some(b) => cost < b * (1.0 - BOUND_EPS),
             None => true,
         };
-        if self.shared.is_none() {
-            // Sequential mode: strict improvement or nothing.
+        if !self.tie_keeping {
+            // Strict mode (sequential / portfolio workers): strict
+            // improvement or nothing.
             if !improving {
                 return;
             }
             self.note_solution(cost, true);
-            self.best = Some(RawSolution {
+            let sol = RawSolution {
                 assign: self.assign.clone(),
                 cost_rate: cost,
                 fic_rate: fic,
-            });
+            };
+            if let Some(sh) = self.shared {
+                sh.offer(&sol);
+            }
+            self.best = Some(sol);
+            if self.stop_on_solution {
+                self.timed_out = true;
+            }
             return;
         }
         // Parallel tie-keeping mode: keep every leaf within the eps-band of
@@ -481,6 +1092,8 @@ impl<'a> Engine<'a> {
             self.stats.time_to_best = Some(now);
             self.stats.best_cost = Some(cost);
             self.stats.improvements += 1;
+            let nodes = self.stats.nodes;
+            self.stats.push_incumbent(now, nodes, cost);
         }
     }
 

@@ -2,7 +2,11 @@
 
 use std::time::Duration;
 
-/// The four pruning strategies of §4.5.
+/// Number of pruning counters tracked ([`PruneKind::ALL`] length).
+pub const NUM_PRUNE_KINDS: usize = 5;
+
+/// The four pruning strategies of §4.5, plus nogood-store cuts (refuted
+/// subtrees blocked by learned CPU/COMPL reasons).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PruneKind {
     /// Pruning on CPU constraint (a host would be overloaded).
@@ -14,15 +18,19 @@ pub enum PruneKind {
     /// Forward domain propagation ("no replication forwarding"): a domain
     /// value removed rather than a branch cut.
     Dom,
+    /// A learned nogood blocked a value before (or immediately upon)
+    /// assignment — a refuted subtree was never re-entered.
+    Nogood,
 }
 
 impl PruneKind {
     /// All kinds, in reporting order.
-    pub const ALL: [PruneKind; 4] = [
+    pub const ALL: [PruneKind; NUM_PRUNE_KINDS] = [
         PruneKind::Cpu,
         PruneKind::Compl,
         PruneKind::Cost,
         PruneKind::Dom,
+        PruneKind::Nogood,
     ];
 
     /// Stable index into the counter arrays.
@@ -33,6 +41,7 @@ impl PruneKind {
             PruneKind::Compl => 1,
             PruneKind::Cost => 2,
             PruneKind::Dom => 3,
+            PruneKind::Nogood => 4,
         }
     }
 
@@ -43,8 +52,22 @@ impl PruneKind {
             PruneKind::Compl => "COMPL",
             PruneKind::Cost => "COST",
             PruneKind::Dom => "DOM",
+            PruneKind::Nogood => "NOGOOD",
         }
     }
+}
+
+/// One incumbent installation: when it happened and what it cost. The
+/// sequence of points for a single (sequential) solve is non-increasing in
+/// `cost_rate` — LNS/restarts never worsen the incumbent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncumbentPoint {
+    /// Wall-clock offset from search start.
+    pub at: Duration,
+    /// Nodes visited across the whole solve when this incumbent landed.
+    pub nodes: u64,
+    /// Billed cost rate of the incumbent.
+    pub cost_rate: f64,
 }
 
 /// Counters and timings collected during one FT-Search run.
@@ -54,11 +77,11 @@ pub struct SearchStats {
     pub nodes: u64,
     /// Times each pruning strategy fired. For DOM this counts domain-value
     /// removals; for the others, branch cuts.
-    pub prunes: [u64; 4],
+    pub prunes: [u64; NUM_PRUNE_KINDS],
     /// Sum of the heights (number of unassigned variables below the cut,
     /// inclusive) of branches cut by each strategy; height/prunes gives the
     /// paper's "average height of the pruned search branches" (Fig. 6).
-    pub prune_heights: [u64; 4],
+    pub prune_heights: [u64; NUM_PRUNE_KINDS],
     /// Wall-clock time at which the first feasible solution was found.
     pub time_to_first: Option<Duration>,
     /// Cost of the first feasible solution found.
@@ -75,7 +98,25 @@ pub struct SearchStats {
     pub proved: bool,
     /// Total wall-clock time of the search.
     pub elapsed: Duration,
+    /// Restarts performed by the CP driver (0 for the legacy DFS modes).
+    pub restarts: u64,
+    /// LNS re-solve rounds performed around the incumbent.
+    pub lns_rounds: u64,
+    /// Nogoods recorded into the store over the whole solve.
+    pub nogoods_learned: u64,
+    /// Total literals across all learned nogoods (avg length = lits/learned).
+    pub nogood_lits: u64,
+    /// `true` when the incumbent chain started from an externally installed
+    /// seed (greedy/warm start) rather than a leaf found by the search.
+    pub seeded: bool,
+    /// Incumbent installations in chronological order (capped; see
+    /// [`SearchStats::push_incumbent`]).
+    pub trajectory: Vec<IncumbentPoint>,
 }
+
+/// Cap on `trajectory` length; improvements past this are still counted in
+/// `improvements` but not individually recorded.
+const TRAJECTORY_CAP: usize = 4096;
 
 impl SearchStats {
     /// Record a branch cut by `kind` at a node with `height` unassigned
@@ -122,14 +163,39 @@ impl SearchStats {
         }
     }
 
+    /// Append an incumbent point, keeping the trajectory bounded.
+    #[inline]
+    pub fn push_incumbent(&mut self, at: Duration, nodes: u64, cost_rate: f64) {
+        if self.trajectory.len() < TRAJECTORY_CAP {
+            self.trajectory.push(IncumbentPoint {
+                at,
+                nodes,
+                cost_rate,
+            });
+        }
+    }
+
     /// Merge statistics from a parallel worker into this aggregate.
     pub fn merge(&mut self, other: &SearchStats) {
         self.nodes += other.nodes;
-        for i in 0..4 {
+        for i in 0..NUM_PRUNE_KINDS {
             self.prunes[i] += other.prunes[i];
             self.prune_heights[i] += other.prune_heights[i];
         }
         self.improvements += other.improvements;
+        self.restarts += other.restarts;
+        self.lns_rounds += other.lns_rounds;
+        self.nogoods_learned += other.nogoods_learned;
+        self.nogood_lits += other.nogood_lits;
+        self.seeded |= other.seeded;
+        for p in &other.trajectory {
+            if self.trajectory.len() >= TRAJECTORY_CAP {
+                break;
+            }
+            self.trajectory.push(*p);
+        }
+        self.trajectory
+            .sort_by(|a, b| a.at.cmp(&b.at).then(a.nodes.cmp(&b.nodes)));
         // Earliest first solution wins.
         match (self.time_to_first, other.time_to_first) {
             (None, Some(t)) => {
@@ -213,7 +279,24 @@ mod tests {
     fn prune_kind_labels() {
         assert_eq!(PruneKind::Cpu.label(), "CPU");
         assert_eq!(PruneKind::Dom.label(), "DOM");
+        assert_eq!(PruneKind::Nogood.label(), "NOGOOD");
         let idx: Vec<usize> = PruneKind::ALL.iter().map(|k| k.index()).collect();
-        assert_eq!(idx, vec![0, 1, 2, 3]);
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn trajectory_merge_is_time_ordered() {
+        let mut a = SearchStats::default();
+        a.push_incumbent(Duration::from_millis(5), 10, 100.0);
+        a.push_incumbent(Duration::from_millis(9), 30, 90.0);
+        let mut b = SearchStats::default();
+        b.push_incumbent(Duration::from_millis(7), 20, 95.0);
+        a.merge(&b);
+        let times: Vec<u64> = a
+            .trajectory
+            .iter()
+            .map(|p| p.at.as_millis() as u64)
+            .collect();
+        assert_eq!(times, vec![5, 7, 9]);
     }
 }

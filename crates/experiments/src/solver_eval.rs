@@ -2,11 +2,13 @@
 //! growing IC constraints and collect outcome labels, first-vs-optimal
 //! ratios, and pruning-effectiveness statistics.
 
-use laar_core::ftsearch::{solve, solve_parallel, FtSearchConfig, PruneKind, SearchStats};
+use laar_core::ftsearch::{
+    solve, solve_parallel, FtSearchConfig, PruneKind, SearchMode, SearchStats,
+};
 use laar_core::Problem;
-use laar_gen::solver_corpus;
+use laar_gen::{solver_corpus, solver_corpus_large};
 use rayon::prelude::*;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Configuration of the solver evaluation.
@@ -105,8 +107,53 @@ pub fn evaluate_solver_corpus(cfg: &SolverEvalConfig) -> Vec<SolverRun> {
         .collect()
 }
 
-/// Configuration of the `laar bench-solver` comparison (sequential vs
-/// [`solve_parallel`] on a slice of the solver corpus).
+/// One engine mode compared by `laar bench-solver`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverBenchMode {
+    /// Legacy exhaustive DFS, one thread.
+    Sequential,
+    /// Deterministic parallel driver (`threads` workers, bit-identical to
+    /// sequential on proved instances).
+    Parallel,
+    /// CP-style anytime solver, one thread (restarts, nogoods, LNS).
+    Cp,
+    /// CP portfolio across `threads` diversified workers.
+    Portfolio,
+}
+
+impl SolverBenchMode {
+    /// The JSON/CLI label of this mode.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolverBenchMode::Sequential => "sequential",
+            SolverBenchMode::Parallel => "parallel",
+            SolverBenchMode::Cp => "cp",
+            SolverBenchMode::Portfolio => "portfolio",
+        }
+    }
+
+    /// Parse a CLI mode name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "sequential" => Some(SolverBenchMode::Sequential),
+            "parallel" => Some(SolverBenchMode::Parallel),
+            "cp" => Some(SolverBenchMode::Cp),
+            "portfolio" => Some(SolverBenchMode::Portfolio),
+            _ => None,
+        }
+    }
+
+    /// All modes, in report order.
+    pub const ALL: [SolverBenchMode; 4] = [
+        SolverBenchMode::Sequential,
+        SolverBenchMode::Parallel,
+        SolverBenchMode::Cp,
+        SolverBenchMode::Portfolio,
+    ];
+}
+
+/// Configuration of the `laar bench-solver` comparison (the engine modes of
+/// [`SolverBenchMode`] side by side on a slice of the solver corpus).
 #[derive(Debug, Clone)]
 pub struct SolverBenchConfig {
     /// Number of corpus instances to run.
@@ -117,9 +164,16 @@ pub struct SolverBenchConfig {
     pub ic_constraint: f64,
     /// Per-run wall-clock limit.
     pub time_limit: Duration,
-    /// Thread count for the parallel runs (the sequential runs always use
-    /// one).
+    /// Thread count for the parallel/portfolio runs (sequential and cp
+    /// always use one).
     pub threads: usize,
+    /// Engine modes to compare.
+    pub modes: Vec<SolverBenchMode>,
+    /// Append the large-instance ladder (`laar_gen::LARGE_LADDER`) after
+    /// the corpus slice.
+    pub large: bool,
+    /// CP parameter overrides applied to the cp/portfolio runs.
+    pub cp: laar_core::ftsearch::CpConfig,
 }
 
 impl Default for SolverBenchConfig {
@@ -130,6 +184,9 @@ impl Default for SolverBenchConfig {
             ic_constraint: 0.7,
             time_limit: Duration::from_secs(30),
             threads: 4,
+            modes: SolverBenchMode::ALL.to_vec(),
+            large: false,
+            cp: laar_core::ftsearch::CpConfig::default(),
         }
     }
 }
@@ -145,7 +202,7 @@ pub struct SolverBenchRow {
     pub pes_per_host: usize,
     /// The IC constraint solved for.
     pub ic_constraint: f64,
-    /// `"sequential"` or `"parallel"`.
+    /// Engine mode label (see [`SolverBenchMode::label`]).
     pub mode: &'static str,
     /// Worker threads of this run.
     pub threads: usize,
@@ -163,17 +220,79 @@ pub struct SolverBenchRow {
     pub best_cost: Option<f64>,
     /// Whether the tree was exhausted within the limits.
     pub proved: bool,
+    /// Outcome label of the matching pre-PR baseline row, when one exists.
+    pub pre_pr_label: Option<String>,
+    /// Wall-clock ms of the matching pre-PR baseline row (0 when absent).
+    pub pre_pr_elapsed_ms: f64,
+    /// Incumbent cost of the matching pre-PR baseline row.
+    pub pre_pr_best_cost: Option<f64>,
+    /// `pre_pr_elapsed_ms / elapsed_ms` — how much faster this run reached
+    /// its verdict than the baseline (0 when no baseline row matches).
+    pub speedup_vs_pre_pr: f64,
 }
 
-/// Run the solver benchmark: each instance solved sequentially and with
-/// [`solve_parallel`] under identical options, so `BENCH_solver.json`
-/// tracks time-to-first/time-to-optimum and node counts for both engines
-/// over time. Cold-start (no incumbent seeding), matching the Fig. 5
-/// first-solution semantics.
+/// A pre-PR `BENCH_solver.json` row, as read back for `--baseline`. Only
+/// the fields needed for matching and comparison are deserialized; rows
+/// from older schema revisions (without the `pre_pr_*` columns) parse too.
+#[derive(Debug, Clone, Deserialize)]
+pub struct SolverBenchBaselineRow {
+    /// Index of the instance in the corpus.
+    pub instance: usize,
+    /// The IC constraint solved for.
+    pub ic_constraint: f64,
+    /// Engine mode label.
+    pub mode: String,
+    /// Outcome label.
+    pub label: String,
+    /// Total wall-clock milliseconds.
+    pub elapsed_ms: f64,
+    /// Cost-rate of the final incumbent.
+    #[serde(default)]
+    pub best_cost: Option<f64>,
+}
+
+/// Attach pre-PR baseline columns to freshly benchmarked rows. Matching is
+/// by `(instance, ic_constraint, mode)`; modes absent from the baseline
+/// (e.g. `cp`/`portfolio` against a pre-CP report) fall back to the
+/// baseline's `sequential` row for the same instance so the speedup still
+/// expresses "new engine vs what shipped before". Unmatched rows keep
+/// zeroed baseline columns.
+pub fn merge_solver_baseline(rows: &mut [SolverBenchRow], baseline: &[SolverBenchBaselineRow]) {
+    let find = |instance: usize, ic: f64, mode: &str| {
+        baseline.iter().find(|b| {
+            b.instance == instance && (b.ic_constraint - ic).abs() < 1e-9 && b.mode == mode
+        })
+    };
+    for row in rows.iter_mut() {
+        let matched = find(row.instance, row.ic_constraint, row.mode)
+            .or_else(|| find(row.instance, row.ic_constraint, "sequential"));
+        if let Some(b) = matched {
+            row.pre_pr_label = Some(b.label.clone());
+            row.pre_pr_elapsed_ms = b.elapsed_ms;
+            row.pre_pr_best_cost = b.best_cost;
+            row.speedup_vs_pre_pr = if row.elapsed_ms > 0.0 {
+                b.elapsed_ms / row.elapsed_ms
+            } else {
+                0.0
+            };
+        }
+    }
+}
+
+/// Run the solver benchmark: each instance solved under every requested
+/// [`SolverBenchMode`] with identical limits, so `BENCH_solver.json`
+/// tracks time-to-first/time-to-best, node counts, and incumbent cost for
+/// all engines over time. Cold-start (no incumbent seeding), matching the
+/// Fig. 5 first-solution semantics. With `cfg.large` the
+/// [`solver_corpus_large`] ladder is appended after the base corpus (its
+/// rows keep indexing past `num_instances`).
 pub fn benchmark_solver(cfg: &SolverBenchConfig) -> Vec<SolverBenchRow> {
-    let corpus = solver_corpus(cfg.num_instances, cfg.seed);
+    let mut corpus = solver_corpus(cfg.num_instances, cfg.seed);
+    if cfg.large {
+        corpus.extend(solver_corpus_large(cfg.seed));
+    }
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
-    let mut rows = Vec::with_capacity(corpus.len() * 2);
+    let mut rows = Vec::with_capacity(corpus.len() * cfg.modes.len());
     for (i, inst) in corpus.iter().enumerate() {
         let problem = Problem::new(
             inst.gen.app.clone(),
@@ -181,13 +300,24 @@ pub fn benchmark_solver(cfg: &SolverBenchConfig) -> Vec<SolverBenchRow> {
             cfg.ic_constraint,
         )
         .expect("valid problem");
-        for (mode, threads) in [("sequential", 1usize), ("parallel", cfg.threads)] {
+        for &mode in &cfg.modes {
+            let threads = match mode {
+                SolverBenchMode::Sequential | SolverBenchMode::Cp => 1,
+                SolverBenchMode::Parallel | SolverBenchMode::Portfolio => cfg.threads,
+            };
             let opts = FtSearchConfig {
                 seed_incumbent: false,
                 threads,
+                mode: match mode {
+                    SolverBenchMode::Sequential | SolverBenchMode::Parallel => {
+                        SearchMode::Deterministic
+                    }
+                    SolverBenchMode::Cp | SolverBenchMode::Portfolio => SearchMode::Portfolio,
+                },
+                cp: cfg.cp.clone(),
                 ..FtSearchConfig::with_time_limit(cfg.time_limit)
             };
-            let report = if mode == "sequential" {
+            let report = if threads == 1 && mode == SolverBenchMode::Sequential {
                 solve(&problem, &opts)
             } else {
                 solve_parallel(&problem, &opts)
@@ -198,7 +328,7 @@ pub fn benchmark_solver(cfg: &SolverBenchConfig) -> Vec<SolverBenchRow> {
                 num_hosts: inst.num_hosts,
                 pes_per_host: inst.pes_per_host,
                 ic_constraint: cfg.ic_constraint,
-                mode,
+                mode: mode.label(),
                 threads,
                 label: report.outcome.label(),
                 nodes: report.stats.nodes,
@@ -207,6 +337,10 @@ pub fn benchmark_solver(cfg: &SolverBenchConfig) -> Vec<SolverBenchRow> {
                 elapsed_ms: ms(report.stats.elapsed),
                 best_cost: report.stats.best_cost,
                 proved: report.stats.proved,
+                pre_pr_label: None,
+                pre_pr_elapsed_ms: 0.0,
+                pre_pr_best_cost: None,
+                speedup_vs_pre_pr: 0.0,
             });
         }
     }
@@ -229,8 +363,8 @@ pub fn outcome_shares(runs: &[SolverRun], ic: f64) -> [f64; 4] {
 /// average height of pruned branches)`.
 pub fn pruning_summary(runs: &[SolverRun]) -> Vec<(PruneKind, f64, f64)> {
     let mut total_events = 0u64;
-    let mut events = [0u64; 4];
-    let mut heights = [0u64; 4];
+    let mut events = [0u64; laar_core::ftsearch::NUM_PRUNE_KINDS];
+    let mut heights = [0u64; laar_core::ftsearch::NUM_PRUNE_KINDS];
     for r in runs {
         for k in PruneKind::ALL {
             events[k.index()] += r.stats.prunes[k.index()];
@@ -318,6 +452,8 @@ mod tests {
             ic_constraint: 0.5,
             time_limit: Duration::from_secs(5),
             threads: 2,
+            modes: vec![SolverBenchMode::Sequential, SolverBenchMode::Parallel],
+            ..SolverBenchConfig::default()
         };
         let rows = benchmark_solver(&cfg);
         assert_eq!(rows.len(), 8);
@@ -335,6 +471,51 @@ mod tests {
                     (a, b) => assert_eq!(a.is_some(), b.is_some()),
                 }
             }
+        }
+    }
+
+    #[test]
+    fn benchmark_cp_modes_and_baseline_merge() {
+        let cfg = SolverBenchConfig {
+            num_instances: 2,
+            seed: 11,
+            ic_constraint: 0.5,
+            time_limit: Duration::from_secs(5),
+            threads: 2,
+            modes: vec![SolverBenchMode::Sequential, SolverBenchMode::Cp],
+            ..SolverBenchConfig::default()
+        };
+        let mut rows = benchmark_solver(&cfg);
+        assert_eq!(rows.len(), 4);
+        for pair in rows.chunks(2) {
+            let (seq, cp) = (&pair[0], &pair[1]);
+            assert_eq!(seq.mode, "sequential");
+            assert_eq!(cp.mode, "cp");
+            assert_eq!(cp.threads, 1);
+            // Both engines are exact when they prove; verdicts must agree.
+            if seq.proved && cp.proved {
+                assert_eq!(seq.label, cp.label);
+            }
+        }
+        // Baseline with only sequential rows: cp rows fall back to the
+        // sequential row of the same instance.
+        let baseline: Vec<SolverBenchBaselineRow> = rows
+            .iter()
+            .filter(|r| r.mode == "sequential")
+            .map(|r| SolverBenchBaselineRow {
+                instance: r.instance,
+                ic_constraint: r.ic_constraint,
+                mode: r.mode.to_string(),
+                label: r.label.to_string(),
+                elapsed_ms: 2.0 * r.elapsed_ms.max(1.0),
+                best_cost: r.best_cost,
+            })
+            .collect();
+        merge_solver_baseline(&mut rows, &baseline);
+        for r in &rows {
+            assert!(r.pre_pr_label.is_some(), "row {} unmatched", r.mode);
+            assert!(r.pre_pr_elapsed_ms > 0.0);
+            assert!(r.speedup_vs_pre_pr > 0.0);
         }
     }
 

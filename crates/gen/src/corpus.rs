@@ -68,6 +68,44 @@ pub fn solver_corpus(n: usize, seed: u64) -> Vec<SolverInstance> {
     out
 }
 
+/// The large-instance ladder appended by `bench-solver --large`: cluster
+/// sizes well beyond the paper's 12×12 ceiling, scaling to hundreds of PEs.
+/// Each rung stresses the anytime machinery (restarts, LNS, nogood reuse)
+/// rather than exhaustive proving — at these sizes the interesting question
+/// is how quickly a feasible incumbent appears and improves, so unlike
+/// [`solver_corpus`] the rungs bound the Low/High rate ratio (milder
+/// overload at High) to stay feasible at the bench's IC constraint rather
+/// than testing infeasibility proving at scale.
+pub const LARGE_LADDER: &[(usize, usize)] = &[(16, 10), (20, 12), (24, 14), (32, 16), (40, 16)];
+
+/// Generate the large-instance ladder: one instance per [`LARGE_LADDER`]
+/// rung `(hosts, pes_per_host)`, PE count `hosts × pes_per_host / 2` as in
+/// [`solver_corpus`], seeds derived from `seed`.
+pub fn solver_corpus_large(seed: u64) -> Vec<SolverInstance> {
+    LARGE_LADDER
+        .iter()
+        .enumerate()
+        .map(|(i, &(num_hosts, pes_per_host))| {
+            let params = GenParams {
+                num_pes: ((num_hosts * pes_per_host) / 2).max(1),
+                num_hosts,
+                min_rate_ratio: 0.6,
+                ..GenParams::default()
+            };
+            let gen = generate_app(
+                &params,
+                seed.wrapping_mul(0xD134_2543_DE82_EF95)
+                    .wrapping_add(i as u64),
+            );
+            SolverInstance {
+                gen,
+                num_hosts,
+                pes_per_host,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

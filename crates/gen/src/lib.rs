@@ -23,5 +23,7 @@
 pub mod corpus;
 pub mod generator;
 
-pub use corpus::{runtime_corpus, solver_corpus, SolverInstance};
+pub use corpus::{
+    runtime_corpus, solver_corpus, solver_corpus_large, SolverInstance, LARGE_LADDER,
+};
 pub use generator::{GenParams, GeneratedApp};

@@ -1,0 +1,194 @@
+//! Soundness and anytime properties of the CP-style engine
+//! (`SearchMode::Portfolio`): nogood learning, activity-guided branching,
+//! geometric restarts, and LNS must never change *what* is proved — only
+//! how fast. On small random instances the CP engine and the legacy
+//! deterministic branch-and-bound must agree exactly (same verdict, same
+//! optimal cost, including proved infeasibility), and the sequential CP
+//! run must be deterministic and monotonically non-worsening as its node
+//! budget grows.
+
+use laar_core::ftsearch::{solve, solve_parallel, FtSearchConfig, Outcome, SearchMode};
+use laar_core::Problem;
+use laar_gen::GenParams;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn make_problem(seed: u64, num_pes: usize, num_hosts: usize, ic: f64) -> Problem {
+    let gen = laar_gen::generator::generate_app(
+        &GenParams {
+            num_pes,
+            num_hosts,
+            duration: 30.0,
+            ..GenParams::default()
+        },
+        seed,
+    );
+    Problem::new(gen.app, gen.placement, ic).unwrap()
+}
+
+fn cp_opts() -> FtSearchConfig {
+    FtSearchConfig {
+        mode: SearchMode::Portfolio,
+        time_limit: Duration::from_secs(60),
+        ..FtSearchConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Nogood pruning is sound: with learning, restarts, and LNS all
+    /// active, the CP engine proves the same verdict as the legacy exact
+    /// search — identical optimal cost on feasible instances, and
+    /// infeasibility agreement on infeasible ones.
+    #[test]
+    fn cp_engine_agrees_with_legacy_exact_search(
+        seed in any::<u64>(),
+        np in 3usize..8,
+        nh in 2usize..4,
+        ic in 0.0f64..0.9,
+    ) {
+        let p = make_problem(seed, np, nh, ic);
+        let legacy = solve(&p, &FtSearchConfig::default()).unwrap();
+        let cp = solve(&p, &cp_opts()).unwrap();
+        prop_assert!(legacy.stats.proved, "legacy must prove small instances");
+        prop_assert!(cp.stats.proved, "cp must prove small instances");
+        match (&legacy.outcome, &cp.outcome) {
+            (Outcome::Optimal(a), Outcome::Optimal(b)) => {
+                prop_assert!(
+                    (a.cost_cycles - b.cost_cycles).abs() <= 1e-6 * a.cost_cycles.max(1.0),
+                    "optimal cost mismatch: legacy {} vs cp {}",
+                    a.cost_cycles,
+                    b.cost_cycles
+                );
+                prop_assert!(b.ic >= p.ic_requirement - 1e-6);
+            }
+            (Outcome::Infeasible, Outcome::Infeasible) => {}
+            (a, b) => prop_assert!(
+                false,
+                "verdict mismatch: legacy {} vs cp {}",
+                a.label(),
+                b.label()
+            ),
+        }
+    }
+
+    /// Every CP incumbent — whether found by tree descent, a restart, or
+    /// an LNS round — is a feasible strategy meeting the IC requirement.
+    #[test]
+    fn cp_incumbents_are_always_feasible(
+        seed in any::<u64>(),
+        np in 3usize..8,
+        nh in 2usize..4,
+        ic in 0.0f64..0.9,
+        budget in 64u64..4096,
+    ) {
+        let p = make_problem(seed, np, nh, ic);
+        let report = solve(
+            &p,
+            &FtSearchConfig {
+                node_limit: Some(budget),
+                ..cp_opts()
+            },
+        )
+        .unwrap();
+        if let Some(sol) = report.outcome.solution() {
+            prop_assert!(
+                p.is_feasible(&sol.strategy),
+                "violations: {:?}",
+                p.check(&sol.strategy)
+            );
+            prop_assert!(sol.ic >= p.ic_requirement * (1.0 - 1e-6) - 1e-9);
+        }
+    }
+}
+
+/// The sequential CP run is deterministic under node budgets, and because
+/// a larger budget replays the same seeded schedule further, the incumbent
+/// cost is monotonically non-worsening as the budget grows.
+#[test]
+fn cp_incumbent_monotone_over_node_budget() {
+    let p = make_problem(0xC0FFEE, 14, 4, 0.5);
+    let mut last: Option<f64> = None;
+    for budget in [2_000u64, 8_000, 32_000, 128_000] {
+        let report = solve(
+            &p,
+            &FtSearchConfig {
+                node_limit: Some(budget),
+                ..cp_opts()
+            },
+        )
+        .unwrap();
+        let sol = report
+            .outcome
+            .solution()
+            .expect("seeded incumbent guarantees a solution");
+        assert!(p.is_feasible(&sol.strategy));
+        if let Some(prev) = last {
+            assert!(
+                sol.cost_cycles <= prev + 1e-9,
+                "incumbent worsened as budget grew: {prev} -> {}",
+                sol.cost_cycles
+            );
+        }
+        last = Some(sol.cost_cycles);
+        if report.stats.proved {
+            break;
+        }
+    }
+}
+
+/// Sequential CP is bit-reproducible: the same configuration run twice
+/// returns the identical strategy, cost, and IC.
+#[test]
+fn cp_sequential_runs_are_reproducible() {
+    let p = make_problem(0xBEEF, 12, 4, 0.6);
+    let opts = FtSearchConfig {
+        node_limit: Some(50_000),
+        ..cp_opts()
+    };
+    let a = solve(&p, &opts).unwrap();
+    let b = solve(&p, &opts).unwrap();
+    assert_eq!(a.outcome.label(), b.outcome.label());
+    match (a.outcome.solution(), b.outcome.solution()) {
+        (Some(x), Some(y)) => {
+            assert_eq!(x.strategy, y.strategy);
+            assert_eq!(x.cost_cycles.to_bits(), y.cost_cycles.to_bits());
+            assert_eq!(x.ic.to_bits(), y.ic.to_bits());
+        }
+        (None, None) => {}
+        _ => panic!("feasibility diverged between identical runs"),
+    }
+}
+
+/// The portfolio driver at several thread counts always returns a proved
+/// verdict consistent with the sequential CP run on instances both can
+/// prove (the incumbent itself may differ between equal-cost optima).
+#[test]
+fn portfolio_verdicts_consistent_with_sequential() {
+    for seed in [7u64, 21, 63] {
+        let p = make_problem(seed, 8, 3, 0.5);
+        let seq = solve(&p, &cp_opts()).unwrap();
+        assert!(seq.stats.proved);
+        for threads in [2usize, 4] {
+            let par = solve_parallel(
+                &p,
+                &FtSearchConfig {
+                    threads,
+                    ..cp_opts()
+                },
+            )
+            .unwrap();
+            assert!(par.stats.proved, "portfolio must prove seed {seed}");
+            assert_eq!(seq.outcome.label(), par.outcome.label(), "seed {seed}");
+            if let (Some(a), Some(b)) = (seq.outcome.solution(), par.outcome.solution()) {
+                assert!(
+                    (a.cost_cycles - b.cost_cycles).abs() <= 1e-6 * a.cost_cycles.max(1.0),
+                    "seed {seed}: cost {} vs {}",
+                    a.cost_cycles,
+                    b.cost_cycles
+                );
+            }
+        }
+    }
+}
